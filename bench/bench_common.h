@@ -1,0 +1,72 @@
+// Shared configuration for the experiment binaries (one per paper
+// table/figure; see DESIGN.md §4 for the experiment index).
+//
+// Streams are laptop-scale versions of the paper's datasets (see DESIGN.md
+// substitutions): the absolute throughput numbers are lower than the
+// paper's 32-core server, but the comparisons (SGA vs DD, S-PATH vs
+// Δ-tree, plan space) preserve their shape. Set SGQ_BENCH_SCALE to grow or
+// shrink every stream (default 1.0).
+
+#ifndef SGQ_BENCH_BENCH_COMMON_H_
+#define SGQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sgq/sgq.h"
+
+namespace sgq {
+namespace bench {
+
+inline double Scale() {
+  const char* env = std::getenv("SGQ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+inline std::size_t Scaled(std::size_t n) {
+  return static_cast<std::size_t>(static_cast<double>(n) * Scale());
+}
+
+/// \brief The SO-like stream used by the experiments (dense, cyclic).
+/// ~150 simulated days, i.e. ~5 sliding 30-day windows: expirations matter,
+/// as they do in the paper's 8-year SO trace.
+inline Result<InputStream> SoStream(Vocabulary* vocab) {
+  SoOptions opt;
+  // Vertex/edge ratio mirrors the real SO trace (≈0.3 edges per user per
+  // 30-day window): hubs make the graph cyclic, but reachability sets stay
+  // bounded, as they do at the paper's scale.
+  opt.num_vertices = Scaled(2500);
+  opt.num_edges = Scaled(9000);
+  opt.edges_per_hour = 2.5;
+  return GenerateSoStream(opt, vocab);
+}
+
+/// \brief The SNB-like stream (forest-shaped replyOf, community knows);
+/// ~125 simulated days (~4 windows).
+inline Result<InputStream> SnbStream(Vocabulary* vocab) {
+  SnbOptions opt;
+  opt.num_persons = Scaled(900);
+  opt.num_communities = 45;
+  opt.num_events = Scaled(12000);
+  opt.edges_per_hour = 4.0;
+  return GenerateSnbStream(opt, vocab);
+}
+
+/// \brief The paper's default window: |W| = 30 days, slide = 1 day.
+inline WindowSpec PaperWindow() { return WindowSpec(30 * kDay, kDay); }
+
+/// \brief Aborts the binary on a non-OK status (benchmark setup only).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace bench
+}  // namespace sgq
+
+#endif  // SGQ_BENCH_BENCH_COMMON_H_

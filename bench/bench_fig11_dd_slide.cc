@@ -1,0 +1,33 @@
+// Figure 11: sensitivity of the DD-style baseline to the slide interval
+// beta on the SO stream — 3h..4d with |W| = 30 days (§7.3).
+//
+// Expected shape (paper): unlike the SGA engine (Fig. 10b), DD batches all
+// arrivals of a slide into one epoch, so its throughput *increases* with
+// the slide interval (the latency/throughput trade-off of epoch batching);
+// tail latency grows because each epoch does more work at once.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sgq;
+  std::printf("=== Figure 11 — SO, DD baseline slide sweep (|W|=30d) ===\n");
+  const std::pair<const char*, Timestamp> slides[] = {
+      {"3h", 3},  {"6h", 6},  {"12h", 12},
+      {"1d", 24}, {"2d", 48}, {"4d", 96}};
+  for (const BenchQuery& bq : SoQuerySet()) {
+    PrintMetricsHeader("\n-- " + bq.name + " --");
+    for (const auto& [label, slide] : slides) {
+      Vocabulary vocab;
+      auto stream = bench::SoStream(&vocab);
+      bench::CheckOk(stream.status(), "stream");
+      auto query =
+          MakeQuery(bq.text, WindowSpec(30 * kDay, slide), &vocab);
+      bench::CheckOk(query.status(), bq.name.c_str());
+      auto metrics = RunDd(*stream, *query, vocab,
+                           bq.name + "/slide=" + label);
+      bench::CheckOk(metrics.status(), "run");
+      PrintMetricsRow(*metrics);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 12: throughput and tail latency of Q4 = (a.b.c)+ under the
+// canonical (loop-caching) SGA plan and the alternative plans P1/P2/P3
+// obtained through the §5.4 transformation rules, on SO and SNB.
+//
+// Expected shape (paper): the fused plans can beat the canonical plan by
+// tens of percent — the rule-generated plan space is worth exploring.
+
+#include "bench_plans.h"
+
+namespace {
+
+std::vector<sgq::bench::NamedPlan> SoPlans(sgq::Vocabulary* vocab,
+                                           sgq::WindowSpec w) {
+  return sgq::Q4Plans(vocab, "a2q", "c2q", "c2a", w);
+}
+std::vector<sgq::bench::NamedPlan> SnbPlans(sgq::Vocabulary* vocab,
+                                            sgq::WindowSpec w) {
+  return sgq::Q4Plans(vocab, "knows", "likes", "hasCreator", w);
+}
+
+}  // namespace
+
+int main() {
+  sgq::bench::RunPlanBench("Figure 12 (Q4 plan space)", SoPlans, SnbPlans);
+  return 0;
+}

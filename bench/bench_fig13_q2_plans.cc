@@ -1,0 +1,23 @@
+// Figure 13: throughput and tail latency of Q2 = a.b* under the canonical
+// SGA plan (UNION of PATTERN over PATH[b+] and the zero-step rename) and
+// the fused single-PATH plan P1, on SO and SNB (§7.4).
+
+#include "bench_plans.h"
+
+namespace {
+
+std::vector<sgq::bench::NamedPlan> SoPlans(sgq::Vocabulary* vocab,
+                                           sgq::WindowSpec w) {
+  return sgq::Q2Plans(vocab, "a2q", "c2q", w);
+}
+std::vector<sgq::bench::NamedPlan> SnbPlans(sgq::Vocabulary* vocab,
+                                            sgq::WindowSpec w) {
+  return sgq::Q2Plans(vocab, "likes", "replyOf", w);
+}
+
+}  // namespace
+
+int main() {
+  sgq::bench::RunPlanBench("Figure 13 (Q2 plan space)", SoPlans, SnbPlans);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 14: throughput and tail latency of Q3 = a.b*.c* under the
+// canonical SGA plan and the fused single-PATH plan P1, on SO and SNB
+// (§7.4).
+
+#include "bench_plans.h"
+
+namespace {
+
+std::vector<sgq::bench::NamedPlan> SoPlans(sgq::Vocabulary* vocab,
+                                           sgq::WindowSpec w) {
+  return sgq::Q3Plans(vocab, "a2q", "c2q", "c2a", w);
+}
+std::vector<sgq::bench::NamedPlan> SnbPlans(sgq::Vocabulary* vocab,
+                                            sgq::WindowSpec w) {
+  return sgq::Q3Plans(vocab, "likes", "replyOf", "hasCreator", w);
+}
+
+}  // namespace
+
+int main() {
+  sgq::bench::RunPlanBench("Figure 14 (Q3 plan space)", SoPlans, SnbPlans);
+  return 0;
+}

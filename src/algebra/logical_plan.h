@@ -1,0 +1,123 @@
+// Logical Streaming Graph Algebra (SGA) plans (paper §5.1).
+//
+// SGA has five operators: WSCAN (Def. 16), FILTER (Def. 17), UNION
+// (Def. 18), PATTERN (Def. 19) and PATH (Def. 20). A logical plan is an
+// operator tree whose leaves are WSCANs over input graph streams. Plans are
+// value-owned trees (unique_ptr children) with deep Clone() so that the
+// transformation rules (transform.h) can rewrite copies freely.
+
+#ifndef SGQ_ALGEBRA_LOGICAL_PLAN_H_
+#define SGQ_ALGEBRA_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/types.h"
+#include "model/vocabulary.h"
+#include "model/window.h"
+#include "regex/regex.h"
+
+namespace sgq {
+
+/// \brief SGA operator kinds.
+enum class LogicalOpKind {
+  kWScan,    ///< windowing scan over an input graph stream
+  kFilter,   ///< predicate over distinguished attributes
+  kUnion,    ///< stream merge with optional relabeling
+  kPattern,  ///< streaming subgraph pattern (conjunctive join)
+  kPath,     ///< streaming path navigation (RPQ over labels)
+};
+
+/// \brief One conjunct of a FILTER predicate (Def. 17 restricts predicates
+/// to the distinguished attributes src, trg, label).
+struct FilterPredicate {
+  enum class Kind {
+    kSrcEquals,     ///< src == vertex
+    kTrgEquals,     ///< trg == vertex
+    kSrcEqualsTrg,  ///< src == trg (self-loop test)
+    kLabelEquals,   ///< label == label_id (logical partitioning, Def. 9)
+  };
+  Kind kind = Kind::kLabelEquals;
+  VertexId vertex = kInvalidVertex;
+  LabelId label = kInvalidLabel;
+
+  bool operator==(const FilterPredicate& o) const {
+    return kind == o.kind && vertex == o.vertex && label == o.label;
+  }
+};
+
+/// \brief A node of a logical SGA plan.
+///
+/// Field usage per kind:
+///  - kWScan:   input_label, window
+///  - kFilter:  predicates (conjunction), 1 child
+///  - kUnion:   output_label (optional relabel), >= 1 children
+///  - kPattern: child_vars (one (src,trg) variable pair per child),
+///              out_src_var/out_trg_var, output_label
+///  - kPath:    regex, output_label, children produce the alphabet streams
+struct LogicalOp {
+  LogicalOpKind kind = LogicalOpKind::kWScan;
+  std::vector<std::unique_ptr<LogicalOp>> children;
+
+  // kWScan
+  LabelId input_label = kInvalidLabel;
+  WindowSpec window;
+
+  // kFilter
+  std::vector<FilterPredicate> predicates;
+
+  // kUnion / kPattern / kPath
+  LabelId output_label = kInvalidLabel;
+
+  // kPattern
+  std::vector<std::pair<std::string, std::string>> child_vars;
+  std::string out_src_var;
+  std::string out_trg_var;
+
+  // kPath
+  Regex regex;
+
+  /// \brief Deep copy.
+  std::unique_ptr<LogicalOp> Clone() const;
+
+  /// \brief The label of the sgts this operator emits; kInvalidLabel for a
+  /// UNION that merges without relabeling (tuples keep child labels).
+  LabelId OutputLabel() const;
+
+  /// \brief Pretty-printed tree (one node per line, indented).
+  std::string ToString(const Vocabulary& vocab, int indent = 0) const;
+
+  /// \brief Structural equality (used by plan-space enumeration to dedup).
+  bool Equals(const LogicalOp& other) const;
+
+  /// \brief Number of nodes in this subtree.
+  std::size_t Size() const;
+};
+
+using LogicalPlan = std::unique_ptr<LogicalOp>;
+
+/// \name Plan construction helpers
+/// @{
+LogicalPlan MakeWScan(LabelId input_label, WindowSpec window);
+LogicalPlan MakeFilter(std::vector<FilterPredicate> preds, LogicalPlan child);
+LogicalPlan MakeUnion(LabelId output_label,
+                      std::vector<LogicalPlan> children);
+LogicalPlan MakePattern(LabelId output_label,
+                        std::vector<std::pair<std::string, std::string>>
+                            child_vars,
+                        std::string out_src_var, std::string out_trg_var,
+                        std::vector<LogicalPlan> children);
+LogicalPlan MakePath(LabelId output_label, Regex regex,
+                     std::vector<LogicalPlan> children);
+/// @}
+
+/// \brief Validates plan well-formedness: child counts, PATTERN variable
+/// sanity (output vars bound, child count matches child_vars), PATH regex
+/// alphabet covered by child output labels.
+Status ValidatePlan(const LogicalOp& plan, const Vocabulary& vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_ALGEBRA_LOGICAL_PLAN_H_

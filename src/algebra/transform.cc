@@ -1,0 +1,336 @@
+#include "algebra/transform.h"
+
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+namespace {
+
+/// True when L(r) contains the empty word.
+bool AcceptsEmpty(const Regex& r) {
+  switch (r.kind) {
+    case RegexKind::kEpsilon:
+    case RegexKind::kStar:
+    case RegexKind::kOpt:
+      return true;
+    case RegexKind::kLabel:
+      return false;
+    case RegexKind::kConcat:
+      for (const Regex& c : r.children) {
+        if (!AcceptsEmpty(c)) return false;
+      }
+      return true;
+    case RegexKind::kAlt:
+      for (const Regex& c : r.children) {
+        if (AcceptsEmpty(c)) return true;
+      }
+      return false;
+    case RegexKind::kPlus:
+      return AcceptsEmpty(r.children[0]);
+  }
+  return false;
+}
+
+/// Deterministic serialization used to mint stable fresh label names so that
+/// repeated applications of the same rewrite are structurally equal.
+std::string SerializeRegex(const Regex& r) {
+  std::ostringstream os;
+  switch (r.kind) {
+    case RegexKind::kEpsilon:
+      os << "e";
+      break;
+    case RegexKind::kLabel:
+      os << "L" << r.label;
+      break;
+    case RegexKind::kConcat:
+      os << "C(";
+      for (const Regex& c : r.children) os << SerializeRegex(c) << ",";
+      os << ")";
+      break;
+    case RegexKind::kAlt:
+      os << "A(";
+      for (const Regex& c : r.children) os << SerializeRegex(c) << ",";
+      os << ")";
+      break;
+    case RegexKind::kStar:
+      os << "S(" << SerializeRegex(r.children[0]) << ")";
+      break;
+    case RegexKind::kPlus:
+      os << "P(" << SerializeRegex(r.children[0]) << ")";
+      break;
+    case RegexKind::kOpt:
+      os << "O(" << SerializeRegex(r.children[0]) << ")";
+      break;
+  }
+  return os.str();
+}
+
+/// Clones the children of `plan` whose output label occurs in `alphabet`.
+std::vector<LogicalPlan> RouteChildren(const LogicalOp& plan,
+                                       const std::vector<LabelId>& alphabet) {
+  std::set<LabelId> needed(alphabet.begin(), alphabet.end());
+  std::vector<LogicalPlan> out;
+  for (const auto& c : plan.children) {
+    if (needed.count(c->OutputLabel()) > 0) out.push_back(c->Clone());
+  }
+  return out;
+}
+
+/// Appends `child` to `into` unless a structurally equal plan is present.
+void AddUniqueChild(std::vector<LogicalPlan>* into, LogicalPlan child) {
+  for (const auto& existing : *into) {
+    if (existing->Equals(*child)) return;
+  }
+  into->push_back(std::move(child));
+}
+
+/// Views `child` as a PATH fragment: returns its regex plus the stream
+/// inputs that feed it. A PATH child contributes (regex, children); any
+/// other single-label producer contributes (Label(l), itself).
+bool ChildAsPathFragment(const LogicalOp& child, Regex* regex,
+                         std::vector<LogicalPlan>* inputs) {
+  if (child.kind == LogicalOpKind::kPath) {
+    *regex = child.regex;
+    for (const auto& c : child.children) {
+      AddUniqueChild(inputs, c->Clone());
+    }
+    return true;
+  }
+  const LabelId l = child.OutputLabel();
+  if (l == kInvalidLabel) return false;
+  *regex = Regex::Label(l);
+  AddUniqueChild(inputs, child.Clone());
+  return true;
+}
+
+}  // namespace
+
+LogicalPlan TryPushFilterBelowWScan(const LogicalOp& plan) {
+  if (plan.kind != LogicalOpKind::kFilter || plan.children.size() != 1) {
+    return nullptr;
+  }
+  const LogicalOp& child = *plan.children[0];
+  if (child.kind != LogicalOpKind::kWScan) return nullptr;
+  // sigma(W(S)) -> W'(S) where W' is a filtered scan. We represent the
+  // pushed-down form as WSCAN below FILTER swapped: FILTER is absorbed into
+  // a filtered scan by keeping FILTER directly above but marking the scan;
+  // since both orders are semantically identical, the rewrite materializes
+  // the commuted tree FILTER<->WSCAN is a no-op structurally. We therefore
+  // express push-down as: WSCAN stays the leaf and the rule does not apply.
+  return nullptr;
+}
+
+LogicalPlan TryPullFilterAboveWScan(const LogicalOp& plan) {
+  (void)plan;
+  return nullptr;
+}
+
+LogicalPlan TryPushFilterBelowUnion(const LogicalOp& plan) {
+  if (plan.kind != LogicalOpKind::kFilter || plan.children.size() != 1) {
+    return nullptr;
+  }
+  const LogicalOp& u = *plan.children[0];
+  if (u.kind != LogicalOpKind::kUnion) return nullptr;
+  std::vector<LogicalPlan> new_children;
+  for (const auto& c : u.children) {
+    new_children.push_back(MakeFilter(plan.predicates, c->Clone()));
+  }
+  return MakeUnion(u.output_label, std::move(new_children));
+}
+
+LogicalPlan TrySplitPathAlternation(const LogicalOp& plan) {
+  if (plan.kind != LogicalOpKind::kPath ||
+      plan.regex.kind != RegexKind::kAlt) {
+    return nullptr;
+  }
+  std::vector<LogicalPlan> paths;
+  for (const Regex& alt : plan.regex.children) {
+    std::vector<LogicalPlan> inputs = RouteChildren(plan, alt.Alphabet());
+    if (inputs.empty()) return nullptr;  // alternative needs some stream
+    paths.push_back(MakePath(plan.output_label, alt, std::move(inputs)));
+  }
+  return MakeUnion(plan.output_label, std::move(paths));
+}
+
+LogicalPlan TryMergePathAlternation(const LogicalOp& plan) {
+  if (plan.kind != LogicalOpKind::kUnion || plan.children.size() < 2) {
+    return nullptr;
+  }
+  std::vector<Regex> alts;
+  std::vector<LogicalPlan> inputs;
+  for (const auto& c : plan.children) {
+    if (c->kind != LogicalOpKind::kPath) return nullptr;
+    if (c->output_label != plan.output_label &&
+        plan.output_label != kInvalidLabel) {
+      // Relabeling union: the merged PATH can still emit the union label.
+    }
+    alts.push_back(c->regex);
+    for (const auto& in : c->children) {
+      AddUniqueChild(&inputs, in->Clone());
+    }
+  }
+  const LabelId label = plan.output_label != kInvalidLabel
+                            ? plan.output_label
+                            : plan.children[0]->output_label;
+  return MakePath(label, Regex::Alt(std::move(alts)), std::move(inputs));
+}
+
+LogicalPlan TrySplitPathConcat(const LogicalOp& plan, Vocabulary* vocab) {
+  if (plan.kind != LogicalOpKind::kPath ||
+      plan.regex.kind != RegexKind::kConcat ||
+      plan.regex.children.size() < 2) {
+    return nullptr;
+  }
+  // Split into head . tail.
+  Regex head = plan.regex.children[0];
+  Regex tail;
+  {
+    std::vector<Regex> rest(plan.regex.children.begin() + 1,
+                            plan.regex.children.end());
+    tail = Regex::Concat(std::move(rest));
+  }
+  if (AcceptsEmpty(head) || AcceptsEmpty(tail)) return nullptr;
+
+  auto fresh = [&](const Regex& r) -> Result<LabelId> {
+    return vocab->InternDerivedLabel("__seg_" + SerializeRegex(r));
+  };
+  auto head_label = fresh(head);
+  auto tail_label = fresh(tail);
+  if (!head_label.ok() || !tail_label.ok()) return nullptr;
+
+  // A sub-regex that is a bare label needs no PATH: route the child stream
+  // directly into the PATTERN.
+  auto segment = [&](const Regex& r, LabelId seg_label) -> LogicalPlan {
+    std::vector<LogicalPlan> inputs = RouteChildren(plan, r.Alphabet());
+    if (inputs.empty()) return nullptr;
+    if (r.kind == RegexKind::kLabel && inputs.size() == 1) {
+      return std::move(inputs[0]);
+    }
+    return MakePath(seg_label, r, std::move(inputs));
+  };
+  LogicalPlan left = segment(head, *head_label);
+  LogicalPlan right = segment(tail, *tail_label);
+  if (left == nullptr || right == nullptr) return nullptr;
+
+  std::vector<LogicalPlan> children;
+  children.push_back(std::move(left));
+  children.push_back(std::move(right));
+  return MakePattern(plan.output_label, {{"x0", "x1"}, {"x1", "x2"}}, "x0",
+                     "x2", std::move(children));
+}
+
+LogicalPlan TryFusePatternChain(const LogicalOp& plan) {
+  if (plan.kind != LogicalOpKind::kPattern || plan.children.empty()) {
+    return nullptr;
+  }
+  // The children must form a linear chain: (x0,x1), (x1,x2), ..., and the
+  // output endpoints must be the chain's first and last variables.
+  const std::size_t n = plan.child_vars.size();
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [s, t] = plan.child_vars[i];
+    if (s == t) return nullptr;
+    if (i + 1 < n && t != plan.child_vars[i + 1].first) return nullptr;
+    if (!seen.insert(s).second) return nullptr;  // variable reused
+  }
+  if (!seen.insert(plan.child_vars.back().second).second) return nullptr;
+  if (plan.out_src_var != plan.child_vars.front().first ||
+      plan.out_trg_var != plan.child_vars.back().second) {
+    return nullptr;
+  }
+
+  std::vector<Regex> parts;
+  std::vector<LogicalPlan> inputs;
+  for (const auto& c : plan.children) {
+    Regex part;
+    if (!ChildAsPathFragment(*c, &part, &inputs)) return nullptr;
+    parts.push_back(std::move(part));
+  }
+  return MakePath(plan.output_label, Regex::Concat(std::move(parts)),
+                  std::move(inputs));
+}
+
+LogicalPlan TryFuseClosureOverProducer(const LogicalOp& plan) {
+  if (plan.kind != LogicalOpKind::kPath || plan.children.size() != 1) {
+    return nullptr;
+  }
+  const Regex& r = plan.regex;
+  if ((r.kind != RegexKind::kPlus && r.kind != RegexKind::kStar) ||
+      r.children[0].kind != RegexKind::kLabel) {
+    return nullptr;
+  }
+  const LabelId closed = r.children[0].label;
+  const LogicalOp* producer = plan.children[0].get();
+  if (producer->OutputLabel() != closed) return nullptr;
+
+  // If the producer is a PATTERN chain, fuse it into a PATH first.
+  LogicalPlan fused_producer;
+  if (producer->kind == LogicalOpKind::kPattern) {
+    fused_producer = TryFusePatternChain(*producer);
+    if (fused_producer == nullptr) return nullptr;
+    producer = fused_producer.get();
+  }
+  if (producer->kind != LogicalOpKind::kPath) return nullptr;
+
+  Regex inner = producer->regex;
+  Regex closure = r.kind == RegexKind::kPlus ? Regex::Plus(std::move(inner))
+                                             : Regex::Star(std::move(inner));
+  std::vector<LogicalPlan> inputs;
+  for (const auto& c : producer->children) {
+    AddUniqueChild(&inputs, c->Clone());
+  }
+  return MakePath(plan.output_label, std::move(closure), std::move(inputs));
+}
+
+namespace {
+
+using RewriteYield = std::function<void(LogicalPlan)>;
+
+void YieldRootRewrites(const LogicalOp& node, Vocabulary* vocab,
+                       const RewriteYield& yield) {
+  if (auto p = TryPushFilterBelowUnion(node)) yield(std::move(p));
+  if (auto p = TrySplitPathAlternation(node)) yield(std::move(p));
+  if (auto p = TryMergePathAlternation(node)) yield(std::move(p));
+  if (auto p = TrySplitPathConcat(node, vocab)) yield(std::move(p));
+  if (auto p = TryFusePatternChain(node)) yield(std::move(p));
+  if (auto p = TryFuseClosureOverProducer(node)) yield(std::move(p));
+}
+
+void YieldAllRewrites(const LogicalOp& node, Vocabulary* vocab,
+                      const RewriteYield& yield) {
+  YieldRootRewrites(node, vocab, yield);
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    YieldAllRewrites(*node.children[i], vocab, [&](LogicalPlan new_child) {
+      LogicalPlan copy = node.Clone();
+      copy->children[i] = std::move(new_child);
+      yield(std::move(copy));
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<LogicalPlan> EnumeratePlans(const LogicalOp& root,
+                                        Vocabulary* vocab,
+                                        std::size_t limit) {
+  std::vector<LogicalPlan> plans;
+  plans.push_back(root.Clone());
+  std::size_t next = 0;
+  while (next < plans.size() && plans.size() < limit) {
+    const LogicalOp& current = *plans[next++];
+    YieldAllRewrites(current, vocab, [&](LogicalPlan candidate) {
+      if (plans.size() >= limit) return;
+      for (const auto& existing : plans) {
+        if (existing->Equals(*candidate)) return;
+      }
+      plans.push_back(std::move(candidate));
+    });
+  }
+  return plans;
+}
+
+}  // namespace sgq

@@ -1,0 +1,76 @@
+// SGA transformation rules (paper §5.4) and plan-space enumeration.
+//
+// Rules implemented (each Try* matches at the ROOT of the given subtree and
+// returns the rewritten plan, or nullptr when it does not apply):
+//
+//  WSCAN commutation:
+//   R1  W(sigma(S))        == sigma(W(S))       (filter push-down/pull-up)
+//   R2  W(S1 u S2)         == W(S1) u W(S2)     (union split/merge)
+//  PATH rules:
+//   R3  P[d, r1|r2](...)   == U[d](P[d,r1], P[d,r2])        (alternation)
+//   R4  P[d, r1.r2](...)   == PATTERN[d](P[l1,r1], P[l2,r2]) (concatenation)
+//       with the inverse *fusion* rules R4' (PATTERN of a linear chain of
+//       PATH/WSCAN children fuses into one PATH with a concatenated regex)
+//       and R5' (PATH[e+] over the single producer of e fuses the producer's
+//       regex under the plus: the plans P1-P3 of §7.4).
+//
+// EnumeratePlans applies the rule set exhaustively (bounded) at every node
+// to produce the space of equivalent plans the paper's Figure 12-14
+// micro-benchmarks explore.
+
+#ifndef SGQ_ALGEBRA_TRANSFORM_H_
+#define SGQ_ALGEBRA_TRANSFORM_H_
+
+#include <vector>
+
+#include "algebra/logical_plan.h"
+
+namespace sgq {
+
+/// \brief R1 (push down): FILTER(WSCAN) -> WSCAN under FILTER's semantics.
+/// Physically the filter drops sgts before windowing state is built.
+LogicalPlan TryPushFilterBelowWScan(const LogicalOp& plan);
+
+/// \brief R1 (pull up): WSCAN-composed filter back above (inverse of R1).
+LogicalPlan TryPullFilterAboveWScan(const LogicalOp& plan);
+
+/// \brief R2: FILTER(UNION(..)) -> UNION(FILTER(..), FILTER(..)).
+LogicalPlan TryPushFilterBelowUnion(const LogicalOp& plan);
+
+/// \brief R3 (split): PATH with a top-level alternation regex becomes a
+/// UNION of PATHs, one per alternative. Children are routed to the
+/// alternative(s) whose alphabet needs them.
+LogicalPlan TrySplitPathAlternation(const LogicalOp& plan);
+
+/// \brief R3 (merge): UNION[d] of PATH[d] children over compatible inputs
+/// becomes a single PATH with an alternation regex.
+LogicalPlan TryMergePathAlternation(const LogicalOp& plan);
+
+/// \brief R4 (split): PATH[d, r1 . r2] -> PATTERN[d] joining PATH over r1
+/// with PATH over r2. Applies only when neither r1 nor r2 accepts the
+/// empty word (otherwise the join would lose zero-length matches); fresh
+/// derived labels for the two sub-paths are interned into `vocab`.
+LogicalPlan TrySplitPathConcat(const LogicalOp& plan, Vocabulary* vocab);
+
+/// \brief R4' (fuse): a PATTERN whose children form a linear variable chain
+/// x0-x1-...-xk with output (x0, xk) fuses into a single PATH whose regex
+/// is the concatenation of the children's regexes (a child PATH contributes
+/// its regex; a scan/union child contributes its output label).
+LogicalPlan TryFusePatternChain(const LogicalOp& plan);
+
+/// \brief R5' (fuse): PATH[d, e+] (or e*) whose single child is the
+/// producer of label e fuses the producer's regex under the closure:
+/// PATH[d, e+](PATH[e, r](X)) -> PATH[d, r+](X). This generates the novel
+/// plans of §7.4 (e.g. Q4's P1 = PATH[(a.b.c)+]).
+LogicalPlan TryFuseClosureOverProducer(const LogicalOp& plan);
+
+/// \brief Applies every rule at every node, breadth-first, deduplicating
+/// structurally equal plans, until no new plan is found or `limit` plans
+/// were produced. The input plan is always plans[0].
+std::vector<LogicalPlan> EnumeratePlans(const LogicalOp& root,
+                                        Vocabulary* vocab,
+                                        std::size_t limit = 64);
+
+}  // namespace sgq
+
+#endif  // SGQ_ALGEBRA_TRANSFORM_H_

@@ -1,0 +1,113 @@
+#include "algebra/translate.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "query/normalize.h"
+
+namespace sgq {
+
+namespace {
+
+/// Expression cache: label -> plan template, cloned per use (the exp[] map
+/// of Algorithm SGQParser).
+class ExpressionMap {
+ public:
+  ExpressionMap(const StreamingGraphQuery& query, const Vocabulary& vocab)
+      : query_(query), vocab_(vocab) {}
+
+  /// Returns a fresh plan computing the streaming graph for `label`.
+  Result<LogicalPlan> For(LabelId label) {
+    auto it = cache_.find(label);
+    if (it != cache_.end()) return it->second->Clone();
+    if (vocab_.IsInputLabel(label)) {
+      // Algorithm SGQParser line 7: EDB -> WSCAN with the (possibly
+      // per-label) window specification.
+      LogicalPlan scan = MakeWScan(label, query_.WindowFor(label));
+      LogicalPlan copy = scan->Clone();
+      cache_.emplace(label, std::move(scan));
+      return copy;
+    }
+    return Status::Internal("predicate '" + vocab_.LabelName(label) +
+                            "' requested before its definition (topological "
+                            "order violated)");
+  }
+
+  void Define(LabelId label, LogicalPlan plan) {
+    cache_[label] = std::move(plan);
+  }
+
+ private:
+  const StreamingGraphQuery& query_;
+  const Vocabulary& vocab_;
+  std::unordered_map<LabelId, LogicalPlan> cache_;
+};
+
+}  // namespace
+
+Result<LogicalPlan> TranslateToCanonicalPlan(
+    const StreamingGraphQuery& query, const Vocabulary& vocab) {
+  SGQ_RETURN_NOT_OK(query.rq.Validate(vocab));
+  const RegularQuery rq = ExpandStarClosures(query.rq);
+  SGQ_RETURN_NOT_OK(rq.Validate(vocab));
+
+  SGQ_ASSIGN_OR_RETURN(std::vector<LabelId> topo, rq.TopologicalOrder());
+  ExpressionMap exp(query, vocab);
+
+  // Collect closure alias definitions (alias -> base label).
+  std::unordered_map<LabelId, LabelId> alias_to_base;
+  for (const Rule& r : rq.rules()) {
+    for (const BodyAtom& a : r.body) {
+      if (a.IsClosure()) {
+        SGQ_CHECK(a.closure == ClosureKind::kPlus);
+        alias_to_base[a.alias] = a.label;
+      }
+    }
+  }
+
+  for (LabelId label : topo) {
+    auto alias_it = alias_to_base.find(label);
+    if (alias_it != alias_to_base.end()) {
+      // Algorithm SGQParser line 9: transitive closure -> PATH(base+).
+      SGQ_ASSIGN_OR_RETURN(LogicalPlan base, exp.For(alias_it->second));
+      std::vector<LogicalPlan> children;
+      children.push_back(std::move(base));
+      exp.Define(label,
+                 MakePath(label,
+                          Regex::Plus(Regex::Label(alias_it->second)),
+                          std::move(children)));
+      continue;
+    }
+    // Algorithm SGQParser lines 11-17: one PATTERN per rule, UNION when a
+    // head has several rules.
+    std::vector<LogicalPlan> alternatives;
+    for (const Rule* rule : rq.RulesFor(label)) {
+      std::vector<LogicalPlan> children;
+      std::vector<std::pair<std::string, std::string>> child_vars;
+      for (const BodyAtom& atom : rule->body) {
+        const LabelId effective = atom.IsClosure() ? atom.alias : atom.label;
+        SGQ_ASSIGN_OR_RETURN(LogicalPlan child, exp.For(effective));
+        children.push_back(std::move(child));
+        child_vars.emplace_back(atom.src, atom.trg);
+      }
+      alternatives.push_back(MakePattern(label, std::move(child_vars),
+                                         rule->head_src, rule->head_trg,
+                                         std::move(children)));
+    }
+    if (alternatives.empty()) {
+      return Status::Internal("no rule for predicate '" +
+                              vocab.LabelName(label) + "'");
+    }
+    if (alternatives.size() == 1) {
+      exp.Define(label, std::move(alternatives[0]));
+    } else {
+      exp.Define(label, MakeUnion(label, std::move(alternatives)));
+    }
+  }
+
+  SGQ_ASSIGN_OR_RETURN(LogicalPlan answer, exp.For(rq.answer()));
+  SGQ_RETURN_NOT_OK(ValidatePlan(*answer, vocab));
+  return answer;
+}
+
+}  // namespace sgq

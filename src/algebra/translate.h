@@ -1,0 +1,24 @@
+// Canonical SGQ -> SGA translation (paper Algorithm SGQParser, §5.2).
+//
+// Processes the predicates of a Regular Query in dependency order and emits
+// the canonical SGA expression: each EDB label becomes a WSCAN, each
+// transitive-closure atom a PATH, each rule a PATTERN, and multiple rules
+// with the same head a UNION. Star closures are first normalized away
+// (query/normalize.h) so that every PATH carries a plus-closure.
+
+#ifndef SGQ_ALGEBRA_TRANSLATE_H_
+#define SGQ_ALGEBRA_TRANSLATE_H_
+
+#include "algebra/logical_plan.h"
+#include "query/rq.h"
+
+namespace sgq {
+
+/// \brief Translates an SGQ into its canonical logical SGA plan
+/// (Theorem 1: such a plan exists for every SGQ).
+Result<LogicalPlan> TranslateToCanonicalPlan(const StreamingGraphQuery& query,
+                                             const Vocabulary& vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_ALGEBRA_TRANSLATE_H_

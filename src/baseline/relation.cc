@@ -1,0 +1,85 @@
+#include "baseline/relation.h"
+
+#include <algorithm>
+
+namespace sgq {
+namespace baseline {
+
+namespace {
+const std::vector<VertexId> kEmpty;
+
+void EraseValue(std::vector<VertexId>* vec, VertexId v) {
+  auto it = std::find(vec->begin(), vec->end(), v);
+  if (it != vec->end()) {
+    *it = vec->back();
+    vec->pop_back();
+  }
+}
+
+}  // namespace
+
+bool RelationVersion::Contains(VertexId src, VertexId trg) const {
+  auto it = by_src_.find(src);
+  if (it == by_src_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), trg) !=
+         it->second.end();
+}
+
+void RelationVersion::Insert(VertexId src, VertexId trg) {
+  if (Contains(src, trg)) return;
+  by_src_[src].push_back(trg);
+  by_trg_[trg].push_back(src);
+  ++size_;
+}
+
+void RelationVersion::Erase(VertexId src, VertexId trg) {
+  if (!Contains(src, trg)) return;
+  EraseValue(&by_src_[src], trg);
+  EraseValue(&by_trg_[trg], src);
+  --size_;
+}
+
+const std::vector<VertexId>& RelationVersion::TargetsOf(VertexId src) const {
+  auto it = by_src_.find(src);
+  return it == by_src_.end() ? kEmpty : it->second;
+}
+
+const std::vector<VertexId>& RelationVersion::SourcesOf(VertexId trg) const {
+  auto it = by_trg_.find(trg);
+  return it == by_trg_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<VertexId, VertexId>> RelationVersion::Pairs() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(size_);
+  for (const auto& [src, targets] : by_src_) {
+    for (VertexId trg : targets) out.emplace_back(src, trg);
+  }
+  return out;
+}
+
+void VersionedRelation::Apply(VertexId src, VertexId trg, int sign) {
+  if (sign > 0) {
+    if (new_.Contains(src, trg)) return;
+    new_.Insert(src, trg);
+    delta_.push_back(SignedPair{src, trg, +1});
+  } else {
+    if (!new_.Contains(src, trg)) return;
+    new_.Erase(src, trg);
+    delta_.push_back(SignedPair{src, trg, -1});
+  }
+}
+
+void VersionedRelation::Commit() {
+  for (const SignedPair& d : delta_) {
+    if (d.sign > 0) {
+      old_.Insert(d.src, d.trg);
+    } else {
+      old_.Erase(d.src, d.trg);
+    }
+  }
+  delta_.clear();
+}
+
+}  // namespace baseline
+}  // namespace sgq

@@ -1,0 +1,76 @@
+// Versioned binary relations for the epoch-batched incremental engine
+// (the Differential-Dataflow-style baseline, see DESIGN.md substitutions).
+//
+// During an epoch transition each relation exposes its OLD version (state
+// at the previous epoch), its NEW version (old + delta), and the signed
+// delta itself — exactly the three views the classical delta rule
+//   Δ(A1 ⋈ ... ⋈ An) = Σ_i  A1^new ⋈ ... ⋈ ΔAi ⋈ ... ⋈ An^old
+// consumes.
+
+#ifndef SGQ_BASELINE_RELATION_H_
+#define SGQ_BASELINE_RELATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "model/types.h"
+
+namespace sgq {
+namespace baseline {
+
+/// \brief A vertex pair with a diff sign (+1 insert, -1 delete).
+struct SignedPair {
+  VertexId src;
+  VertexId trg;
+  int sign;
+};
+
+/// \brief One version (old or new) of a binary relation, with probe
+/// indexes by source and by target.
+class RelationVersion {
+ public:
+  bool Contains(VertexId src, VertexId trg) const;
+  void Insert(VertexId src, VertexId trg);
+  void Erase(VertexId src, VertexId trg);
+
+  const std::vector<VertexId>& TargetsOf(VertexId src) const;
+  const std::vector<VertexId>& SourcesOf(VertexId trg) const;
+
+  /// \brief All pairs (unordered).
+  std::vector<std::pair<VertexId, VertexId>> Pairs() const;
+
+  std::size_t Size() const { return size_; }
+
+ private:
+  std::unordered_map<VertexId, std::vector<VertexId>> by_src_;
+  std::unordered_map<VertexId, std::vector<VertexId>> by_trg_;
+  std::size_t size_ = 0;
+};
+
+/// \brief A relation with old/new versions and the epoch delta.
+class VersionedRelation {
+ public:
+  const RelationVersion& old_version() const { return old_; }
+  const RelationVersion& new_version() const { return new_; }
+  const std::vector<SignedPair>& delta() const { return delta_; }
+
+  /// \brief Applies a signed change to the NEW version and records it in
+  /// the delta. Idempotent per set semantics: inserting a present pair or
+  /// deleting an absent one is a no-op.
+  void Apply(VertexId src, VertexId trg, int sign);
+
+  /// \brief Finishes the epoch: old := new, delta cleared.
+  void Commit();
+
+  bool HasDelta() const { return !delta_.empty(); }
+
+ private:
+  RelationVersion old_;
+  RelationVersion new_;
+  std::vector<SignedPair> delta_;
+};
+
+}  // namespace baseline
+}  // namespace sgq
+
+#endif  // SGQ_BASELINE_RELATION_H_

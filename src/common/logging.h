@@ -1,0 +1,50 @@
+// Lightweight assertion/check macros (Arrow's DCHECK family, simplified).
+
+#ifndef SGQ_COMMON_LOGGING_H_
+#define SGQ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace sgq {
+namespace internal {
+
+/// \brief Terminates the process after streaming a fatal message.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sgq
+
+/// \brief Always-on invariant check; aborts with a message on failure.
+#define SGQ_CHECK(cond)                                      \
+  if (!(cond))                                               \
+  ::sgq::internal::FatalLogMessage(__FILE__, __LINE__).stream() << #cond << " "
+
+#define SGQ_CHECK_EQ(a, b) SGQ_CHECK((a) == (b))
+#define SGQ_CHECK_NE(a, b) SGQ_CHECK((a) != (b))
+#define SGQ_CHECK_LT(a, b) SGQ_CHECK((a) < (b))
+#define SGQ_CHECK_LE(a, b) SGQ_CHECK((a) <= (b))
+#define SGQ_CHECK_GT(a, b) SGQ_CHECK((a) > (b))
+#define SGQ_CHECK_GE(a, b) SGQ_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SGQ_DCHECK(cond) SGQ_CHECK(true || (cond))
+#else
+#define SGQ_DCHECK(cond) SGQ_CHECK(cond)
+#endif
+
+#endif  // SGQ_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sgq {
+
+double LatencyRecorder::Percentile(double q) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: ceil(q * N)-th smallest sample (1-indexed).
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+double LatencyRecorder::Mean() const {
+  if (samples_.empty()) return 0;
+  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace sgq

@@ -1,0 +1,84 @@
+// Measurement helpers shared by the benchmark harness and tests:
+// wall-clock timers, latency percentile tracking, throughput accounting.
+
+#ifndef SGQ_COMMON_METRICS_H_
+#define SGQ_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgq {
+
+/// \brief Monotonic stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// \brief Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// \brief Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Collects per-event latencies and reports percentiles.
+///
+/// The paper reports the 99th-percentile ("tail") latency of each window
+/// slide; LatencyRecorder::Percentile(0.99) computes exactly that with the
+/// nearest-rank method.
+class LatencyRecorder {
+ public:
+  /// \brief Records one latency sample, in seconds.
+  void Record(double seconds) { samples_.push_back(seconds); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// \brief Nearest-rank percentile, q in [0, 1]; 0 when no samples.
+  double Percentile(double q) const;
+
+  /// \brief Arithmetic mean; 0 when no samples.
+  double Mean() const;
+
+  double Max() const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<double> samples_;
+};
+
+/// \brief Aggregate result of one benchmark run.
+struct RunMetrics {
+  std::string name;              ///< configuration label (query, plan, ...)
+  std::size_t edges_processed = 0;
+  double elapsed_seconds = 0;
+  double tail_latency_seconds = 0;  ///< p99 of per-slide processing time
+  std::size_t results_emitted = 0;
+
+  /// \brief Sustained input rate in edges per second.
+  double Throughput() const {
+    return elapsed_seconds > 0 ? static_cast<double>(edges_processed) /
+                                     elapsed_seconds
+                               : 0;
+  }
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_COMMON_METRICS_H_

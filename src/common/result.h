@@ -1,0 +1,79 @@
+// Result<T>: a value-or-Status union, mirroring arrow::Result.
+
+#ifndef SGQ_COMMON_RESULT_H_
+#define SGQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sgq {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+///
+/// Usage:
+/// \code
+///   Result<Dfa> r = CompileRegex("a b*");
+///   if (!r.ok()) return r.status();
+///   Dfa dfa = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from an error Status (must not be OK).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK");
+  }
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error status; Status::OK() when holding a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Access the value; requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace sgq
+
+/// \brief Assigns the value of a Result expression or propagates its error.
+#define SGQ_ASSIGN_OR_RETURN(lhs, expr)              \
+  SGQ_ASSIGN_OR_RETURN_IMPL(                         \
+      SGQ_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define SGQ_CONCAT_NAME_INNER(x, y) x##y
+#define SGQ_CONCAT_NAME(x, y) SGQ_CONCAT_NAME_INNER(x, y)
+
+#define SGQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // SGQ_COMMON_RESULT_H_

@@ -1,0 +1,109 @@
+// Status: error-handling primitive used across the sgq public API.
+//
+// Follows the Apache Arrow / RocksDB idiom: fallible operations return a
+// Status (or a Result<T>, see result.h) instead of throwing. Exceptions do
+// not cross the public API boundary.
+
+#ifndef SGQ_COMMON_STATUS_H_
+#define SGQ_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sgq {
+
+/// \brief Machine-readable category for a Status.
+enum class StatusCode : char {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< malformed input from the caller
+  kParseError = 2,        ///< query/regex/stream text could not be parsed
+  kNotFound = 3,          ///< a referenced entity does not exist
+  kAlreadyExists = 4,     ///< uniqueness constraint violated
+  kUnsupported = 5,       ///< valid but outside the implemented fragment
+  kInternal = 6,          ///< invariant violation inside the engine
+};
+
+/// \brief Returns a human-readable name for a StatusCode (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: either OK or a code plus message.
+///
+/// The OK status is represented without allocation; error states carry a
+/// heap-allocated code/message pair (the "pointer-sized Status" layout used
+/// by Arrow and RocksDB).
+class Status {
+ public:
+  /// Creates an OK status.
+  Status() noexcept : state_(nullptr) {}
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_.reset(other.state_ ? new State(*other.state_) : nullptr);
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  /// \brief Error message; empty for OK.
+  const std::string& message() const;
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace sgq
+
+/// \brief Propagates a non-OK Status to the caller (Arrow's RETURN_NOT_OK).
+#define SGQ_RETURN_NOT_OK(expr)          \
+  do {                                   \
+    ::sgq::Status _st = (expr);          \
+    if (!_st.ok()) return _st;           \
+  } while (0)
+
+#endif  // SGQ_COMMON_STATUS_H_

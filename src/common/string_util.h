@@ -1,0 +1,27 @@
+// Small string helpers used by the parsers and report printers.
+
+#ifndef SGQ_COMMON_STRING_UTIL_H_
+#define SGQ_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sgq {
+
+/// \brief Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view TrimString(std::string_view text);
+
+/// \brief True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+}  // namespace sgq
+
+#endif  // SGQ_COMMON_STRING_UTIL_H_

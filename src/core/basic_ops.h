@@ -1,0 +1,93 @@
+// Stateless physical operators: WSCAN, FILTER, UNION, and the result SINK
+// (§6.2.1: "standard dataflow implementations of stateless FILTER and UNION
+// can be used directly; WSCAN is a map adjusting validity intervals").
+
+#ifndef SGQ_CORE_BASIC_OPS_H_
+#define SGQ_CORE_BASIC_OPS_H_
+
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "core/physical.h"
+#include "model/coalesce.h"
+#include "model/window.h"
+
+namespace sgq {
+
+/// \brief Physical WSCAN (Def. 16): turns input sges into sgts by
+/// assigning the validity interval [t, floor(t/beta)*beta + T).
+class WScanOp : public PhysicalOp {
+ public:
+  WScanOp(LabelId label, WindowSpec window)
+      : label_(label), window_(window) {}
+
+  /// \brief Entry point used by the engine's stream router.
+  void OnSge(const Sge& sge);
+
+  void OnTuple(int port, const Sgt& tuple) override;
+  std::string Name() const override { return "WSCAN"; }
+
+  LabelId label() const { return label_; }
+  const WindowSpec& window() const { return window_; }
+
+ private:
+  LabelId label_;
+  WindowSpec window_;
+};
+
+/// \brief Physical FILTER (Def. 17): forwards sgts satisfying every
+/// predicate conjunct over the distinguished attributes.
+class FilterOp : public PhysicalOp {
+ public:
+  explicit FilterOp(std::vector<FilterPredicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  void OnTuple(int port, const Sgt& tuple) override;
+  std::string Name() const override { return "FILTER"; }
+
+  /// \brief True when `tuple` satisfies the conjunction.
+  bool Matches(const Sgt& tuple) const;
+
+ private:
+  std::vector<FilterPredicate> predicates_;
+};
+
+/// \brief Physical UNION (Def. 18): merges streams, optionally relabeling
+/// each tuple with the derived output label.
+class UnionOp : public PhysicalOp {
+ public:
+  explicit UnionOp(LabelId output_label) : output_label_(output_label) {}
+
+  void OnTuple(int port, const Sgt& tuple) override;
+  std::string Name() const override { return "UNION"; }
+
+ private:
+  LabelId output_label_;
+};
+
+/// \brief Result sink: collects output sgts, optionally coalescing
+/// value-equivalent results to keep snapshot set semantics without
+/// redundancy.
+class SinkOp : public PhysicalOp {
+ public:
+  explicit SinkOp(bool coalesce) : coalesce_(coalesce) {}
+
+  void OnTuple(int port, const Sgt& tuple) override;
+  void Purge(Timestamp now) override;
+  std::string Name() const override { return "SINK"; }
+  std::size_t StateSize() const override { return coalescer_.NumKeys(); }
+
+  const std::vector<Sgt>& results() const { return results_; }
+  std::vector<Sgt> TakeResults() { return std::move(results_); }
+  std::size_t total_emitted() const { return total_emitted_; }
+
+ private:
+  bool coalesce_;
+  StreamingCoalescer coalescer_;
+  std::vector<Sgt> results_;
+  std::size_t total_emitted_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_BASIC_OPS_H_

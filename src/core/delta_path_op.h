@@ -1,0 +1,64 @@
+// Δ-tree PATH operator following the *negative tuple* approach of
+// [Pacaci, Bonifati, Özsu — SIGMOD'20] ([57] in the paper): the comparison
+// baseline for S-PATH (§6.2.3, §7.5, Table 3).
+//
+// Differences from S-PATH (paper Example 10):
+//  - On arrival, a node already present in a tree is NOT updated even when
+//    the new derivation would expire later (no Propagate).
+//  - Window expirations are processed like explicit deletions (DRed-style
+//    delete/re-derive): at each time advance, every node whose derivation
+//    expired is detached and the operator searches the snapshot graph for
+//    alternative valid paths (Dijkstra on maximal expiry), re-inserting
+//    survivors. On cyclic graphs this re-derivation dominates the cost —
+//    which is precisely the overhead the direct approach avoids.
+
+#ifndef SGQ_CORE_DELTA_PATH_OP_H_
+#define SGQ_CORE_DELTA_PATH_OP_H_
+
+#include <queue>
+
+#include "core/path_base.h"
+
+namespace sgq {
+
+/// \brief Streaming path navigation, negative-tuple approach ([57]).
+class DeltaPathOp : public PathOpBase {
+ public:
+  DeltaPathOp(Dfa dfa, LabelId output_label)
+      : PathOpBase(std::move(dfa), output_label) {}
+
+  void OnTuple(int port, const Sgt& tuple) override;
+
+  /// \brief Processes pending window expirations (delete + re-derive).
+  void OnTimeAdvance(Timestamp now) override;
+
+  /// \brief Runs pending expirations first, then frees state.
+  void Purge(Timestamp now) override;
+
+  std::string Name() const override { return "PATH[delta-tree]"; }
+
+  /// \brief Number of delete/re-derive rounds executed (diagnostics; the
+  /// S-PATH comparison expects this to dominate on cyclic inputs).
+  std::size_t rederivation_rounds() const { return rederivation_rounds_; }
+
+ private:
+  struct AttachWork {
+    VertexId root;
+    NodeKey parent;
+    NodeKey child;
+    EdgeRef via;
+    Interval iv;
+  };
+
+  void DrainWorklist(std::vector<AttachWork> work);
+
+  /// Min-heap of pending expiry instants (lazy; duplicates allowed).
+  std::priority_queue<Timestamp, std::vector<Timestamp>,
+                      std::greater<Timestamp>>
+      expiry_heap_;
+  std::size_t rederivation_rounds_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_DELTA_PATH_OP_H_

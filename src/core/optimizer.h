@@ -1,0 +1,53 @@
+// Plan selection over the SGA plan space — the extension the paper names
+// as ongoing work (§8: "designing an SGA-based query optimizer for the
+// systematic exploration of the rich plan space using SGA's
+// transformation rules").
+//
+// Two selectors are provided:
+//  - a heuristic cost model over logical plans (no data access), and
+//  - empirical sampling: run every candidate on a stream prefix and keep
+//    the one with the highest measured throughput (micro-benchmark-driven
+//    selection, mirroring §7.4's observation that rewritten plans can win
+//    by large margins).
+
+#ifndef SGQ_CORE_OPTIMIZER_H_
+#define SGQ_CORE_OPTIMIZER_H_
+
+#include <cstddef>
+
+#include "algebra/logical_plan.h"
+#include "algebra/transform.h"
+#include "model/sgt.h"
+
+namespace sgq {
+
+/// \brief Heuristic cost of a logical plan, in abstract units. Lower is
+/// better. The model charges:
+///  - every operator boundary (intermediate streams must be emitted,
+///    coalesced and re-consumed),
+///  - PATTERN join levels (hash tables maintained per level),
+///  - PATH automaton size (per-tuple transition fan-out), and
+///  - a surcharge for PATH operators fed by derived streams (their inputs
+///    were already materialized once).
+double EstimatePlanCost(const LogicalOp& plan);
+
+/// \brief Enumerates up to `budget` equivalent plans via the §5.4 rules
+/// and returns the one minimizing EstimatePlanCost. The input plan is
+/// always a candidate, so the result never regresses under the model.
+Result<LogicalPlan> OptimizeHeuristic(const LogicalOp& plan,
+                                      Vocabulary* vocab,
+                                      std::size_t budget = 32);
+
+/// \brief Enumerates up to `budget` equivalent plans, executes each on
+/// `sample` (a stream prefix) and returns the plan with the highest
+/// measured throughput. More expensive, but data-aware: it captures
+/// effects no static model sees (e.g. the selectivity of the inner
+/// pattern for loop-caching plans).
+Result<LogicalPlan> OptimizeBySampling(const LogicalOp& plan,
+                                       Vocabulary* vocab,
+                                       const InputStream& sample,
+                                       std::size_t budget = 16);
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_OPTIMIZER_H_

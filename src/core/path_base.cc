@@ -1,0 +1,276 @@
+#include "core/path_base.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+PathOpBase::PathOpBase(Dfa dfa, LabelId out_label)
+    : dfa_(std::move(dfa)), out_label_(out_label) {
+  out_transitions_.resize(dfa_.NumStates());
+  for (const auto& [from, label, to] : dfa_.Transitions()) {
+    out_transitions_[from].emplace_back(label, to);
+  }
+}
+
+PathOpBase::SpanningTree& PathOpBase::EnsureTree(VertexId x) {
+  auto [it, inserted] = trees_.try_emplace(x);
+  SpanningTree& tree = it->second;
+  if (inserted) {
+    tree.root = x;
+    TreeNode root_node;
+    root_node.iv = Interval::All();
+    root_node.is_root = true;
+    const NodeKey key{x, dfa_.start()};
+    tree.nodes.emplace(key, root_node);
+    inverted_[key].push_back(x);
+  }
+  return tree;
+}
+
+void PathOpBase::SetNode(SpanningTree& tree, const NodeKey& child,
+                         TreeNode node) {
+  auto [it, inserted] = tree.nodes.insert_or_assign(child, std::move(node));
+  (void)it;
+  if (inserted) {
+    auto& roots = inverted_[child];
+    if (std::find(roots.begin(), roots.end(), tree.root) == roots.end()) {
+      roots.push_back(tree.root);
+    }
+  }
+}
+
+void PathOpBase::RemoveNode(SpanningTree& tree, const NodeKey& key) {
+  tree.nodes.erase(key);
+  auto it = inverted_.find(key);
+  if (it != inverted_.end()) {
+    auto& roots = it->second;
+    auto pos = std::find(roots.begin(), roots.end(), tree.root);
+    if (pos != roots.end()) {
+      *pos = roots.back();
+      roots.pop_back();
+    }
+    if (roots.empty()) inverted_.erase(it);
+  }
+}
+
+std::vector<VertexId> PathOpBase::TreesContaining(const NodeKey& key) const {
+  auto it = inverted_.find(key);
+  if (it == inverted_.end()) return {};
+  return it->second;
+}
+
+Payload PathOpBase::RecoverPath(const SpanningTree& tree,
+                                const NodeKey& key) const {
+  Payload path;
+  NodeKey current = key;
+  while (true) {
+    auto it = tree.nodes.find(current);
+    SGQ_CHECK(it != tree.nodes.end()) << "broken parent chain";
+    const TreeNode& node = it->second;
+    if (node.is_root) break;
+    path.push_back(node.via);
+    current = node.parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void PathOpBase::EmitResult(const SpanningTree& tree, const NodeKey& key,
+                            Interval iv) {
+  if (iv.Empty()) return;
+  Sgt out(tree.root, key.first, out_label_, iv, {});
+  if (!out_coalescer_.Offer(out)) return;
+  out.payload = RecoverPath(tree, key);
+  EmitTuple(out);
+}
+
+void PathOpBase::RetractAndReassert(SpanningTree& tree, VertexId v,
+                                    Timestamp t) {
+  Sgt negative(tree.root, v, out_label_, Interval(t, kMaxTimestamp), {},
+               /*del=*/true);
+  out_coalescer_.Forget(negative.edge());
+  EmitTuple(negative);
+  // Another accepting (v, s) witness may survive; re-assert the pair so
+  // downstream state reflects the remaining derivation.
+  for (const auto& [key, node] : tree.nodes) {
+    if (key.first == v && !node.is_root && dfa_.IsAccepting(key.second) &&
+        node.iv.exp > t) {
+      EmitResult(tree, key, node.iv);
+    }
+  }
+}
+
+std::vector<NodeKey> PathOpBase::CollectSubtree(const SpanningTree& tree,
+                                                const NodeKey& key) const {
+  // Walk each node's parent chain with memoization on membership.
+  std::unordered_map<NodeKey, bool, PairHash> in_subtree;
+  in_subtree[key] = true;
+  std::vector<NodeKey> chain;
+  for (const auto& [node_key, node] : tree.nodes) {
+    (void)node;
+    chain.clear();
+    NodeKey current = node_key;
+    bool member = false;
+    while (true) {
+      auto memo = in_subtree.find(current);
+      if (memo != in_subtree.end()) {
+        member = memo->second;
+        break;
+      }
+      const auto it = tree.nodes.find(current);
+      if (it == tree.nodes.end() || it->second.is_root) {
+        member = false;
+        break;
+      }
+      chain.push_back(current);
+      current = it->second.parent;
+    }
+    for (const NodeKey& k : chain) in_subtree[k] = member;
+  }
+  std::vector<NodeKey> out;
+  for (const auto& [k, m] : in_subtree) {
+    if (m && tree.nodes.count(k) > 0) out.push_back(k);
+  }
+  return out;
+}
+
+void PathOpBase::RederiveSubtree(SpanningTree& tree,
+                                 const std::vector<NodeKey>& subtree,
+                                 Timestamp now, bool emit_negatives) {
+  if (subtree.empty()) return;
+  std::set<NodeKey> detached(subtree.begin(), subtree.end());
+
+  // Remember the accepting vertices whose previously reported validity may
+  // shrink: every one of them is retracted and re-asserted below.
+  std::set<VertexId> affected_vertices;
+  if (emit_negatives) {
+    for (const NodeKey& k : subtree) {
+      if (dfa_.IsAccepting(k.second)) affected_vertices.insert(k.first);
+    }
+  }
+
+  // Detach: remove the subtree from the tree (Dijkstra reattaches below).
+  for (const NodeKey& k : subtree) RemoveNode(tree, k);
+
+  // Dijkstra on maximal expiry (§6.2.5): candidates ordered by descending
+  // exp so the first reattachment of a node is its best alternative.
+  struct Candidate {
+    Interval iv;
+    NodeKey child;
+    NodeKey parent;
+    EdgeRef via;
+    bool operator<(const Candidate& o) const { return iv.exp < o.iv.exp; }
+  };
+  std::priority_queue<Candidate> pq;
+
+  auto relax_from = [&](const NodeKey& parent_key, const Interval& piv) {
+    for (const auto& [label, q] : out_transitions_[parent_key.second]) {
+      for (const StoredEdge& e :
+           window_.OutEdges(parent_key.first, label)) {
+        const NodeKey child{e.trg, q};
+        if (detached.count(child) == 0) continue;
+        const Interval iv = piv.Intersect(e.validity);
+        if (iv.Empty() || iv.exp <= now) continue;
+        pq.push(Candidate{iv, child, parent_key,
+                          EdgeRef(parent_key.first, e.trg, label)});
+      }
+    }
+  };
+  // Seed from every surviving tree node.
+  for (const auto& [key, node] : tree.nodes) {
+    if (node.iv.exp <= now && !node.is_root) continue;
+    relax_from(key, node.iv);
+  }
+
+  std::set<NodeKey> reattached;
+  while (!pq.empty()) {
+    Candidate c = pq.top();
+    pq.pop();
+    if (reattached.count(c.child) > 0) continue;
+    TreeNode node;
+    node.iv = c.iv;
+    node.parent = c.parent;
+    node.via = c.via;
+    SetNode(tree, c.child, node);
+    reattached.insert(c.child);
+    // Under expiry-driven re-derivation the old result intervals ended
+    // naturally, so a fresh positive suffices. Under explicit deletions
+    // the affected vertices are retracted-and-reasserted wholesale below.
+    if (!emit_negatives && dfa_.IsAccepting(c.child.second)) {
+      EmitResult(tree, c.child, c.iv);
+    }
+    relax_from(c.child, c.iv);
+  }
+
+  if (emit_negatives) {
+    // An explicit deletion may shrink previously reported validity even
+    // for surviving results; retract every affected (root, v) pair and
+    // re-assert it from the witnesses that remain in the tree.
+    for (VertexId v : affected_vertices) {
+      RetractAndReassert(tree, v, now);
+    }
+    // Re-derived nodes for vertices that were not previously reported
+    // still need their positives.
+    for (const NodeKey& k : reattached) {
+      if (dfa_.IsAccepting(k.second) &&
+          affected_vertices.count(k.first) == 0) {
+        auto it = tree.nodes.find(k);
+        if (it != tree.nodes.end()) EmitResult(tree, k, it->second.iv);
+      }
+    }
+  }
+}
+
+void PathOpBase::HandleExplicitDeletion(const Sgt& t) {
+  const Timestamp td = t.validity.ts;
+  if (!window_.DeleteAt(t.src, t.trg, t.label, td)) return;
+  // A deleted *tree* edge disconnects the subtree under its child node;
+  // non-tree edges leave the forest unchanged (§6.2.5).
+  for (const auto& [s, q] : dfa_.TransitionsOnLabel(t.label)) {
+    const NodeKey parent_key{t.src, s};
+    const NodeKey child_key{t.trg, q};
+    for (VertexId root : TreesContaining(child_key)) {
+      auto tree_it = trees_.find(root);
+      if (tree_it == trees_.end()) continue;
+      SpanningTree& tree = tree_it->second;
+      auto node_it = tree.nodes.find(child_key);
+      if (node_it == tree.nodes.end() || node_it->second.is_root) continue;
+      const TreeNode& node = node_it->second;
+      if (node.parent != parent_key || node.via != t.edge()) continue;
+      RederiveSubtree(tree, CollectSubtree(tree, child_key), td,
+                      /*emit_negatives=*/true);
+    }
+  }
+}
+
+void PathOpBase::Purge(Timestamp now) {
+  window_.PurgeExpired(now);
+  for (auto tree_it = trees_.begin(); tree_it != trees_.end();) {
+    SpanningTree& tree = tree_it->second;
+    std::vector<NodeKey> dead;
+    for (const auto& [key, node] : tree.nodes) {
+      if (!node.is_root && node.iv.exp <= now) dead.push_back(key);
+    }
+    for (const NodeKey& key : dead) RemoveNode(tree, key);
+    if (tree.nodes.size() <= 1) {
+      // Only the root remains: drop the whole tree (it is recreated on
+      // demand by EnsureTree).
+      RemoveNode(tree, NodeKey{tree.root, dfa_.start()});
+      tree_it = trees_.erase(tree_it);
+    } else {
+      ++tree_it;
+    }
+  }
+  out_coalescer_.PurgeBefore(now);
+}
+
+std::size_t PathOpBase::StateSize() const {
+  std::size_t n = window_.NumEntries() + out_coalescer_.NumKeys();
+  for (const auto& [_, tree] : trees_) n += tree.nodes.size();
+  return n;
+}
+
+}  // namespace sgq

@@ -1,0 +1,127 @@
+// Shared machinery of the PATH physical operators (§6.2.3-§6.2.5):
+// the Δ-PATH spanning forest (Defs. 21-22), the inverted (vertex, state)
+// index, witness-path recovery, result emission, and the Dijkstra-style
+// delete/re-derive procedure used for explicit deletions (and, by the
+// negative-tuple variant, for window expirations).
+
+#ifndef SGQ_CORE_PATH_BASE_H_
+#define SGQ_CORE_PATH_BASE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/physical.h"
+#include "core/window_store.h"
+#include "model/coalesce.h"
+#include "regex/dfa.h"
+
+namespace sgq {
+
+/// \brief A node of a spanning tree: a (vertex, automaton state) pair.
+using NodeKey = std::pair<VertexId, StateId>;
+
+/// \brief Base of the S-PATH and Δ-tree PATH operators.
+class PathOpBase : public PhysicalOp {
+ public:
+  PathOpBase(Dfa dfa, LabelId out_label);
+
+  std::string Name() const override { return "PATH"; }
+  std::size_t StateSize() const override;
+
+  /// \brief Frees window edges, tree nodes and coalescer state that
+  /// expired before `now` (memory only; results are unaffected because
+  /// probes intersect intervals).
+  void Purge(Timestamp now) override;
+
+ protected:
+  /// \brief Tree-node bookkeeping (Def. 21). The path from the root to a
+  /// node is recovered by following parent pointers; `via` is the edge that
+  /// connects the parent to this node.
+  struct TreeNode {
+    Interval iv;
+    NodeKey parent{kInvalidVertex, 0};
+    EdgeRef via;
+    bool is_root = false;
+  };
+
+  /// \brief Spanning tree T_x (Def. 21), rooted at (x, s0).
+  struct SpanningTree {
+    VertexId root = kInvalidVertex;
+    std::unordered_map<NodeKey, TreeNode, PairHash> nodes;
+  };
+
+  /// \brief Creates T_x with root (x, s0) if absent (S-PATH lines 7-8).
+  SpanningTree& EnsureTree(VertexId x);
+
+  /// \brief Writes/overwrites `child` in `tree` and maintains the inverted
+  /// index from node keys to tree roots.
+  void SetNode(SpanningTree& tree, const NodeKey& child, TreeNode node);
+
+  /// \brief Removes `key` from `tree` and the inverted index.
+  void RemoveNode(SpanningTree& tree, const NodeKey& key);
+
+  /// \brief Roots of the trees currently containing `key` (copy: callers
+  /// mutate the index while iterating).
+  std::vector<VertexId> TreesContaining(const NodeKey& key) const;
+
+  /// \brief Witness path from the root of `tree` to `key`: the sequence of
+  /// `via` edges along parent pointers (cost O(path length), §6.2.4).
+  Payload RecoverPath(const SpanningTree& tree, const NodeKey& key) const;
+
+  /// \brief Emits the result sgt (root, v, out_label, iv, witness path),
+  /// suppressing snapshot-redundant repeats.
+  void EmitResult(const SpanningTree& tree, const NodeKey& key, Interval iv);
+
+  /// \brief Emits a negative result tuple for value (root -> v) at `t`,
+  /// then re-asserts the pair if another accepting witness for v survives
+  /// in the tree.
+  void RetractAndReassert(SpanningTree& tree, VertexId v, Timestamp t);
+
+  /// \brief All keys in the subtree rooted at `key` (inclusive), found by
+  /// walking parent chains of every node.
+  std::vector<NodeKey> CollectSubtree(const SpanningTree& tree,
+                                      const NodeKey& key) const;
+
+  /// \brief Delete/re-derive (§6.2.5): detaches `subtree` from `tree`,
+  /// then reattaches every node for which an alternative valid path with
+  /// maximal expiry exists (Dijkstra on expiry order); nodes without an
+  /// alternative are removed. When `emit_negatives`, removed accepting
+  /// nodes retract their (root, v) result at instant `now`; reattached
+  /// accepting nodes re-emit with the interval of the alternative path.
+  void RederiveSubtree(SpanningTree& tree, const std::vector<NodeKey>& subtree,
+                       Timestamp now, bool emit_negatives);
+
+  /// \brief Explicit deletion of the edge carried by the negative sgt `t`:
+  /// truncates the window store, then re-derives every subtree hanging off
+  /// a deleted tree edge (deleting a non-tree edge changes nothing).
+  void HandleExplicitDeletion(const Sgt& t);
+
+  /// \brief Transitions (label, target) leaving automaton state `s`.
+  const std::vector<std::pair<LabelId, StateId>>& OutTransitions(
+      StateId s) const {
+    return out_transitions_[s];
+  }
+
+  const Dfa& dfa() const { return dfa_; }
+  LabelId out_label() const { return out_label_; }
+
+  WindowEdgeStore window_;
+  std::unordered_map<VertexId, SpanningTree> trees_;
+
+ private:
+  Dfa dfa_;
+  LabelId out_label_;
+  /// Inverted index (Def. 22): node key -> roots of trees containing it.
+  /// Flat vectors (deduplicated on insert): root sets are small and the
+  /// index is probed on every arriving sgt.
+  std::unordered_map<NodeKey, std::vector<VertexId>, PairHash> inverted_;
+  /// Per-state outgoing transitions, precomputed from the DFA.
+  std::vector<std::vector<std::pair<LabelId, StateId>>> out_transitions_;
+  StreamingCoalescer out_coalescer_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_PATH_BASE_H_

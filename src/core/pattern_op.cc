@@ -1,0 +1,278 @@
+#include "core/pattern_op.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+PatternOp::PatternOp(const LogicalOp& pattern) {
+  SGQ_CHECK(pattern.kind == LogicalOpKind::kPattern);
+  num_ports_ = static_cast<int>(pattern.child_vars.size());
+  out_label_ = pattern.output_label;
+
+  // Assign dense indexes to variables in order of first appearance.
+  std::map<std::string, int> var_index;
+  auto index_of = [&](const std::string& name) {
+    auto [it, inserted] =
+        var_index.emplace(name, static_cast<int>(var_index.size()));
+    (void)inserted;
+    return it->second;
+  };
+  for (const auto& [src, trg] : pattern.child_vars) {
+    port_vars_.emplace_back(index_of(src), index_of(trg));
+  }
+  out_src_var_ = index_of(pattern.out_src_var);
+  out_trg_var_ = index_of(pattern.out_trg_var);
+  num_vars_ = var_index.size();
+
+  // Level j joins acc(ports 0..j) with port j+1 on their shared variables.
+  std::set<int> acc_vars = {port_vars_[0].first, port_vars_[0].second};
+  for (int p = 1; p < num_ports_; ++p) {
+    Level level;
+    for (int v : {port_vars_[p].first, port_vars_[p].second}) {
+      if (acc_vars.count(v) > 0) level.key_vars.push_back(v);
+    }
+    std::sort(level.key_vars.begin(), level.key_vars.end());
+    level.key_vars.erase(
+        std::unique(level.key_vars.begin(), level.key_vars.end()),
+        level.key_vars.end());
+    levels_.push_back(std::move(level));
+    acc_vars.insert(port_vars_[p].first);
+    acc_vars.insert(port_vars_[p].second);
+  }
+}
+
+bool PatternOp::BindPort(int port, const Sgt& tuple, Binding* out) const {
+  const auto& [src_var, trg_var] = port_vars_[port];
+  if (src_var == trg_var && tuple.src != tuple.trg) return false;
+  out->vals.assign(num_vars_, kInvalidVertex);
+  out->vals[static_cast<std::size_t>(src_var)] = tuple.src;
+  out->vals[static_cast<std::size_t>(trg_var)] = tuple.trg;
+  out->iv = tuple.validity;
+  return true;
+}
+
+PatternOp::Key PatternOp::ExtractKey(const Level& level,
+                                     const Binding& b) const {
+  Key key;
+  key.reserve(level.key_vars.size());
+  for (int v : level.key_vars) {
+    key.push_back(b.vals[static_cast<std::size_t>(v)]);
+  }
+  return key;
+}
+
+void PatternOp::InsertCoalesced(Table* table, const Key& key, Binding b) {
+  auto& bucket = (*table)[key];
+  for (Binding& existing : bucket) {
+    if (existing.vals == b.vals && existing.iv.OverlapsOrAdjacent(b.iv)) {
+      existing.iv = existing.iv.Span(b.iv);
+      return;
+    }
+  }
+  bucket.push_back(std::move(b));
+}
+
+PatternOp::Binding PatternOp::Merge(const Binding& a, const Binding& b) {
+  Binding out;
+  out.vals.resize(a.vals.size());
+  for (std::size_t i = 0; i < a.vals.size(); ++i) {
+    out.vals[i] = a.vals[i] != kInvalidVertex ? a.vals[i] : b.vals[i];
+  }
+  out.iv = a.iv.Intersect(b.iv);
+  return out;
+}
+
+void PatternOp::Cascade(std::size_t level, const Binding& acc, Mode mode) {
+  if (acc.iv.Empty()) return;
+  if (level >= levels_.size()) {
+    Project(acc, mode);
+    return;
+  }
+  Level& lv = levels_[level];
+  const Key key = ExtractKey(lv, acc);
+  // kRetract must not touch state; kReassert re-inserts idempotently
+  // (identical bindings coalesce away).
+  if (mode != Mode::kRetract) InsertCoalesced(&lv.left, key, acc);
+  auto it = lv.right.find(key);
+  if (it == lv.right.end()) return;
+  for (const Binding& other : it->second) {
+    Binding merged = Merge(acc, other);
+    Cascade(level + 1, merged, mode);
+  }
+}
+
+void PatternOp::Project(const Binding& b, Mode mode) {
+  const VertexId src = b.vals[static_cast<std::size_t>(out_src_var_)];
+  const VertexId trg = b.vals[static_cast<std::size_t>(out_trg_var_)];
+  // Payload: the derived edge itself (Def. 19).
+  const EdgeRef derived(src, trg, out_label_);
+  switch (mode) {
+    case Mode::kInsert: {
+      Sgt out(src, trg, out_label_, b.iv, {derived});
+      if (out_coalescer_.Offer(out)) EmitTuple(out);
+      break;
+    }
+    case Mode::kRetract: {
+      Sgt out(src, trg, out_label_, b.iv, {derived}, /*del=*/true);
+      out_coalescer_.Forget(derived);
+      retracted_values_.insert(derived);
+      EmitTuple(out);
+      break;
+    }
+    case Mode::kReassert: {
+      if (retracted_values_.count(derived) == 0) break;
+      Sgt out(src, trg, out_label_, b.iv, {derived});
+      if (out_coalescer_.Offer(out)) EmitTuple(out);
+      break;
+    }
+  }
+}
+
+void PatternOp::OnTuple(int port, const Sgt& tuple) {
+  SGQ_CHECK_GE(port, 0);
+  SGQ_CHECK_LT(port, num_ports_);
+  Binding b;
+  if (!BindPort(port, tuple, &b)) return;
+
+  if (num_ports_ == 1) {
+    // A single-atom pattern is a rename/projection: it preserves the input
+    // payload so materialized paths stay first-class through it (R3).
+    const VertexId src = b.vals[static_cast<std::size_t>(out_src_var_)];
+    const VertexId trg = b.vals[static_cast<std::size_t>(out_trg_var_)];
+    Sgt out(src, trg, out_label_, b.iv, tuple.payload, tuple.is_deletion);
+    if (tuple.is_deletion) {
+      out_coalescer_.Forget(out.edge());
+      EmitTuple(out);
+    } else if (out_coalescer_.Offer(out)) {
+      EmitTuple(out);
+    }
+    return;
+  }
+
+  if (tuple.is_deletion) {
+    HandleDeletion(port, b);
+    return;
+  }
+
+  if (port == 0) {
+    Cascade(0, b, Mode::kInsert);
+    return;
+  }
+  // Symmetric side: store the port tuple, then probe the accumulated side.
+  Level& lv = levels_[static_cast<std::size_t>(port - 1)];
+  const Key key = ExtractKey(lv, b);
+  InsertCoalesced(&lv.right, key, b);
+  auto it = lv.left.find(key);
+  if (it == lv.left.end()) return;
+  for (const Binding& acc : it->second) {
+    Binding merged = Merge(acc, b);
+    Cascade(static_cast<std::size_t>(port), merged, Mode::kInsert);
+  }
+}
+
+void PatternOp::HandleDeletion(int port, const Binding& b) {
+  // 1. Emit negative tuples for every live output containing the deleted
+  //    tuple, by replaying the join cascade without inserting.
+  retracted_values_.clear();
+  if (port == 0) {
+    Cascade(0, b, Mode::kRetract);
+  } else {
+    Level& lv = levels_[static_cast<std::size_t>(port - 1)];
+    const Key key = ExtractKey(lv, b);
+    auto it = lv.left.find(key);
+    if (it != lv.left.end()) {
+      for (const Binding& acc : it->second) {
+        Binding merged = Merge(acc, b);
+        Cascade(static_cast<std::size_t>(port), merged, Mode::kRetract);
+      }
+    }
+  }
+
+  // 2. Remove the tuple and every accumulated binding that embeds it.
+  //    A binding embeds the deleted tuple iff it agrees with it on the
+  //    tuple's variable positions (set semantics make that sufficient).
+  auto matches = [&](const Binding& candidate) {
+    for (std::size_t i = 0; i < num_vars_; ++i) {
+      if (b.vals[i] != kInvalidVertex && candidate.vals[i] != b.vals[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto scrub = [&](Table* table) {
+    for (auto it = table->begin(); it != table->end();) {
+      auto& bucket = it->second;
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(), matches),
+                   bucket.end());
+      if (bucket.empty()) {
+        it = table->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  if (port == 0) {
+    if (!levels_.empty()) scrub(&levels_[0].left);
+  } else {
+    scrub(&levels_[static_cast<std::size_t>(port - 1)].right);
+  }
+  // Accumulated bindings at levels >= port embed port tuples.
+  for (std::size_t j = std::max(1, port); j < levels_.size(); ++j) {
+    scrub(&levels_[j].left);
+  }
+
+  // 3. Re-assert: an output value retracted above may still hold via a
+  //    different derivation (other witness tuples binding the same output
+  //    endpoints). Replay the surviving port-0 bindings through the
+  //    pipeline and re-emit positives for the retracted values. Deletions
+  //    are rare (§6.2.5), so the full replay is acceptable.
+  if (!retracted_values_.empty() && !levels_.empty()) {
+    // Copy: kReassert re-inserts (idempotently) while iterating.
+    std::vector<Binding> port0;
+    for (const auto& [_, bucket] : levels_[0].left) {
+      port0.insert(port0.end(), bucket.begin(), bucket.end());
+    }
+    for (const Binding& acc : port0) {
+      Cascade(0, acc, Mode::kReassert);
+    }
+    retracted_values_.clear();
+  }
+}
+
+void PatternOp::Purge(Timestamp now) {
+  auto purge_table = [now](Table* table) {
+    for (auto it = table->begin(); it != table->end();) {
+      auto& bucket = it->second;
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                  [now](const Binding& b) {
+                                    return b.iv.exp <= now;
+                                  }),
+                   bucket.end());
+      if (bucket.empty()) {
+        it = table->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  for (Level& lv : levels_) {
+    purge_table(&lv.left);
+    purge_table(&lv.right);
+  }
+  out_coalescer_.PurgeBefore(now);
+}
+
+std::size_t PatternOp::StateSize() const {
+  std::size_t n = out_coalescer_.NumKeys();
+  for (const Level& lv : levels_) {
+    for (const auto& [_, bucket] : lv.left) n += bucket.size();
+    for (const auto& [_, bucket] : lv.right) n += bucket.size();
+  }
+  return n;
+}
+
+}  // namespace sgq

@@ -1,0 +1,102 @@
+// Physical PATTERN operator (§6.2.2): a left-deep pipeline of symmetric
+// (pipelined) hash joins over variable bindings.
+//
+// The subgraph pattern is a conjunctive query; input port i contributes the
+// atom (src_var_i, trg_var_i). Level j of the pipeline joins the
+// accumulated bindings over ports 0..j with port j+1 on their shared
+// variables. Every hash-table entry carries its validity interval; joins
+// intersect intervals (Def. 19), which makes window expiration automatic
+// (the *direct approach*): an expired entry can never produce a non-empty
+// intersection with a future tuple, so probes skip it and Purge() reclaims
+// it. Explicit deletions use the negative-tuple approach (§6.2.5).
+
+#ifndef SGQ_CORE_PATTERN_OP_H_
+#define SGQ_CORE_PATTERN_OP_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "core/physical.h"
+#include "model/coalesce.h"
+
+namespace sgq {
+
+/// \brief Streaming subgraph-pattern operator (Def. 19).
+class PatternOp : public PhysicalOp {
+ public:
+  /// \brief Builds the join pipeline from a logical PATTERN node. The join
+  /// tree follows the order of the pattern's atoms (§6.2.2: "we use the
+  /// ordering of predicates in PATTERN to construct the join tree").
+  explicit PatternOp(const LogicalOp& pattern);
+
+  void OnTuple(int port, const Sgt& tuple) override;
+  void Purge(Timestamp now) override;
+  std::string Name() const override { return "PATTERN"; }
+  std::size_t StateSize() const override;
+
+ private:
+  /// A (partial) variable binding: one value per pattern variable, with
+  /// kInvalidVertex marking unbound positions.
+  struct Binding {
+    std::vector<VertexId> vals;
+    Interval iv;
+  };
+
+  using Key = std::vector<uint64_t>;
+  using Table = std::unordered_map<Key, std::vector<Binding>, VecHash>;
+
+  /// One symmetric hash join: `left` holds bindings over ports 0..j,
+  /// `right` holds bindings of port j+1, both keyed on the shared vars.
+  struct Level {
+    std::vector<int> key_vars;  ///< shared variable indexes (sorted)
+    Table left;
+    Table right;
+  };
+
+  /// Converts a port tuple into a binding; returns false if an intra-atom
+  /// constraint (src_var == trg_var) rejects the tuple.
+  bool BindPort(int port, const Sgt& tuple, Binding* out) const;
+
+  Key ExtractKey(const Level& level, const Binding& b) const;
+
+  /// Inserts `b` into `table[key]`, coalescing with a value-equivalent
+  /// entry whose interval overlaps or is adjacent.
+  static void InsertCoalesced(Table* table, const Key& key, Binding b);
+
+  /// Merges two bindings (caller guarantees agreement on shared vars).
+  static Binding Merge(const Binding& a, const Binding& b);
+
+  /// Cascade/Project modes. kRetract replays the join for a deleted tuple
+  /// (no inserts) and emits negative outputs; kReassert re-derives the
+  /// retracted output values from the surviving state and re-emits their
+  /// positives (an output value can have several derivations — deleting
+  /// one must not silence the others).
+  enum class Mode { kInsert, kRetract, kReassert };
+
+  /// Drives `acc` (bindings over ports 0..level) up the pipeline:
+  /// insert-and-probe at each level, project at the top.
+  void Cascade(std::size_t level, const Binding& acc, Mode mode);
+
+  /// Projects a complete binding to the output sgt and emits it.
+  void Project(const Binding& b, Mode mode);
+
+  void HandleDeletion(int port, const Binding& b);
+
+  int num_ports_;
+  std::vector<std::pair<int, int>> port_vars_;  ///< (src,trg) var idx
+  int out_src_var_;
+  int out_trg_var_;
+  LabelId out_label_;
+  std::size_t num_vars_;
+  std::vector<Level> levels_;  ///< size num_ports_ - 1
+  StreamingCoalescer out_coalescer_;
+  /// Output values retracted by the in-flight deletion (guides kReassert).
+  std::set<EdgeRef> retracted_values_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_PATTERN_OP_H_

@@ -1,0 +1,84 @@
+// Physical operator interface of the push-based dataflow runtime (§6).
+//
+// Operators are non-blocking and tuple-at-a-time: each arriving sgt is
+// pushed through the operator tree immediately (the paper's prototype
+// behaves the same way on top of Timely Dataflow; see DESIGN.md for the
+// substitution note). Time advances monotonically; OnTimeAdvance lets
+// stateful operators process expirations and purge state.
+
+#ifndef SGQ_CORE_PHYSICAL_H_
+#define SGQ_CORE_PHYSICAL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "model/sgt.h"
+
+namespace sgq {
+
+/// \brief Base class of all physical operators.
+///
+/// Tuples flow upward: an operator pushes its outputs to its parent via
+/// EmitTuple(). Multi-input operators distinguish inputs by port number.
+class PhysicalOp {
+ public:
+  virtual ~PhysicalOp() = default;
+
+  /// \brief Processes one input tuple arriving on `port`.
+  virtual void OnTuple(int port, const Sgt& tuple) = 0;
+
+  /// \brief Notifies the operator that time advanced to `now`. Called for
+  /// every distinct input timestamp (so negative-tuple expiry processing is
+  /// exact) and at every slide boundary. Default: no-op — operators using
+  /// the *direct* approach need no expiry processing (§6.2.4).
+  virtual void OnTimeAdvance(Timestamp now) { (void)now; }
+
+  /// \brief Purges internal state that expired before `now`. Affects
+  /// memory, never results (expired entries are already invisible to
+  /// probes because interval intersections come out empty).
+  virtual void Purge(Timestamp now) { (void)now; }
+
+  /// \brief Amortized purge used by the engine at slide boundaries: a full
+  /// Purge() scan runs only once the operator's state has doubled since
+  /// the last purge, keeping purge cost O(state) amortized instead of
+  /// O(state) per slide.
+  void MaybePurge(Timestamp now) {
+    const std::size_t size = StateSize();
+    if (size < purge_watermark_) return;
+    Purge(now);
+    purge_watermark_ = std::max<std::size_t>(1024, 2 * StateSize());
+  }
+
+  /// \brief Operator name for plan explanations.
+  virtual std::string Name() const = 0;
+
+  /// \brief Approximate number of state entries held (for diagnostics).
+  virtual std::size_t StateSize() const { return 0; }
+
+  void SetParent(PhysicalOp* parent, int port) {
+    parent_ = parent;
+    parent_port_ = port;
+  }
+
+ protected:
+  /// \brief Pushes an output tuple to the parent operator.
+  void EmitTuple(const Sgt& tuple) {
+    if (parent_ != nullptr) parent_->OnTuple(parent_port_, tuple);
+  }
+
+ private:
+  PhysicalOp* parent_ = nullptr;
+  int parent_port_ = 0;
+  std::size_t purge_watermark_ = 1024;
+};
+
+/// \brief Physical implementation choices for the PATH logical operator.
+enum class PathImpl {
+  kSPath,      ///< Algorithm S-PATH: direct approach (§6.2.4)
+  kDeltaPath,  ///< Δ-tree of [57]: negative-tuple approach (§6.2.3)
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_PHYSICAL_H_

@@ -1,0 +1,112 @@
+// End-to-end streaming graph query processor (§6.1).
+//
+// Compiles a logical SGA plan into a tree of non-blocking physical
+// operators and executes the persistent query in a data-driven fashion:
+// every pushed sge flows through the plan immediately and new results
+// accumulate at the sink. Window slides are tracked so the processor can
+// report the paper's metrics (per-slide tail latency, throughput).
+
+#ifndef SGQ_CORE_QUERY_PROCESSOR_H_
+#define SGQ_CORE_QUERY_PROCESSOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "core/basic_ops.h"
+#include "core/physical.h"
+#include "query/rq.h"
+
+namespace sgq {
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  /// Physical implementation chosen for PATH operators (§6.2.3/§6.2.4).
+  PathImpl path_impl = PathImpl::kSPath;
+  /// Coalesce value-equivalent results at the sink (Def. 11).
+  bool coalesce_output = true;
+};
+
+/// \brief A compiled, running persistent query.
+///
+/// Typical use:
+/// \code
+///   auto qp = QueryProcessor::FromQuery(sgq_query, vocab, {});
+///   for (const Sge& e : stream) qp->Push(e);
+///   for (const Sgt& result : qp->results()) ...
+/// \endcode
+class QueryProcessor {
+ public:
+  /// \brief Compiles a logical plan. Fails on malformed plans.
+  static Result<std::unique_ptr<QueryProcessor>> Compile(
+      const LogicalOp& plan, const Vocabulary& vocab,
+      EngineOptions options = {});
+
+  /// \brief Translates the SGQ to its canonical plan and compiles it.
+  static Result<std::unique_ptr<QueryProcessor>> FromQuery(
+      const StreamingGraphQuery& query, const Vocabulary& vocab,
+      EngineOptions options = {});
+
+  /// \brief Feeds one stream element; timestamps must be non-decreasing.
+  /// Elements whose label no SGA scan consumes are discarded (§7.2.1).
+  void Push(const Sge& sge);
+
+  /// \brief Feeds a whole stream in order.
+  void PushAll(const InputStream& stream);
+
+  /// \brief Advances time (processing slide boundaries and expirations)
+  /// without new input, e.g. to drain final window movements.
+  void AdvanceTo(Timestamp t);
+
+  /// \brief All results emitted so far (coalesced if configured).
+  const std::vector<Sgt>& results() const { return sink_->results(); }
+
+  /// \brief Moves the accumulated results out (resets the result buffer,
+  /// not the operator state).
+  std::vector<Sgt> TakeResults() { return sink_->TakeResults(); }
+
+  /// \name Metrics (§7.1.1)
+  /// @{
+  const LatencyRecorder& slide_latencies() const { return slide_latencies_; }
+  std::size_t edges_pushed() const { return edges_pushed_; }
+  std::size_t edges_processed() const { return edges_processed_; }
+  std::size_t results_emitted() const { return sink_->total_emitted(); }
+  /// @}
+
+  /// \brief Total operator state entries (diagnostics).
+  std::size_t StateSize() const;
+
+  /// \brief Human-readable physical plan.
+  std::string Explain() const { return explain_; }
+
+ private:
+  QueryProcessor() = default;
+
+  Result<PhysicalOp*> Build(const LogicalOp& node, const Vocabulary& vocab,
+                            const EngineOptions& options);
+  void ProcessBoundary(Timestamp boundary);
+  void TimeAdvanceWave(Timestamp now);
+
+  std::vector<std::unique_ptr<PhysicalOp>> ops_;  // bottom-up order
+  std::unordered_map<LabelId, std::vector<WScanOp*>> scans_;
+  SinkOp* sink_ = nullptr;
+  std::string explain_;
+
+  Timestamp current_time_ = kMinTimestamp;
+  Timestamp slide_ = 1;
+  Timestamp next_boundary_ = kMinTimestamp;
+  bool started_ = false;
+
+  LatencyRecorder slide_latencies_;
+  double slide_accum_seconds_ = 0;
+  std::size_t edges_pushed_ = 0;
+  std::size_t edges_processed_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_QUERY_PROCESSOR_H_

@@ -1,0 +1,36 @@
+#include "core/reorder_buffer.h"
+
+#include <algorithm>
+
+namespace sgq {
+
+std::vector<Sge> ReorderBuffer::Offer(const Sge& sge) {
+  if (sge.t < Watermark() ||
+      (max_seen_ > kMinTimestamp && sge.t + slack_ < max_seen_)) {
+    ++late_count_;
+    if (late_handler_) late_handler_(sge);
+    return {};
+  }
+  max_seen_ = std::max(max_seen_, sge.t);
+  heap_.push(sge);
+
+  std::vector<Sge> released;
+  const Timestamp watermark = Watermark();
+  while (!heap_.empty() && heap_.top().t <= watermark) {
+    released.push_back(heap_.top());
+    heap_.pop();
+  }
+  return released;
+}
+
+std::vector<Sge> ReorderBuffer::Flush() {
+  std::vector<Sge> released;
+  released.reserve(heap_.size());
+  while (!heap_.empty()) {
+    released.push_back(heap_.top());
+    heap_.pop();
+  }
+  return released;
+}
+
+}  // namespace sgq

@@ -1,0 +1,75 @@
+#include "core/window_store.h"
+
+#include <algorithm>
+
+namespace sgq {
+
+namespace {
+const std::vector<StoredEdge> kNoEdges;
+}  // namespace
+
+void WindowEdgeStore::Insert(VertexId src, VertexId trg, LabelId label,
+                             Interval iv) {
+  if (iv.Empty()) return;
+  auto& edges = adjacency_[{src, label}];
+  for (StoredEdge& e : edges) {
+    if (e.trg == trg && e.validity.OverlapsOrAdjacent(iv)) {
+      e.validity = e.validity.Span(iv);
+      return;
+    }
+  }
+  edges.push_back(StoredEdge{trg, iv});
+  ++num_entries_;
+}
+
+bool WindowEdgeStore::DeleteAt(VertexId src, VertexId trg, LabelId label,
+                               Timestamp t) {
+  auto it = adjacency_.find({src, label});
+  if (it == adjacency_.end()) return false;
+  bool affected = false;
+  auto& edges = it->second;
+  for (auto e = edges.begin(); e != edges.end();) {
+    if (e->trg == trg && e->validity.exp > t) {
+      affected = true;
+      e->validity.exp = t;
+      if (e->validity.Empty()) {
+        e = edges.erase(e);
+        --num_entries_;
+        continue;
+      }
+    }
+    ++e;
+  }
+  return affected;
+}
+
+const std::vector<StoredEdge>& WindowEdgeStore::OutEdges(VertexId src,
+                                                         LabelId label) const {
+  auto it = adjacency_.find({src, label});
+  return it == adjacency_.end() ? kNoEdges : it->second;
+}
+
+std::vector<Sgt> WindowEdgeStore::PurgeExpired(Timestamp now) {
+  std::vector<Sgt> dropped;
+  for (auto it = adjacency_.begin(); it != adjacency_.end();) {
+    auto& edges = it->second;
+    for (auto e = edges.begin(); e != edges.end();) {
+      if (e->validity.exp <= now) {
+        dropped.emplace_back(it->first.first, e->trg, it->first.second,
+                             e->validity);
+        e = edges.erase(e);
+        --num_entries_;
+      } else {
+        ++e;
+      }
+    }
+    if (edges.empty()) {
+      it = adjacency_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace sgq

@@ -1,0 +1,55 @@
+// Windowed edge store: the snapshot-graph adjacency maintained by the PATH
+// physical operators for their traversals (Algorithms Expand/Propagate walk
+// "each edge e(v, w) in G_ts").
+
+#ifndef SGQ_CORE_WINDOW_STORE_H_
+#define SGQ_CORE_WINDOW_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "model/interval.h"
+#include "model/sgt.h"
+
+namespace sgq {
+
+/// \brief One stored out-edge: target plus validity.
+struct StoredEdge {
+  VertexId trg = kInvalidVertex;
+  Interval validity;
+};
+
+/// \brief Adjacency of the current window content, indexed by
+/// (source vertex, label). Value-equivalent edges with overlapping or
+/// adjacent intervals are coalesced on insert (Def. 11).
+class WindowEdgeStore {
+ public:
+  /// \brief Inserts an edge valid over `iv`; coalesces with an existing
+  /// entry for the same (src, trg, label) when intervals touch.
+  void Insert(VertexId src, VertexId trg, LabelId label, Interval iv);
+
+  /// \brief Explicit deletion at instant `t`: truncates every stored
+  /// interval of (src, trg, label) to end no later than `t`. Returns true
+  /// if any entry was affected.
+  bool DeleteAt(VertexId src, VertexId trg, LabelId label, Timestamp t);
+
+  /// \brief Out-edges of `src` with `label` (may contain expired entries;
+  /// callers intersect intervals).
+  const std::vector<StoredEdge>& OutEdges(VertexId src, LabelId label) const;
+
+  /// \brief Drops entries with exp <= now; returns the dropped edges
+  /// (used by the negative-tuple PATH to drive re-derivation).
+  std::vector<Sgt> PurgeExpired(Timestamp now);
+
+  std::size_t NumEntries() const { return num_entries_; }
+
+ private:
+  using Key = std::pair<VertexId, LabelId>;
+  std::unordered_map<Key, std::vector<StoredEdge>, PairHash> adjacency_;
+  std::size_t num_entries_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_WINDOW_STORE_H_

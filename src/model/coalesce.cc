@@ -1,0 +1,147 @@
+#include "model/coalesce.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+Payload KeepLastExpiringPayload(const std::vector<const Payload*>& payloads,
+                                const std::vector<Interval>& intervals) {
+  SGQ_CHECK(!payloads.empty());
+  SGQ_CHECK_EQ(payloads.size(), intervals.size());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].exp > intervals[best].exp) best = i;
+  }
+  return *payloads[best];
+}
+
+std::vector<Sgt> Coalesce(const std::vector<Sgt>& tuples) {
+  // Group indexes by distinguished triple.
+  std::unordered_map<EdgeRef, std::vector<std::size_t>, EdgeRefHash> groups;
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    groups[tuples[i].edge()].push_back(i);
+  }
+  // Deterministic output: process keys in sorted order.
+  std::vector<EdgeRef> keys;
+  keys.reserve(groups.size());
+  for (const auto& [key, _] : groups) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<Sgt> out;
+  for (const EdgeRef& key : keys) {
+    std::vector<std::size_t>& idx = groups[key];
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return tuples[a].validity.ts < tuples[b].validity.ts;
+    });
+    // Sweep: merge maximal runs of overlapping/adjacent intervals.
+    std::size_t run_start = 0;
+    while (run_start < idx.size()) {
+      Interval merged = tuples[idx[run_start]].validity;
+      std::vector<const Payload*> payloads = {
+          &tuples[idx[run_start]].payload};
+      std::vector<Interval> intervals = {merged};
+      std::size_t next = run_start + 1;
+      while (next < idx.size() &&
+             tuples[idx[next]].validity.ts <= merged.exp) {
+        merged = merged.Span(tuples[idx[next]].validity);
+        payloads.push_back(&tuples[idx[next]].payload);
+        intervals.push_back(tuples[idx[next]].validity);
+        ++next;
+      }
+      out.emplace_back(key.src, key.trg, key.label, merged,
+                       KeepLastExpiringPayload(payloads, intervals));
+      run_start = next;
+    }
+  }
+  return out;
+}
+
+bool StreamingCoalescer::Offer(const Sgt& t) {
+  if (t.is_deletion) return true;  // deletions pass through unconsolidated
+  if (t.validity.Empty()) return false;
+  auto& ivs = covered_[t.edge()];
+
+  // Fast path: the common case is an interval touching the last recorded
+  // one (results for a key arrive with non-decreasing start).
+  if (!ivs.empty()) {
+    Interval& last = ivs.back();
+    if (last.ts <= t.validity.ts) {
+      if (t.validity.exp <= last.exp) return false;  // covered: suppress
+      if (t.validity.ts <= last.exp) {
+        last.exp = t.validity.exp;  // extend in place
+        return true;
+      }
+      ivs.push_back(t.validity);  // disjoint, later
+      return true;
+    }
+  }
+
+  // General case: binary search for the insertion point, then splice.
+  auto lo = std::lower_bound(
+      ivs.begin(), ivs.end(), t.validity,
+      [](const Interval& a, const Interval& b) { return a.ts < b.ts; });
+  if (lo != ivs.begin() && std::prev(lo)->exp >= t.validity.ts) {
+    lo = std::prev(lo);
+  }
+  if (lo != ivs.end() && lo->ts <= t.validity.ts &&
+      t.validity.exp <= lo->exp) {
+    return false;  // fully covered
+  }
+  Timestamp ts = t.validity.ts;
+  Timestamp exp = t.validity.exp;
+  auto hi = lo;
+  while (hi != ivs.end() && hi->ts <= exp) {
+    ts = std::min(ts, hi->ts);
+    exp = std::max(exp, hi->exp);
+    ++hi;
+  }
+  lo = ivs.erase(lo, hi);
+  ivs.insert(lo, Interval(ts, exp));
+  return true;
+}
+
+void StreamingCoalescer::PurgeBefore(Timestamp t) {
+  for (auto it = covered_.begin(); it != covered_.end();) {
+    auto& ivs = it->second;
+    ivs.erase(std::remove_if(ivs.begin(), ivs.end(),
+                             [t](const Interval& iv) { return iv.exp <= t; }),
+              ivs.end());
+    if (ivs.empty()) {
+      it = covered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<EdgeRef> SnapshotEdges(const SgtStream& stream, Timestamp t) {
+  // An explicit deletion at instant td truncates the validity of all prior
+  // value-equivalent insertions to end no later than td (§3.2, [39]).
+  std::unordered_map<EdgeRef, std::vector<Interval>, EdgeRefHash> intervals;
+  for (const Sgt& sgt : stream) {
+    if (sgt.is_deletion) {
+      auto it = intervals.find(sgt.edge());
+      if (it == intervals.end()) continue;
+      for (Interval& iv : it->second) {
+        iv.exp = std::min(iv.exp, sgt.validity.ts);
+      }
+    } else {
+      intervals[sgt.edge()].push_back(sgt.validity);
+    }
+  }
+  std::set<EdgeRef> live;
+  for (const auto& [edge, ivs] : intervals) {
+    for (const Interval& iv : ivs) {
+      if (iv.Contains(t)) {
+        live.insert(edge);
+        break;
+      }
+    }
+  }
+  return std::vector<EdgeRef>(live.begin(), live.end());
+}
+
+}  // namespace sgq

@@ -1,0 +1,71 @@
+// Temporal coalescing of value-equivalent sgts (paper Defs. 10-11).
+//
+// SGA operators may produce multiple value-equivalent sgts with overlapping
+// or adjacent validity intervals; coalescing merges them to maintain the set
+// semantics of snapshot graphs (at any instant each edge/path exists once).
+
+#ifndef SGQ_MODEL_COALESCE_H_
+#define SGQ_MODEL_COALESCE_H_
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "model/sgt.h"
+
+namespace sgq {
+
+/// \brief Operator-specific aggregation over payloads of merged tuples
+/// (the f_agg of Def. 11). Receives the payloads of all merged tuples.
+using PayloadAggregator =
+    std::function<Payload(const std::vector<const Payload*>&)>;
+
+/// \brief f_agg that keeps the payload of the tuple expiring last (the
+/// choice S-PATH makes: materialize the longest-lived derivation).
+Payload KeepLastExpiringPayload(const std::vector<const Payload*>& payloads,
+                                const std::vector<Interval>& intervals);
+
+/// \brief Batch coalesce (Def. 11): merges value-equivalent tuples with
+/// overlapping or adjacent intervals. Tuples that are not value-equivalent
+/// or whose intervals are disjoint stay separate. Output order: grouped by
+/// (src, trg, label), sorted by ts within a group.
+std::vector<Sgt> Coalesce(const std::vector<Sgt>& tuples);
+
+/// \brief Online duplicate suppression for operator output streams.
+///
+/// Tracks, per distinguished triple, the union of intervals emitted so far.
+/// Offer() returns true (and records the tuple) only when the new tuple's
+/// interval adds at least one not-yet-covered instant; fully covered tuples
+/// are suppressed. This keeps the emitted stream snapshot-equivalent to the
+/// uncoalesced stream while removing redundancy.
+class StreamingCoalescer {
+ public:
+  /// \brief Returns true if `t` must be emitted; false if suppressed.
+  bool Offer(const Sgt& t);
+
+  /// \brief Removes interval state that expired before `t` (periodic purge).
+  void PurgeBefore(Timestamp t);
+
+  /// \brief Drops all coverage recorded for `key`; used after an explicit
+  /// deletion invalidates previously emitted intervals.
+  void Forget(const EdgeRef& key) { covered_.erase(key); }
+
+  /// \brief Number of distinct keys currently tracked.
+  std::size_t NumKeys() const { return covered_.size(); }
+
+ private:
+  // Per key: disjoint covered intervals, sorted by ts. Flat vectors: most
+  // keys hold one or two intervals, so binary search + vector splicing
+  // beats node-based maps (hot path: one Offer per candidate result).
+  std::unordered_map<EdgeRef, std::vector<Interval>, EdgeRefHash> covered_;
+};
+
+/// \brief Restricts a stream to the tuples valid at instant `t` and returns
+/// their distinguished edges; deletions remove previously added edges.
+/// This is the snapshot mapping tau_t (Def. 12) on value level.
+std::vector<EdgeRef> SnapshotEdges(const SgtStream& stream, Timestamp t);
+
+}  // namespace sgq
+
+#endif  // SGQ_MODEL_COALESCE_H_

@@ -1,0 +1,79 @@
+// Validity intervals (paper Def. 5): half-open [ts, exp) over the discrete
+// time domain. All SGA operators manipulate these implicitly.
+
+#ifndef SGQ_MODEL_INTERVAL_H_
+#define SGQ_MODEL_INTERVAL_H_
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "model/types.h"
+
+namespace sgq {
+
+/// \brief Half-open validity interval [ts, exp): all t with ts <= t < exp.
+struct Interval {
+  Timestamp ts = 0;   ///< inclusive start of validity
+  Timestamp exp = 0;  ///< exclusive expiry instant
+
+  Interval() = default;
+  Interval(Timestamp start, Timestamp expiry) : ts(start), exp(expiry) {}
+
+  /// \brief An interval covering all representable time.
+  static Interval All() { return Interval(kMinTimestamp, kMaxTimestamp); }
+
+  /// \brief True when the interval contains no time instant.
+  bool Empty() const { return ts >= exp; }
+
+  /// \brief True when time instant t falls inside [ts, exp).
+  bool Contains(Timestamp t) const { return ts <= t && t < exp; }
+
+  /// \brief True when the two intervals share at least one instant.
+  bool Overlaps(const Interval& other) const {
+    return ts < other.exp && other.ts < exp;
+  }
+
+  /// \brief True when the intervals are adjacent (e.g. [1,3) and [3,5)).
+  bool Adjacent(const Interval& other) const {
+    return ts == other.exp || exp == other.ts;
+  }
+
+  /// \brief True when coalescing may merge the two (Def. 11 precondition).
+  bool OverlapsOrAdjacent(const Interval& other) const {
+    return Overlaps(other) || Adjacent(other);
+  }
+
+  /// \brief Intersection; PATTERN/PATH use ts = max, exp = min (Defs. 19/20).
+  Interval Intersect(const Interval& other) const {
+    return Interval(std::max(ts, other.ts), std::min(exp, other.exp));
+  }
+
+  /// \brief Smallest interval covering both; only meaningful when
+  /// OverlapsOrAdjacent (coalesce, Def. 11).
+  Interval Span(const Interval& other) const {
+    return Interval(std::min(ts, other.ts), std::max(exp, other.exp));
+  }
+
+  /// \brief True when `other` lies fully inside this interval.
+  bool Covers(const Interval& other) const {
+    return ts <= other.ts && other.exp <= exp;
+  }
+
+  bool operator==(const Interval& other) const {
+    return ts == other.ts && exp == other.exp;
+  }
+  bool operator!=(const Interval& other) const { return !(*this == other); }
+
+  std::string ToString() const {
+    return "[" + std::to_string(ts) + ", " + std::to_string(exp) + ")";
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << iv.ToString();
+}
+
+}  // namespace sgq
+
+#endif  // SGQ_MODEL_INTERVAL_H_

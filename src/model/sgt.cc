@@ -1,0 +1,30 @@
+#include "model/sgt.h"
+
+#include <sstream>
+
+namespace sgq {
+
+std::string Sgt::ToString(const Vocabulary& vocab) const {
+  std::ostringstream os;
+  os << (is_deletion ? "-" : "") << "(" << vocab.VertexName(src) << ", "
+     << vocab.LabelName(label) << ", " << vocab.VertexName(trg) << ", "
+     << validity.ToString();
+  if (!payload.empty()) {
+    os << ", <";
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      if (i > 0) os << " ";
+      const EdgeRef& e = payload[i];
+      os << "(" << vocab.VertexName(e.src) << "-" << vocab.LabelName(e.label)
+         << "->" << vocab.VertexName(e.trg) << ")";
+    }
+    os << ">";
+  }
+  os << ")";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const EdgeRef& e) {
+  return os << "(" << e.src << "-" << e.label << "->" << e.trg << ")";
+}
+
+}  // namespace sgq

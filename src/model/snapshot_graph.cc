@@ -1,0 +1,90 @@
+#include "model/snapshot_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sgq {
+
+namespace {
+const std::vector<VertexId> kNoNeighbors;
+}  // namespace
+
+SnapshotGraph SnapshotGraph::At(const SgtStream& stream, Timestamp t) {
+  SnapshotGraph g;
+  // Deletion truncation mirrors SnapshotEdges(); paths and edges are kept
+  // separately because paths are first-class citizens (Def. 6).
+  std::unordered_map<EdgeRef, std::vector<std::pair<Interval, const Sgt*>>,
+                     EdgeRefHash>
+      by_key;
+  for (const Sgt& sgt : stream) {
+    if (sgt.is_deletion) {
+      auto it = by_key.find(sgt.edge());
+      if (it == by_key.end()) continue;
+      for (auto& [iv, _] : it->second) {
+        iv.exp = std::min(iv.exp, sgt.validity.ts);
+      }
+    } else {
+      by_key[sgt.edge()].emplace_back(sgt.validity, &sgt);
+    }
+  }
+  for (const auto& [key, entries] : by_key) {
+    for (const auto& [iv, sgt] : entries) {
+      if (!iv.Contains(t)) continue;
+      if (sgt->payload.size() > 1) {
+        g.AddPath(SnapshotPath{key.src, key.trg, key.label, sgt->payload});
+      } else {
+        g.AddEdge(key);
+      }
+      break;
+    }
+  }
+  return g;
+}
+
+SnapshotGraph SnapshotGraph::FromEdges(const std::vector<EdgeRef>& edges) {
+  SnapshotGraph g;
+  for (const EdgeRef& e : edges) g.AddEdge(e);
+  return g;
+}
+
+void SnapshotGraph::AddEdge(const EdgeRef& e) {
+  if (!edge_set_.insert(e).second) return;
+  edges_.push_back(e);
+  adjacency_[{e.src, e.label}].push_back(e.trg);
+}
+
+void SnapshotGraph::AddPath(const SnapshotPath& p) {
+  EdgeRef key(p.src, p.trg, p.label);
+  if (!path_keys_.insert(key).second) return;
+  paths_.push_back(p);
+}
+
+const std::vector<VertexId>& SnapshotGraph::OutNeighbors(VertexId v,
+                                                         LabelId l) const {
+  auto it = adjacency_.find({v, l});
+  if (it == adjacency_.end()) return kNoNeighbors;
+  return it->second;
+}
+
+std::vector<EdgeRef> SnapshotGraph::EdgesWithLabel(LabelId l) const {
+  std::vector<EdgeRef> out;
+  for (const EdgeRef& e : edges_) {
+    if (e.label == l) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<VertexId> SnapshotGraph::Vertices() const {
+  std::set<VertexId> vs;
+  for (const EdgeRef& e : edges_) {
+    vs.insert(e.src);
+    vs.insert(e.trg);
+  }
+  for (const SnapshotPath& p : paths_) {
+    vs.insert(p.src);
+    vs.insert(p.trg);
+  }
+  return std::vector<VertexId>(vs.begin(), vs.end());
+}
+
+}  // namespace sgq

@@ -1,0 +1,76 @@
+#include "model/stream_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sgq {
+
+Result<InputStream> ParseStreamCsv(const std::string& text,
+                                   Vocabulary* vocab) {
+  InputStream stream;
+  Timestamp last_t = kMinTimestamp;
+  std::size_t line_no = 0;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    ++line_no;
+    std::string_view line = TrimString(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> fields = SplitString(line, ',');
+    if (fields.size() != 4 && fields.size() != 5) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected 4 or 5 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    Sge sge;
+    sge.src = vocab->InternVertex(TrimString(fields[0]));
+    SGQ_ASSIGN_OR_RETURN(sge.label,
+                         vocab->InternInputLabel(TrimString(fields[1])));
+    sge.trg = vocab->InternVertex(TrimString(fields[2]));
+    try {
+      sge.t = std::stoll(std::string(TrimString(fields[3])));
+    } catch (const std::exception&) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": bad timestamp '" + fields[3] + "'");
+    }
+    if (sge.t < last_t) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": timestamps must be non-decreasing");
+    }
+    last_t = sge.t;
+    if (fields.size() == 5) {
+      std::string_view op = TrimString(fields[4]);
+      if (op == "-") {
+        sge.is_deletion = true;
+      } else if (op != "+") {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": op must be '+' or '-'");
+      }
+    }
+    stream.push_back(sge);
+  }
+  return stream;
+}
+
+std::string FormatStreamCsv(const InputStream& stream,
+                            const Vocabulary& vocab) {
+  std::ostringstream os;
+  for (const Sge& sge : stream) {
+    os << vocab.VertexName(sge.src) << "," << vocab.LabelName(sge.label)
+       << "," << vocab.VertexName(sge.trg) << "," << sge.t;
+    if (sge.is_deletion) os << ",-";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<InputStream> ReadStreamFile(const std::string& path,
+                                   Vocabulary* vocab) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open stream file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseStreamCsv(buffer.str(), vocab);
+}
+
+}  // namespace sgq

@@ -1,0 +1,33 @@
+// Reading and writing input graph streams as CSV quads
+// (src,label,trg,timestamp[,op]).
+
+#ifndef SGQ_MODEL_STREAM_IO_H_
+#define SGQ_MODEL_STREAM_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "model/sgt.h"
+#include "model/vocabulary.h"
+
+namespace sgq {
+
+/// \brief Parses a stream from CSV text. Each non-empty line is
+/// `src,label,trg,timestamp` with an optional fifth field `+` (insert,
+/// default) or `-` (explicit deletion). Lines starting with `#` are skipped.
+/// Labels are interned as input labels; vertices are interned on first use.
+/// Fails if timestamps are decreasing (Def. 4 requires ordered streams).
+Result<InputStream> ParseStreamCsv(const std::string& text,
+                                   Vocabulary* vocab);
+
+/// \brief Renders a stream back to CSV (inverse of ParseStreamCsv).
+std::string FormatStreamCsv(const InputStream& stream,
+                            const Vocabulary& vocab);
+
+/// \brief Reads ParseStreamCsv input from a file on disk.
+Result<InputStream> ReadStreamFile(const std::string& path,
+                                   Vocabulary* vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_MODEL_STREAM_IO_H_

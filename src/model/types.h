@@ -1,0 +1,37 @@
+// Fundamental identifier and time types of the streaming graph data model
+// (paper §3.1).
+
+#ifndef SGQ_MODEL_TYPES_H_
+#define SGQ_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sgq {
+
+/// Discrete, totally ordered time domain T (Def. 3); non-negative integers.
+using Timestamp = int64_t;
+
+/// Identifier of a vertex in V, interned by Vocabulary.
+using VertexId = uint64_t;
+
+/// Identifier of a label in Sigma, interned by Vocabulary.
+using LabelId = uint32_t;
+
+/// Sentinel for "no label".
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Largest representable time instant; used for unbounded expiry.
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+/// Smallest time instant.
+inline constexpr Timestamp kMinTimestamp = 0;
+
+}  // namespace sgq
+
+#endif  // SGQ_MODEL_TYPES_H_

@@ -1,0 +1,74 @@
+#include "model/vocabulary.h"
+
+namespace sgq {
+
+namespace {
+const std::string kInvalidName = "<invalid>";
+}  // namespace
+
+Result<LabelId> Vocabulary::InternLabel(std::string_view name,
+                                        bool is_input) {
+  auto it = label_ids_.find(std::string(name));
+  if (it != label_ids_.end()) {
+    if (label_is_input_[it->second] != is_input) {
+      return Status::AlreadyExists(
+          "label '" + std::string(name) + "' already interned as " +
+          (label_is_input_[it->second] ? "input" : "derived"));
+    }
+    return it->second;
+  }
+  const LabelId id = static_cast<LabelId>(label_names_.size());
+  label_ids_.emplace(std::string(name), id);
+  label_names_.emplace_back(name);
+  label_is_input_.push_back(is_input);
+  return id;
+}
+
+Result<LabelId> Vocabulary::InternInputLabel(std::string_view name) {
+  return InternLabel(name, /*is_input=*/true);
+}
+
+Result<LabelId> Vocabulary::InternDerivedLabel(std::string_view name) {
+  return InternLabel(name, /*is_input=*/false);
+}
+
+Result<LabelId> Vocabulary::FindLabel(std::string_view name) const {
+  auto it = label_ids_.find(std::string(name));
+  if (it == label_ids_.end()) {
+    return Status::NotFound("unknown label '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Vocabulary::IsInputLabel(LabelId label) const {
+  return label < label_is_input_.size() && label_is_input_[label];
+}
+
+const std::string& Vocabulary::LabelName(LabelId label) const {
+  if (label >= label_names_.size()) return kInvalidName;
+  return label_names_[label];
+}
+
+VertexId Vocabulary::InternVertex(std::string_view name) {
+  auto it = vertex_ids_.find(std::string(name));
+  if (it != vertex_ids_.end()) return it->second;
+  const VertexId id = static_cast<VertexId>(vertex_names_.size());
+  vertex_ids_.emplace(std::string(name), id);
+  vertex_names_.emplace_back(name);
+  return id;
+}
+
+Result<VertexId> Vocabulary::FindVertex(std::string_view name) const {
+  auto it = vertex_ids_.find(std::string(name));
+  if (it == vertex_ids_.end()) {
+    return Status::NotFound("unknown vertex '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::string& Vocabulary::VertexName(VertexId v) const {
+  if (v >= vertex_names_.size()) return kInvalidName;
+  return vertex_names_[v];
+}
+
+}  // namespace sgq

@@ -1,0 +1,68 @@
+// Vocabulary: interning of vertex names and edge/path labels.
+//
+// The paper partitions Sigma into labels reserved for input graph edges
+// (phi(E_I), the Datalog EDB) and labels minted for derived edges and paths
+// (the IDB). The Vocabulary tracks that partition so the planner can reject
+// rules whose head reuses an input label (Def. 13).
+
+#ifndef SGQ_MODEL_VOCABULARY_H_
+#define SGQ_MODEL_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "model/types.h"
+
+namespace sgq {
+
+/// \brief Bidirectional string <-> id mapping for labels and vertices.
+///
+/// Thread-compatible (external synchronization required for concurrent use).
+class Vocabulary {
+ public:
+  /// \brief Interns `name` as an *input* (EDB) label, or returns the
+  /// existing id. Fails if `name` was already interned as derived.
+  Result<LabelId> InternInputLabel(std::string_view name);
+
+  /// \brief Interns `name` as a *derived* (IDB) label, or returns the
+  /// existing id. Fails if `name` was already interned as an input label.
+  Result<LabelId> InternDerivedLabel(std::string_view name);
+
+  /// \brief Looks up an existing label id.
+  Result<LabelId> FindLabel(std::string_view name) const;
+
+  /// \brief True when `label` belongs to phi(E_I), the input alphabet.
+  bool IsInputLabel(LabelId label) const;
+
+  /// \brief Name of `label`; "<invalid>" when out of range.
+  const std::string& LabelName(LabelId label) const;
+
+  std::size_t NumLabels() const { return label_names_.size(); }
+
+  /// \brief Interns a vertex name (all vertices share one id space).
+  VertexId InternVertex(std::string_view name);
+
+  /// \brief Looks up an existing vertex id.
+  Result<VertexId> FindVertex(std::string_view name) const;
+
+  const std::string& VertexName(VertexId v) const;
+
+  std::size_t NumVertices() const { return vertex_names_.size(); }
+
+ private:
+  Result<LabelId> InternLabel(std::string_view name, bool is_input);
+
+  std::unordered_map<std::string, LabelId> label_ids_;
+  std::vector<std::string> label_names_;
+  std::vector<bool> label_is_input_;
+
+  std::unordered_map<std::string, VertexId> vertex_ids_;
+  std::vector<std::string> vertex_names_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MODEL_VOCABULARY_H_

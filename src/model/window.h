@@ -1,0 +1,41 @@
+// Time-based sliding window specification (paper Def. 16).
+
+#ifndef SGQ_MODEL_WINDOW_H_
+#define SGQ_MODEL_WINDOW_H_
+
+#include <string>
+
+#include "model/types.h"
+
+namespace sgq {
+
+/// \brief Time-based sliding window W_T with optional slide interval beta.
+///
+/// WSCAN assigns each sge with timestamp t the validity interval
+/// [t, floor(t / beta) * beta + T) (Def. 16). beta = 1 yields a window that
+/// slides at every time instant ("NOW" granularity).
+struct WindowSpec {
+  Timestamp size = 1;   ///< window length T
+  Timestamp slide = 1;  ///< slide interval beta (>= 1)
+
+  WindowSpec() = default;
+  WindowSpec(Timestamp t, Timestamp beta = 1) : size(t), slide(beta) {}
+
+  /// \brief Expiry instant assigned by WSCAN to an sge with timestamp t.
+  Timestamp ExpiryFor(Timestamp t) const {
+    return (t / slide) * slide + size;
+  }
+
+  std::string ToString() const {
+    return "W(size=" + std::to_string(size) +
+           ", slide=" + std::to_string(slide) + ")";
+  }
+
+  bool operator==(const WindowSpec& o) const {
+    return size == o.size && slide == o.slide;
+  }
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_MODEL_WINDOW_H_

@@ -1,0 +1,429 @@
+#include "query/gcore.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace sgq {
+
+namespace {
+
+/// One parsed graph pattern element.
+struct PatternElement {
+  std::string src_var;
+  std::string trg_var;
+  std::string label;             // edge label or PATH name
+  bool is_path = false;          // -/<...>/-> form
+  bool is_named_path = false;    // ~Name inside a path pattern
+  ClosureKind closure = ClosureKind::kNone;
+};
+
+/// One MATCH..ON group.
+struct MatchGroup {
+  std::vector<PatternElement> base;
+  std::vector<std::vector<PatternElement>> optionals;
+  std::string stream_name;
+  bool has_window = false;
+  WindowSpec window;
+};
+
+/// Token cursor over the whole query text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool TryConsume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    // Keywords must not run into identifiers.
+    if (!token.empty() &&
+        std::isalpha(static_cast<unsigned char>(token.back()))) {
+      const std::size_t after = pos_ + token.size();
+      if (after < text_.size() &&
+          (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+           text_[after] == '_')) {
+        return false;
+      }
+    }
+    pos_ += token.size();
+    return true;
+  }
+
+  Status Expect(std::string_view token) {
+    if (!TryConsume(token)) {
+      return Status::ParseError("G-CORE: expected '" + std::string(token) +
+                                "' near offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> Identifier() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("G-CORE: expected identifier at offset " +
+                                std::to_string(pos_));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<long> Number() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError("G-CORE: expected number at offset " +
+                                std::to_string(pos_));
+    }
+    return std::stol(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses "(var)" and returns the variable name.
+Result<std::string> ParseVertex(Cursor* c) {
+  SGQ_RETURN_NOT_OK(c->Expect("("));
+  SGQ_ASSIGN_OR_RETURN(std::string var, c->Identifier());
+  SGQ_RETURN_NOT_OK(c->Expect(")"));
+  return var;
+}
+
+/// Parses the closure quantifier suffix: '*', '+', '^*', '^+'.
+ClosureKind ParseQuantifier(Cursor* c) {
+  c->TryConsume("^");
+  if (c->TryConsume("*")) return ClosureKind::kStar;
+  if (c->TryConsume("+")) return ClosureKind::kPlus;
+  return ClosureKind::kNone;
+}
+
+/// Parses a pattern chain: (a)-[:l1]->(b)<-[:l2]-(c)-/<:l3*>/->(d)...
+/// Consecutive edges share the intermediate vertex (ASCII-art syntax).
+Result<std::vector<PatternElement>> ParseChain(Cursor* c) {
+  std::vector<PatternElement> out;
+  SGQ_ASSIGN_OR_RETURN(std::string left, ParseVertex(c));
+  while (true) {
+    const char next = c->Peek();
+    if (next != '-' && next != '<') break;
+
+    PatternElement elem;
+    bool reversed = false;
+    if (c->TryConsume("<-")) {
+      reversed = true;
+      // (y)<-[:l]-(x)
+      SGQ_RETURN_NOT_OK(c->Expect("["));
+      SGQ_RETURN_NOT_OK(c->Expect(":"));
+      SGQ_ASSIGN_OR_RETURN(elem.label, c->Identifier());
+      SGQ_RETURN_NOT_OK(c->Expect("]"));
+      SGQ_RETURN_NOT_OK(c->Expect("-"));
+    } else {
+      SGQ_RETURN_NOT_OK(c->Expect("-"));
+      if (c->TryConsume("/")) {
+        // Path pattern: -/<:l*>/-> or -/<~Name*>/->
+        elem.is_path = true;
+        SGQ_RETURN_NOT_OK(c->Expect("<"));
+        if (c->TryConsume("~")) {
+          elem.is_named_path = true;
+        } else {
+          SGQ_RETURN_NOT_OK(c->Expect(":"));
+        }
+        SGQ_ASSIGN_OR_RETURN(elem.label, c->Identifier());
+        elem.closure = ParseQuantifier(c);
+        SGQ_RETURN_NOT_OK(c->Expect(">"));
+        SGQ_RETURN_NOT_OK(c->Expect("/"));
+        SGQ_RETURN_NOT_OK(c->Expect("->"));
+      } else {
+        SGQ_RETURN_NOT_OK(c->Expect("["));
+        SGQ_RETURN_NOT_OK(c->Expect(":"));
+        SGQ_ASSIGN_OR_RETURN(elem.label, c->Identifier());
+        SGQ_RETURN_NOT_OK(c->Expect("]"));
+        SGQ_RETURN_NOT_OK(c->Expect("->"));
+      }
+    }
+    SGQ_ASSIGN_OR_RETURN(std::string right, ParseVertex(c));
+    elem.src_var = reversed ? right : left;
+    elem.trg_var = reversed ? left : right;
+    out.push_back(std::move(elem));
+    left = right;  // the chain continues from the right endpoint
+  }
+  if (out.empty()) {
+    return Status::ParseError("G-CORE: expected an edge pattern at offset " +
+                              std::to_string(c->pos()));
+  }
+  return out;
+}
+
+/// Parses a comma-separated list of pattern chains.
+Result<std::vector<PatternElement>> ParsePatternList(Cursor* c) {
+  std::vector<PatternElement> out;
+  while (true) {
+    SGQ_ASSIGN_OR_RETURN(std::vector<PatternElement> chain, ParseChain(c));
+    for (PatternElement& e : chain) out.push_back(std::move(e));
+    if (!c->TryConsume(",")) break;
+  }
+  return out;
+}
+
+Result<Timestamp> ParseDuration(Cursor* c) {
+  SGQ_RETURN_NOT_OK(c->Expect("("));
+  SGQ_ASSIGN_OR_RETURN(long n, c->Number());
+  Timestamp unit = 0;
+  if (c->TryConsume("HOURS") || c->TryConsume("HOUR") || c->TryConsume("H") ||
+      c->TryConsume("h")) {
+    unit = 1;  // 1 time unit == 1 hour (workload/generators.h convention)
+  } else if (c->TryConsume("DAYS") || c->TryConsume("DAY") ||
+             c->TryConsume("D") || c->TryConsume("d")) {
+    unit = 24;
+  } else {
+    return Status::ParseError("G-CORE: expected time unit at offset " +
+                              std::to_string(c->pos()));
+  }
+  SGQ_RETURN_NOT_OK(c->Expect(")"));
+  return n * unit;
+}
+
+/// Compiles a pattern list into rule body atoms; closure path elements
+/// become closure atoms with generated aliases.
+Result<std::vector<BodyAtom>> CompileBody(
+    const std::vector<PatternElement>& patterns,
+    const std::set<std::string>& path_names, Vocabulary* vocab,
+    int* alias_counter) {
+  std::vector<BodyAtom> body;
+  for (const PatternElement& p : patterns) {
+    BodyAtom atom;
+    atom.src = p.src_var;
+    atom.trg = p.trg_var;
+    if (p.is_named_path && path_names.count(p.label) == 0) {
+      return Status::ParseError("G-CORE: unknown PATH name '" + p.label +
+                                "'");
+    }
+    // Named paths and rule heads are derived labels; others are inputs.
+    auto found = vocab->FindLabel(p.label);
+    if (found.ok()) {
+      atom.label = *found;
+    } else if (p.is_named_path) {
+      SGQ_ASSIGN_OR_RETURN(atom.label, vocab->InternDerivedLabel(p.label));
+    } else {
+      SGQ_ASSIGN_OR_RETURN(atom.label, vocab->InternInputLabel(p.label));
+    }
+    if (p.is_path && p.closure != ClosureKind::kNone) {
+      atom.closure = p.closure;
+      SGQ_ASSIGN_OR_RETURN(
+          atom.alias,
+          vocab->InternDerivedLabel("__gcore_path_" + p.label + "_" +
+                                    std::to_string((*alias_counter)++)));
+    }
+    body.push_back(std::move(atom));
+  }
+  return body;
+}
+
+}  // namespace
+
+Result<StreamingGraphQuery> ParseGCore(const std::string& text,
+                                       Vocabulary* vocab) {
+  Cursor c(text);
+  StreamingGraphQuery query;
+  query.window = WindowSpec(24, 1);
+  int alias_counter = 0;
+
+  // --- PATH clauses ---
+  struct NamedPath {
+    std::string name;
+    std::vector<PatternElement> patterns;
+  };
+  std::vector<NamedPath> named_paths;
+  std::set<std::string> path_names;
+  while (c.TryConsume("PATH")) {
+    NamedPath np;
+    SGQ_ASSIGN_OR_RETURN(np.name, c.Identifier());
+    SGQ_RETURN_NOT_OK(c.Expect("="));
+    SGQ_ASSIGN_OR_RETURN(np.patterns, ParsePatternList(&c));
+    path_names.insert(np.name);
+    named_paths.push_back(std::move(np));
+  }
+
+  // --- CONSTRUCT clause ---
+  SGQ_RETURN_NOT_OK(c.Expect("CONSTRUCT"));
+  SGQ_ASSIGN_OR_RETURN(std::vector<PatternElement> construct_chain,
+                       ParseChain(&c));
+  if (construct_chain.size() != 1 || construct_chain[0].is_path) {
+    return Status::Unsupported("G-CORE: CONSTRUCT must be a plain edge");
+  }
+  const PatternElement construct = construct_chain[0];
+
+  // --- MATCH..ON groups ---
+  std::vector<MatchGroup> groups;
+  while (c.TryConsume("MATCH")) {
+    MatchGroup group;
+    if (c.Peek() == '(') {
+      SGQ_ASSIGN_OR_RETURN(group.base, ParsePatternList(&c));
+    }
+    while (c.TryConsume("OPTIONAL")) {
+      SGQ_ASSIGN_OR_RETURN(auto opt, ParsePatternList(&c));
+      group.optionals.push_back(std::move(opt));
+    }
+    if (c.TryConsume("ON")) {
+      SGQ_ASSIGN_OR_RETURN(group.stream_name, c.Identifier());
+      if (c.TryConsume("WINDOW")) {
+        group.has_window = true;
+        SGQ_ASSIGN_OR_RETURN(group.window.size, ParseDuration(&c));
+        group.window.slide = 1;
+        if (c.TryConsume("SLIDE")) {
+          SGQ_ASSIGN_OR_RETURN(group.window.slide, ParseDuration(&c));
+        }
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  if (groups.empty()) {
+    return Status::ParseError("G-CORE: query needs a MATCH clause");
+  }
+
+  // --- WHERE equalities: unify variables ---
+  std::map<std::string, std::string> substitution;
+  if (c.TryConsume("WHERE")) {
+    do {
+      SGQ_ASSIGN_OR_RETURN(std::string lhs, ParseVertex(&c));
+      SGQ_RETURN_NOT_OK(c.Expect("="));
+      SGQ_ASSIGN_OR_RETURN(std::string rhs, ParseVertex(&c));
+      substitution[rhs] = lhs;
+    } while (c.TryConsume("AND") || c.TryConsume(","));
+  }
+  if (!c.AtEnd()) {
+    return Status::ParseError("G-CORE: trailing input at offset " +
+                              std::to_string(c.pos()));
+  }
+  auto subst = [&](const std::string& var) {
+    auto it = substitution.find(var);
+    return it == substitution.end() ? var : it->second;
+  };
+
+  // --- Compile to RQ ---
+  RegularQuery rq;
+
+  // Named PATH definitions: head endpoints are those of the first pattern.
+  for (const NamedPath& np : named_paths) {
+    Rule rule;
+    SGQ_ASSIGN_OR_RETURN(rule.head, vocab->InternDerivedLabel(np.name));
+    rule.head_src = np.patterns.front().src_var;
+    rule.head_trg = np.patterns.front().trg_var;
+    SGQ_ASSIGN_OR_RETURN(
+        rule.body, CompileBody(np.patterns, path_names, vocab,
+                               &alias_counter));
+    rq.AddRule(std::move(rule));
+  }
+
+  // Output rule(s): one per OPTIONAL alternative (paper Example 4), plus
+  // the base-only rule when there are no optionals.
+  SGQ_ASSIGN_OR_RETURN(LabelId out_label,
+                       vocab->InternDerivedLabel(construct.label));
+  std::vector<std::vector<PatternElement>> alternatives;
+  {
+    std::vector<PatternElement> combined;
+    for (const MatchGroup& g : groups) {
+      combined.insert(combined.end(), g.base.begin(), g.base.end());
+    }
+    bool any_optional = false;
+    for (const MatchGroup& g : groups) {
+      for (const auto& opt : g.optionals) {
+        any_optional = true;
+        std::vector<PatternElement> alt = combined;
+        alt.insert(alt.end(), opt.begin(), opt.end());
+        alternatives.push_back(std::move(alt));
+      }
+    }
+    if (!any_optional) alternatives.push_back(std::move(combined));
+  }
+  for (const auto& alt : alternatives) {
+    if (alt.empty()) {
+      return Status::ParseError("G-CORE: empty MATCH alternative");
+    }
+    Rule rule;
+    rule.head = out_label;
+    rule.head_src = subst(construct.src_var);
+    rule.head_trg = subst(construct.trg_var);
+    SGQ_ASSIGN_OR_RETURN(
+        rule.body, CompileBody(alt, path_names, vocab, &alias_counter));
+    for (BodyAtom& atom : rule.body) {
+      atom.src = subst(atom.src);
+      atom.trg = subst(atom.trg);
+    }
+    rq.AddRule(std::move(rule));
+  }
+
+  // Answer(x, y) <- out_label(x, y).
+  {
+    Rule answer;
+    SGQ_ASSIGN_OR_RETURN(answer.head, vocab->InternDerivedLabel("Answer"));
+    answer.head_src = "x";
+    answer.head_trg = "y";
+    BodyAtom atom;
+    atom.label = out_label;
+    atom.src = "x";
+    atom.trg = "y";
+    answer.body.push_back(std::move(atom));
+    rq.SetAnswer(answer.head);
+    rq.AddRule(std::move(answer));
+  }
+
+  // Windows: the first windowed group sets the default; later groups set
+  // per-label overrides for the input labels they mention.
+  bool default_set = false;
+  for (const MatchGroup& g : groups) {
+    if (!g.has_window) continue;
+    if (!default_set) {
+      query.window = g.window;
+      default_set = true;
+      continue;
+    }
+    auto collect = [&](const std::vector<PatternElement>& patterns) {
+      for (const PatternElement& p : patterns) {
+        auto found = vocab->FindLabel(p.label);
+        if (found.ok() && vocab->IsInputLabel(*found)) {
+          query.per_label_windows[*found] = g.window;
+        }
+      }
+    };
+    collect(g.base);
+    for (const auto& opt : g.optionals) collect(opt);
+  }
+
+  SGQ_RETURN_NOT_OK(rq.Validate(*vocab));
+  query.rq = std::move(rq);
+  return query;
+}
+
+}  // namespace sgq

@@ -1,0 +1,43 @@
+// G-CORE subset front-end (paper §4.2, Figs. 6-7).
+//
+// The paper uses G-CORE (extended with a WINDOW clause) as the user-level
+// language for SGQ. This module parses the fragment exercised by the
+// paper's examples and compiles it to an RQ + window spec:
+//
+//   PATH RL = (u1)-/<:follows*>/->(u2), (u1)-[:likes]->(m1)<-[:posts]-(u2)
+//   CONSTRUCT (u)-[:notify]->(m)
+//   MATCH (u)-/<~RL+>/->(v), (v)-[:posts]->(m)
+//   ON social_stream WINDOW (24 HOURS) SLIDE (1 HOURS)
+//
+// Supported constructs:
+//  - PATH <Name> = <patterns>: a named pattern; its endpoints are the
+//    endpoints of the FIRST edge pattern in the list.
+//  - Edge patterns (x)-[:l]->(y) and reversed (x)<-[:l]-(y).
+//  - Path patterns (x)-/<:l*>/->(y) over a label and (x)-/<~Name+>/->(y)
+//    over a named PATH; '*' / '+' / '^*' / '^+' quantifiers.
+//  - CONSTRUCT (x)-[:out]->(y): names the derived output label.
+//  - MATCH <patterns> [OPTIONAL <patterns>]...: OPTIONAL blocks compile to
+//    alternative rules (a UNION), following the paper's translation of
+//    Example 4.
+//  - ON <stream> WINDOW (<n> <unit>) [SLIDE (<n> <unit>)] with units
+//    HOURS/DAYS (and H/D): multiple MATCH..ON groups assign per-label
+//    windows, enabling multi-stream queries (Fig. 7).
+//  - WHERE (x) = (y): variable unification across groups.
+
+#ifndef SGQ_QUERY_GCORE_H_
+#define SGQ_QUERY_GCORE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/rq.h"
+
+namespace sgq {
+
+/// \brief Parses a G-CORE text into an executable SGQ.
+Result<StreamingGraphQuery> ParseGCore(const std::string& text,
+                                       Vocabulary* vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_QUERY_GCORE_H_

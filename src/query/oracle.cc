@@ -1,0 +1,238 @@
+#include "query/oracle.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "query/normalize.h"
+
+namespace sgq {
+
+namespace {
+
+/// Relation store with per-column probe indexes.
+class RelationStore {
+ public:
+  void Insert(LabelId label, VertexId src, VertexId trg) {
+    auto& rel = relations_[label];
+    if (!rel.pairs.insert({src, trg}).second) return;
+    rel.by_src[src].push_back(trg);
+    rel.by_trg[trg].push_back(src);
+  }
+
+  bool Has(LabelId label) const { return relations_.count(label) > 0; }
+
+  const VertexPairSet& Pairs(LabelId label) const {
+    static const VertexPairSet kEmpty;
+    auto it = relations_.find(label);
+    return it == relations_.end() ? kEmpty : it->second.pairs;
+  }
+
+  const std::vector<VertexId>& TargetsOf(LabelId label, VertexId src) const {
+    static const std::vector<VertexId> kEmpty;
+    auto it = relations_.find(label);
+    if (it == relations_.end()) return kEmpty;
+    auto jt = it->second.by_src.find(src);
+    return jt == it->second.by_src.end() ? kEmpty : jt->second;
+  }
+
+  const std::vector<VertexId>& SourcesOf(LabelId label, VertexId trg) const {
+    static const std::vector<VertexId> kEmpty;
+    auto it = relations_.find(label);
+    if (it == relations_.end()) return kEmpty;
+    auto jt = it->second.by_trg.find(trg);
+    return jt == it->second.by_trg.end() ? kEmpty : jt->second;
+  }
+
+  bool Contains(LabelId label, VertexId src, VertexId trg) const {
+    auto it = relations_.find(label);
+    return it != relations_.end() && it->second.pairs.count({src, trg}) > 0;
+  }
+
+ private:
+  struct Relation {
+    VertexPairSet pairs;
+    std::unordered_map<VertexId, std::vector<VertexId>> by_src;
+    std::unordered_map<VertexId, std::vector<VertexId>> by_trg;
+  };
+  std::unordered_map<LabelId, Relation> relations_;
+};
+
+using Binding = std::unordered_map<std::string, VertexId>;
+
+/// Joins `atom` against the current bindings, extending each.
+void ExtendBindings(const RelationStore& store, const BodyAtom& atom,
+                    LabelId effective_label, std::vector<Binding>* bindings) {
+  std::vector<Binding> next;
+  for (const Binding& b : *bindings) {
+    auto src_it = b.find(atom.src);
+    auto trg_it = b.find(atom.trg);
+    const bool src_bound = src_it != b.end();
+    const bool trg_bound = trg_it != b.end();
+    if (src_bound && trg_bound) {
+      if (store.Contains(effective_label, src_it->second, trg_it->second)) {
+        next.push_back(b);
+      }
+    } else if (src_bound) {
+      for (VertexId t : store.TargetsOf(effective_label, src_it->second)) {
+        if (atom.src == atom.trg && t != src_it->second) continue;
+        Binding nb = b;
+        nb[atom.trg] = t;
+        next.push_back(std::move(nb));
+      }
+    } else if (trg_bound) {
+      for (VertexId s : store.SourcesOf(effective_label, trg_it->second)) {
+        Binding nb = b;
+        nb[atom.src] = s;
+        next.push_back(std::move(nb));
+      }
+    } else {
+      for (const auto& [s, t] : store.Pairs(effective_label)) {
+        if (atom.src == atom.trg && s != t) continue;
+        Binding nb = b;
+        nb[atom.src] = s;
+        nb[atom.trg] = t;
+        next.push_back(std::move(nb));
+      }
+    }
+  }
+  *bindings = std::move(next);
+}
+
+VertexPairSet EvalRule(const RelationStore& store, const Rule& rule) {
+  std::vector<Binding> bindings = {Binding{}};
+  for (const BodyAtom& atom : rule.body) {
+    const LabelId effective = atom.IsClosure() ? atom.alias : atom.label;
+    ExtendBindings(store, atom, effective, &bindings);
+    if (bindings.empty()) return {};
+  }
+  VertexPairSet out;
+  for (const Binding& b : bindings) {
+    out.insert({b.at(rule.head_src), b.at(rule.head_trg)});
+  }
+  return out;
+}
+
+}  // namespace
+
+VertexPairSet TransitiveClosure(const VertexPairSet& relation) {
+  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  std::unordered_set<VertexId> sources;
+  for (const auto& [s, t] : relation) {
+    adj[s].push_back(t);
+    sources.insert(s);
+  }
+  VertexPairSet out;
+  for (VertexId src : sources) {
+    std::unordered_set<VertexId> visited;
+    std::queue<VertexId> q;
+    q.push(src);
+    // BFS over >= 1 step; src itself is reported only if reachable via a
+    // cycle.
+    while (!q.empty()) {
+      VertexId u = q.front();
+      q.pop();
+      auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (VertexId v : it->second) {
+        if (visited.insert(v).second) {
+          out.insert({src, v});
+          q.push(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<VertexPairSet> EvaluateOneTime(const RegularQuery& rq,
+                                      const SnapshotGraph& graph,
+                                      const Vocabulary& vocab) {
+  const RegularQuery normalized = ExpandStarClosures(rq);
+  SGQ_RETURN_NOT_OK(normalized.Validate(vocab));
+
+  RelationStore store;
+  // Seed EDB relations (and any derived-labeled snapshot tuples, which makes
+  // query composition testable: the output of one query feeds another).
+  for (const EdgeRef& e : graph.edges()) {
+    store.Insert(e.label, e.src, e.trg);
+  }
+  for (const SnapshotPath& p : graph.paths()) {
+    store.Insert(p.label, p.src, p.trg);
+  }
+
+  SGQ_ASSIGN_OR_RETURN(std::vector<LabelId> topo,
+                       normalized.TopologicalOrder());
+
+  // Collect closure alias definitions: alias -> underlying label.
+  std::unordered_map<LabelId, LabelId> alias_to_base;
+  for (const Rule& r : normalized.rules()) {
+    for (const BodyAtom& a : r.body) {
+      if (a.IsClosure()) {
+        SGQ_CHECK(a.closure == ClosureKind::kPlus);
+        alias_to_base[a.alias] = a.label;
+      }
+    }
+  }
+
+  for (LabelId label : topo) {
+    auto alias_it = alias_to_base.find(label);
+    if (alias_it != alias_to_base.end()) {
+      for (const auto& [s, t] :
+           TransitiveClosure(store.Pairs(alias_it->second))) {
+        store.Insert(label, s, t);
+      }
+      continue;
+    }
+    for (const Rule* rule : normalized.RulesFor(label)) {
+      for (const auto& [s, t] : EvalRule(store, *rule)) {
+        store.Insert(label, s, t);
+      }
+    }
+  }
+  return store.Pairs(normalized.answer());
+}
+
+VertexPairSet EvaluateRpq(const SnapshotGraph& graph, const Dfa& dfa) {
+  VertexPairSet out;
+  const std::vector<LabelId> alphabet = dfa.Alphabet();
+  for (VertexId src : graph.Vertices()) {
+    // BFS over the product of the graph and the DFA.
+    std::unordered_set<std::pair<VertexId, StateId>, PairHash> visited;
+    std::queue<std::pair<VertexId, StateId>> q;
+    q.push({src, dfa.start()});
+    visited.insert({src, dfa.start()});
+    while (!q.empty()) {
+      auto [v, s] = q.front();
+      q.pop();
+      for (LabelId l : alphabet) {
+        const StateId next = dfa.Next(s, l);
+        if (next == Dfa::kNoState) continue;
+        for (VertexId w : graph.OutNeighbors(v, l)) {
+          // Reaching an accepting state via >= 1 edge yields a result.
+          if (dfa.IsAccepting(next)) out.insert({src, w});
+          if (visited.insert({w, next}).second) q.push({w, next});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsValidWitnessPath(const SnapshotGraph& graph, VertexId src,
+                        VertexId trg, const Payload& path) {
+  if (path.empty()) return false;
+  if (path.front().src != src || path.back().trg != trg) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i].trg != path[i + 1].src) return false;
+  }
+  for (const EdgeRef& e : path) {
+    if (!graph.HasEdge(e)) return false;
+  }
+  return true;
+}
+
+}  // namespace sgq

@@ -1,0 +1,189 @@
+#include "regex/dfa.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+namespace {
+const std::vector<std::pair<StateId, StateId>> kNoTransitions;
+}  // namespace
+
+Dfa Dfa::FromNfa(const Nfa& nfa) {
+  Dfa dfa;
+  const std::vector<LabelId> alphabet = nfa.Alphabet();
+
+  std::map<std::set<StateId>, StateId> subset_ids;
+  std::queue<std::set<StateId>> frontier;
+
+  const std::set<StateId> start_set = nfa.EpsilonClosure({nfa.start()});
+  subset_ids[start_set] = 0;
+  dfa.accepting_.push_back(start_set.count(nfa.accept()) > 0);
+  dfa.delta_.emplace_back();
+  dfa.start_ = 0;
+  frontier.push(start_set);
+
+  while (!frontier.empty()) {
+    std::set<StateId> current = std::move(frontier.front());
+    frontier.pop();
+    const StateId current_id = subset_ids[current];
+    for (LabelId label : alphabet) {
+      std::set<StateId> next = nfa.EpsilonClosure(nfa.Move(current, label));
+      if (next.empty()) continue;
+      auto [it, inserted] =
+          subset_ids.emplace(next, static_cast<StateId>(subset_ids.size()));
+      if (inserted) {
+        dfa.accepting_.push_back(next.count(nfa.accept()) > 0);
+        dfa.delta_.emplace_back();
+        frontier.push(next);
+      }
+      dfa.delta_[current_id][label] = it->second;
+    }
+  }
+  dfa.FinishBuild();
+  return dfa;
+}
+
+Dfa Dfa::FromRegex(const Regex& regex) {
+  return FromNfa(Nfa::FromRegex(regex)).Minimize();
+}
+
+StateId Dfa::Next(StateId s, LabelId label) const {
+  if (s >= delta_.size()) return kNoState;
+  auto it = delta_[s].find(label);
+  return it == delta_[s].end() ? kNoState : it->second;
+}
+
+std::vector<std::tuple<StateId, LabelId, StateId>> Dfa::Transitions() const {
+  std::vector<std::tuple<StateId, LabelId, StateId>> out;
+  for (StateId s = 0; s < delta_.size(); ++s) {
+    for (const auto& [label, t] : delta_[s]) {
+      out.emplace_back(s, label, t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<std::pair<StateId, StateId>>& Dfa::TransitionsOnLabel(
+    LabelId label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? kNoTransitions : it->second;
+}
+
+StateId Dfa::DeltaStar(StateId s, const std::vector<LabelId>& word) const {
+  StateId current = s;
+  for (LabelId l : word) {
+    current = Next(current, l);
+    if (current == kNoState) return kNoState;
+  }
+  return current;
+}
+
+Dfa Dfa::Minimize() const {
+  const std::size_t n = NumStates();
+  SGQ_CHECK_GT(n, 0u);
+
+  // 1. Keep only states that can reach an accepting state ("useful").
+  std::vector<bool> useful(n, false);
+  {
+    // Reverse reachability from accepting states.
+    std::vector<std::vector<StateId>> rev(n);
+    for (StateId s = 0; s < n; ++s) {
+      for (const auto& [_, t] : delta_[s]) rev[t].push_back(s);
+    }
+    std::queue<StateId> q;
+    for (StateId s = 0; s < n; ++s) {
+      if (accepting_[s]) {
+        useful[s] = true;
+        q.push(s);
+      }
+    }
+    while (!q.empty()) {
+      StateId s = q.front();
+      q.pop();
+      for (StateId p : rev[s]) {
+        if (!useful[p]) {
+          useful[p] = true;
+          q.push(p);
+        }
+      }
+    }
+  }
+  // The start state must survive even if the language is empty.
+  useful[start_] = true;
+
+  // 2. Moore partition refinement on useful states (transitions into
+  // non-useful states count as "dead").
+  std::vector<int> block(n, -1);
+  for (StateId s = 0; s < n; ++s) {
+    if (useful[s]) block[s] = accepting_[s] ? 1 : 0;
+  }
+  const std::vector<LabelId> alphabet = Alphabet();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (current block, [block of target per label, -2 if dead]).
+    std::map<std::vector<int>, int> sig_to_block;
+    std::vector<int> new_block(n, -1);
+    for (StateId s = 0; s < n; ++s) {
+      if (!useful[s]) continue;
+      std::vector<int> sig;
+      sig.reserve(alphabet.size() + 1);
+      sig.push_back(block[s]);
+      for (LabelId l : alphabet) {
+        StateId t = Next(s, l);
+        sig.push_back(t != kNoState && useful[t] ? block[t] : -2);
+      }
+      auto [it, _] =
+          sig_to_block.emplace(sig, static_cast<int>(sig_to_block.size()));
+      new_block[s] = it->second;
+    }
+    for (StateId s = 0; s < n; ++s) {
+      if (useful[s] && new_block[s] != block[s]) changed = true;
+    }
+    block = std::move(new_block);
+  }
+
+  // 3. Assemble the quotient automaton.
+  int num_blocks = 0;
+  for (StateId s = 0; s < n; ++s) {
+    if (useful[s]) num_blocks = std::max(num_blocks, block[s] + 1);
+  }
+  Dfa out;
+  out.accepting_.assign(num_blocks, false);
+  out.delta_.assign(num_blocks, {});
+  for (StateId s = 0; s < n; ++s) {
+    if (!useful[s]) continue;
+    const StateId b = static_cast<StateId>(block[s]);
+    if (accepting_[s]) out.accepting_[b] = true;
+    for (const auto& [label, t] : delta_[s]) {
+      if (useful[t]) out.delta_[b][label] = static_cast<StateId>(block[t]);
+    }
+  }
+  out.start_ = static_cast<StateId>(block[start_]);
+  out.FinishBuild();
+  return out;
+}
+
+std::vector<LabelId> Dfa::Alphabet() const {
+  std::set<LabelId> labels;
+  for (const auto& edges : delta_) {
+    for (const auto& [l, _] : edges) labels.insert(l);
+  }
+  return std::vector<LabelId>(labels.begin(), labels.end());
+}
+
+void Dfa::FinishBuild() {
+  by_label_.clear();
+  for (StateId s = 0; s < delta_.size(); ++s) {
+    for (const auto& [label, t] : delta_[s]) {
+      by_label_[label].emplace_back(s, t);
+    }
+  }
+}
+
+}  // namespace sgq

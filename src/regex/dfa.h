@@ -1,0 +1,85 @@
+// Deterministic finite automaton used by the PATH physical operators
+// (Algorithm S-PATH line 1: ConstructDFA).
+
+#ifndef SGQ_REGEX_DFA_H_
+#define SGQ_REGEX_DFA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "regex/nfa.h"
+
+namespace sgq {
+
+/// \brief DFA over the label alphabet, built by subset construction from a
+/// Thompson NFA and minimized with Moore partition refinement.
+///
+/// States are dense indexes [0, NumStates()); state 0 is NOT guaranteed to
+/// be the start state — use start().
+class Dfa {
+ public:
+  /// \brief Subset construction (unminimized).
+  static Dfa FromNfa(const Nfa& nfa);
+
+  /// \brief Convenience: regex -> NFA -> DFA -> minimized DFA.
+  static Dfa FromRegex(const Regex& regex);
+
+  StateId start() const { return start_; }
+  std::size_t NumStates() const { return accepting_.size(); }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+
+  /// \brief delta(s, label); kNoState when undefined (dead).
+  StateId Next(StateId s, LabelId label) const;
+
+  /// \brief True if some transition out of the start state reads `label`
+  /// (Def. 22 uses this to decide which vertices root spanning trees).
+  bool StartCanRead(LabelId label) const {
+    return Next(start_, label) != kNoState;
+  }
+
+  /// \brief All (from, label, to) transitions, for diagnostics and tests.
+  std::vector<std::tuple<StateId, LabelId, StateId>> Transitions() const;
+
+  /// \brief States s with delta(s, label) defined, paired with the target.
+  /// Used by S-PATH line 6 to enumerate transitions matching an arriving
+  /// edge label.
+  const std::vector<std::pair<StateId, StateId>>& TransitionsOnLabel(
+      LabelId label) const;
+
+  /// \brief Extended transition function on a word; kNoState if it dies.
+  StateId DeltaStar(StateId s, const std::vector<LabelId>& word) const;
+
+  /// \brief True when the word is in the language.
+  bool Accepts(const std::vector<LabelId>& word) const {
+    StateId s = DeltaStar(start_, word);
+    return s != kNoState && IsAccepting(s);
+  }
+
+  /// \brief True when the start state is accepting (language contains the
+  /// empty word, e.g. `a*`).
+  bool AcceptsEmpty() const { return IsAccepting(start_); }
+
+  /// \brief Language-preserving state minimization (Moore refinement after
+  /// removing states that cannot reach an accepting state).
+  Dfa Minimize() const;
+
+  /// \brief Labels appearing on any transition.
+  std::vector<LabelId> Alphabet() const;
+
+  static constexpr StateId kNoState = static_cast<StateId>(-1);
+
+ private:
+  StateId start_ = 0;
+  std::vector<bool> accepting_;
+  // Per-state transition map label -> target.
+  std::vector<std::unordered_map<LabelId, StateId>> delta_;
+  // Reverse index: label -> [(from, to)] (built lazily by FinishBuild).
+  std::unordered_map<LabelId, std::vector<std::pair<StateId, StateId>>>
+      by_label_;
+
+  void FinishBuild();
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_REGEX_DFA_H_

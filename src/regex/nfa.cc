@@ -1,0 +1,133 @@
+#include "regex/nfa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+StateId Nfa::NewState() {
+  eps_.emplace_back();
+  return static_cast<StateId>(eps_.size() - 1);
+}
+
+Nfa Nfa::FromRegex(const Regex& regex) {
+  Nfa nfa;
+  auto [in, out] = nfa.Build(regex);
+  nfa.start_ = in;
+  nfa.accept_ = out;
+  return nfa;
+}
+
+std::pair<StateId, StateId> Nfa::Build(const Regex& r) {
+  switch (r.kind) {
+    case RegexKind::kEpsilon: {
+      StateId in = NewState();
+      StateId out = NewState();
+      AddEps(in, out);
+      return {in, out};
+    }
+    case RegexKind::kLabel: {
+      StateId in = NewState();
+      StateId out = NewState();
+      AddLabelEdge(in, r.label, out);
+      return {in, out};
+    }
+    case RegexKind::kConcat: {
+      SGQ_CHECK(!r.children.empty());
+      auto [in, out] = Build(r.children[0]);
+      for (std::size_t i = 1; i < r.children.size(); ++i) {
+        auto [next_in, next_out] = Build(r.children[i]);
+        AddEps(out, next_in);
+        out = next_out;
+      }
+      return {in, out};
+    }
+    case RegexKind::kAlt: {
+      SGQ_CHECK(!r.children.empty());
+      StateId in = NewState();
+      StateId out = NewState();
+      for (const Regex& c : r.children) {
+        auto [ci, co] = Build(c);
+        AddEps(in, ci);
+        AddEps(co, out);
+      }
+      return {in, out};
+    }
+    case RegexKind::kStar: {
+      auto [ci, co] = Build(r.children[0]);
+      StateId in = NewState();
+      StateId out = NewState();
+      AddEps(in, ci);
+      AddEps(co, out);
+      AddEps(in, out);
+      AddEps(co, ci);
+      return {in, out};
+    }
+    case RegexKind::kPlus: {
+      auto [ci, co] = Build(r.children[0]);
+      StateId in = NewState();
+      StateId out = NewState();
+      AddEps(in, ci);
+      AddEps(co, out);
+      AddEps(co, ci);
+      return {in, out};
+    }
+    case RegexKind::kOpt: {
+      auto [ci, co] = Build(r.children[0]);
+      StateId in = NewState();
+      StateId out = NewState();
+      AddEps(in, ci);
+      AddEps(co, out);
+      AddEps(in, out);
+      return {in, out};
+    }
+  }
+  SGQ_CHECK(false) << "unreachable regex kind";
+  return {0, 0};
+}
+
+std::set<StateId> Nfa::EpsilonClosure(const std::set<StateId>& states) const {
+  std::set<StateId> closure = states;
+  std::vector<StateId> frontier(states.begin(), states.end());
+  while (!frontier.empty()) {
+    StateId s = frontier.back();
+    frontier.pop_back();
+    for (StateId t : eps_[s]) {
+      if (closure.insert(t).second) frontier.push_back(t);
+    }
+  }
+  return closure;
+}
+
+std::set<StateId> Nfa::Move(const std::set<StateId>& states,
+                            LabelId label) const {
+  std::set<StateId> out;
+  for (StateId s : states) {
+    auto it = label_edges_.find(s);
+    if (it == label_edges_.end()) continue;
+    for (const auto& [l, t] : it->second) {
+      if (l == label) out.insert(t);
+    }
+  }
+  return out;
+}
+
+bool Nfa::Accepts(const std::vector<LabelId>& word) const {
+  std::set<StateId> current = EpsilonClosure({start_});
+  for (LabelId l : word) {
+    current = EpsilonClosure(Move(current, l));
+    if (current.empty()) return false;
+  }
+  return current.count(accept_) > 0;
+}
+
+std::vector<LabelId> Nfa::Alphabet() const {
+  std::set<LabelId> labels;
+  for (const auto& [_, edges] : label_edges_) {
+    for (const auto& [l, __] : edges) labels.insert(l);
+  }
+  return std::vector<LabelId>(labels.begin(), labels.end());
+}
+
+}  // namespace sgq

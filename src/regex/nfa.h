@@ -1,0 +1,67 @@
+// Thompson-construction NFA over the label alphabet.
+//
+// The NFA is an intermediate artifact: the PATH physical operators run on
+// the DFA (dfa.h); the NFA also serves as an independent acceptance oracle
+// in property tests.
+
+#ifndef SGQ_REGEX_NFA_H_
+#define SGQ_REGEX_NFA_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "regex/regex.h"
+
+namespace sgq {
+
+/// Automaton state index.
+using StateId = uint32_t;
+
+/// \brief Nondeterministic finite automaton with epsilon transitions.
+class Nfa {
+ public:
+  /// \brief Builds the Thompson NFA of `regex`.
+  static Nfa FromRegex(const Regex& regex);
+
+  StateId start() const { return start_; }
+  StateId accept() const { return accept_; }
+  std::size_t NumStates() const { return eps_.size(); }
+
+  /// \brief Epsilon closure of a set of states.
+  std::set<StateId> EpsilonClosure(const std::set<StateId>& states) const;
+
+  /// \brief States reachable from `states` on symbol `label` (pre-closure).
+  std::set<StateId> Move(const std::set<StateId>& states,
+                         LabelId label) const;
+
+  /// \brief True when the label word is in L(regex); used as a test oracle.
+  bool Accepts(const std::vector<LabelId>& word) const;
+
+  /// \brief Labels with at least one transition.
+  std::vector<LabelId> Alphabet() const;
+
+  const std::vector<std::vector<StateId>>& epsilon_edges() const {
+    return eps_;
+  }
+
+ private:
+  StateId NewState();
+  void AddEps(StateId from, StateId to) { eps_[from].push_back(to); }
+  void AddLabelEdge(StateId from, LabelId label, StateId to) {
+    label_edges_[from].emplace_back(label, to);
+  }
+  /// Builds the fragment for `r`; returns (in, out) states.
+  std::pair<StateId, StateId> Build(const Regex& r);
+
+  StateId start_ = 0;
+  StateId accept_ = 0;
+  std::vector<std::vector<StateId>> eps_;
+  std::unordered_map<StateId, std::vector<std::pair<LabelId, StateId>>>
+      label_edges_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_REGEX_NFA_H_

@@ -1,0 +1,223 @@
+#include "regex/regex.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace sgq {
+
+Regex Regex::Concat(std::vector<Regex> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  Regex r;
+  r.kind = RegexKind::kConcat;
+  r.children = std::move(parts);
+  return r;
+}
+
+Regex Regex::Alt(std::vector<Regex> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  Regex r;
+  r.kind = RegexKind::kAlt;
+  r.children = std::move(parts);
+  return r;
+}
+
+Regex Regex::Star(Regex inner) {
+  Regex r;
+  r.kind = RegexKind::kStar;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::Plus(Regex inner) {
+  Regex r;
+  r.kind = RegexKind::kPlus;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+Regex Regex::Opt(Regex inner) {
+  Regex r;
+  r.kind = RegexKind::kOpt;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+namespace {
+
+void CollectLabels(const Regex& r, std::set<LabelId>* out) {
+  if (r.kind == RegexKind::kLabel) out->insert(r.label);
+  for (const Regex& c : r.children) CollectLabels(c, out);
+}
+
+}  // namespace
+
+std::vector<LabelId> Regex::Alphabet() const {
+  std::set<LabelId> labels;
+  CollectLabels(*this, &labels);
+  return std::vector<LabelId>(labels.begin(), labels.end());
+}
+
+bool Regex::operator==(const Regex& other) const {
+  return kind == other.kind && label == other.label &&
+         children == other.children;
+}
+
+std::string Regex::ToString(const Vocabulary& vocab) const {
+  switch (kind) {
+    case RegexKind::kEpsilon:
+      return "ε";
+    case RegexKind::kLabel:
+      return vocab.LabelName(label);
+    case RegexKind::kConcat: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " ";
+        out += children[i].ToString(vocab);
+      }
+      return out + ")";
+    }
+    case RegexKind::kAlt: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += " | ";
+        out += children[i].ToString(vocab);
+      }
+      return out + ")";
+    }
+    case RegexKind::kStar:
+      return children[0].ToString(vocab) + "*";
+    case RegexKind::kPlus:
+      return children[0].ToString(vocab) + "+";
+    case RegexKind::kOpt:
+      return children[0].ToString(vocab) + "?";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser over a token cursor.
+class RegexParser {
+ public:
+  RegexParser(std::string_view text, Vocabulary* vocab)
+      : text_(text), vocab_(vocab) {}
+
+  Result<Regex> Parse() {
+    SGQ_ASSIGN_OR_RETURN(Regex r, ParseExpr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("regex: trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    return r;
+  }
+
+ private:
+  Result<Regex> ParseExpr() {
+    std::vector<Regex> alts;
+    SGQ_ASSIGN_OR_RETURN(Regex first, ParseSeq());
+    alts.push_back(std::move(first));
+    SkipSpace();
+    while (Peek() == '|') {
+      ++pos_;
+      SGQ_ASSIGN_OR_RETURN(Regex next, ParseSeq());
+      alts.push_back(std::move(next));
+      SkipSpace();
+    }
+    return Regex::Alt(std::move(alts));
+  }
+
+  Result<Regex> ParseSeq() {
+    std::vector<Regex> parts;
+    while (true) {
+      SkipSpace();
+      char c = Peek();
+      if (c == '\0' || c == '|' || c == ')') break;
+      if (c == '.') {  // explicit concatenation separator, optional
+        ++pos_;
+        continue;
+      }
+      SGQ_ASSIGN_OR_RETURN(Regex u, ParseUnary());
+      parts.push_back(std::move(u));
+    }
+    if (parts.empty()) {
+      return Status::ParseError("regex: empty sequence at offset " +
+                                std::to_string(pos_));
+    }
+    return Regex::Concat(std::move(parts));
+  }
+
+  Result<Regex> ParseUnary() {
+    SGQ_ASSIGN_OR_RETURN(Regex r, ParseAtom());
+    while (true) {
+      SkipSpace();
+      char c = Peek();
+      if (c == '*') {
+        r = Regex::Star(std::move(r));
+        ++pos_;
+      } else if (c == '+') {
+        r = Regex::Plus(std::move(r));
+        ++pos_;
+      } else if (c == '?') {
+        r = Regex::Opt(std::move(r));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return r;
+  }
+
+  Result<Regex> ParseAtom() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '(') {
+      ++pos_;
+      SGQ_ASSIGN_OR_RETURN(Regex inner, ParseExpr());
+      SkipSpace();
+      if (Peek() != ')') {
+        return Status::ParseError("regex: expected ')' at offset " +
+                                  std::to_string(pos_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (IsLabelChar(c)) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && IsLabelChar(text_[pos_])) ++pos_;
+      std::string_view name = text_.substr(start, pos_ - start);
+      auto found = vocab_->FindLabel(name);
+      if (found.ok()) return Regex::Label(*found);
+      SGQ_ASSIGN_OR_RETURN(LabelId id, vocab_->InternInputLabel(name));
+      return Regex::Label(id);
+    }
+    return Status::ParseError(std::string("regex: unexpected character '") +
+                              c + "' at offset " + std::to_string(pos_));
+  }
+
+  static bool IsLabelChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  Vocabulary* vocab_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Regex> ParseRegex(std::string_view text, Vocabulary* vocab) {
+  return RegexParser(text, vocab).Parse();
+}
+
+}  // namespace sgq

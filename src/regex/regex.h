@@ -1,0 +1,78 @@
+// Regular expressions over the label alphabet Sigma (paper Def. 20).
+//
+// PATH constraints are regular expressions over edge/path labels. The AST
+// uses value semantics (each node owns its children) so expressions can be
+// freely copied during plan rewriting (§5.4).
+
+#ifndef SGQ_REGEX_REGEX_H_
+#define SGQ_REGEX_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/types.h"
+#include "model/vocabulary.h"
+
+namespace sgq {
+
+/// \brief Node type of a regular expression AST.
+enum class RegexKind {
+  kEpsilon,  ///< the empty word
+  kLabel,    ///< a single label l in Sigma
+  kConcat,   ///< r1 . r2 . ... (children in order)
+  kAlt,      ///< r1 | r2 | ...
+  kStar,     ///< r* (zero or more)
+  kPlus,     ///< r+ (one or more)
+  kOpt,      ///< r? (zero or one)
+};
+
+/// \brief A regular expression over labels, with value semantics.
+struct Regex {
+  RegexKind kind = RegexKind::kEpsilon;
+  LabelId label = kInvalidLabel;  ///< set iff kind == kLabel
+  std::vector<Regex> children;    ///< operands for composite kinds
+
+  Regex() = default;
+
+  /// \name Factory constructors
+  /// @{
+  static Regex Epsilon() { return Regex(); }
+  static Regex Label(LabelId l) {
+    Regex r;
+    r.kind = RegexKind::kLabel;
+    r.label = l;
+    return r;
+  }
+  static Regex Concat(std::vector<Regex> parts);
+  static Regex Alt(std::vector<Regex> parts);
+  static Regex Star(Regex inner);
+  static Regex Plus(Regex inner);
+  static Regex Opt(Regex inner);
+  /// @}
+
+  /// \brief All labels mentioned in the expression (deduplicated, sorted).
+  std::vector<LabelId> Alphabet() const;
+
+  /// \brief Structural equality.
+  bool operator==(const Regex& other) const;
+
+  /// \brief Human-readable rendering, label ids resolved via `vocab`.
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// \brief Parses a regular expression.
+///
+/// Grammar (whitespace separates tokens; juxtaposition concatenates):
+///   expr     := seq ('|' seq)*
+///   seq      := unary+
+///   unary    := atom ('*' | '+' | '?')*
+///   atom     := LABEL | '(' expr ')'
+/// Labels resolve against `vocab`: an existing (input or derived) label is
+/// reused, an unknown one is interned as an input label.
+Result<Regex> ParseRegex(std::string_view text, Vocabulary* vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_REGEX_REGEX_H_

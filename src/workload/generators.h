@@ -1,0 +1,87 @@
+// Synthetic stream generators standing in for the paper's datasets
+// (§7.1.2). See DESIGN.md for the substitution rationale: the generators
+// reproduce the *structural* properties the evaluation hinges on —
+// SO's density and cyclicity, SNB's tree-shaped replyOf — at laptop scale.
+//
+// Time unit convention: 1 unit = 1 hour (kHour); the paper's windows map
+// to size = 30 * kDay, slide = kDay.
+
+#ifndef SGQ_WORKLOAD_GENERATORS_H_
+#define SGQ_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "model/sgt.h"
+#include "model/vocabulary.h"
+
+namespace sgq {
+
+inline constexpr Timestamp kHour = 1;
+inline constexpr Timestamp kDay = 24 * kHour;
+inline constexpr Timestamp kMonth = 30 * kDay;
+
+/// \brief Options for the StackOverflow-like temporal graph generator.
+///
+/// SO is a single-vertex-type interaction graph with three edge labels
+/// (answer-to-question a2q, comment-to-question c2q, comment-to-answer
+/// c2a). Preferential attachment produces heavy-tailed degrees; both
+/// endpoints are drawn from the same population, so cycles are frequent —
+/// the property that makes SO "the most challenging" workload (§7.1.2).
+struct SoOptions {
+  uint64_t seed = 42;
+  std::size_t num_vertices = 800;
+  std::size_t num_edges = 20000;
+  /// Probability of choosing an endpoint by degree (hub bias).
+  double preferential_fraction = 0.7;
+  /// Average number of edges arriving per hour.
+  double edges_per_hour = 4.0;
+};
+
+/// \brief Generates an SO-like input stream; labels a2q/c2q/c2a are
+/// interned into `vocab` as input labels.
+Result<InputStream> GenerateSoStream(const SoOptions& options,
+                                     Vocabulary* vocab);
+
+/// \brief Options for the LDBC-SNB-like update stream generator.
+///
+/// Persons and messages with four labels: knows (person-person, community
+/// structured), hasCreator (message-person), likes (person-message) and
+/// replyOf (message-message). Every message replies to at most one OLDER
+/// message, so replyOf is forest-shaped: between any two vertices there is
+/// at most one replyOf path — the property behind DD's advantage on the
+/// linear path queries (§7.2.2).
+struct SnbOptions {
+  uint64_t seed = 7;
+  std::size_t num_persons = 400;
+  std::size_t num_communities = 16;
+  std::size_t num_events = 20000;
+  double reply_probability = 0.6;   ///< new message is a reply
+  double knows_probability = 0.15;  ///< event is a friendship
+  double likes_probability = 0.45;  ///< event is a like
+  double edges_per_hour = 4.0;
+};
+
+/// \brief Generates an SNB-like input stream; labels knows/likes/
+/// hasCreator/replyOf are interned into `vocab` as input labels.
+Result<InputStream> GenerateSnbStream(const SnbOptions& options,
+                                      Vocabulary* vocab);
+
+/// \brief Uniform random stream over `num_labels` labels and
+/// `num_vertices` vertices; the fuzz/property tests use this.
+struct RandomStreamOptions {
+  uint64_t seed = 1;
+  std::size_t num_vertices = 12;
+  std::size_t num_labels = 3;
+  std::size_t num_edges = 120;
+  Timestamp max_gap = 3;  ///< timestamp gap between consecutive edges
+  /// Probability that an element explicitly deletes a previous edge.
+  double deletion_probability = 0.0;
+};
+
+Result<InputStream> GenerateRandomStream(const RandomStreamOptions& options,
+                                         Vocabulary* vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,71 @@
+#include "workload/harness.h"
+
+#include <cstdio>
+
+#include "baseline/engine.h"
+
+namespace sgq {
+
+Result<RunMetrics> RunSga(const InputStream& stream,
+                          const StreamingGraphQuery& query,
+                          const Vocabulary& vocab, EngineOptions options,
+                          std::string name) {
+  SGQ_ASSIGN_OR_RETURN(auto qp,
+                       QueryProcessor::FromQuery(query, vocab, options));
+  Stopwatch timer;
+  qp->PushAll(stream);
+  RunMetrics m;
+  m.name = std::move(name);
+  m.elapsed_seconds = timer.ElapsedSeconds();
+  m.edges_processed = qp->edges_processed();
+  m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
+  m.results_emitted = qp->results_emitted();
+  return m;
+}
+
+Result<RunMetrics> RunSgaPlan(const InputStream& stream,
+                              const LogicalOp& plan, const Vocabulary& vocab,
+                              EngineOptions options, std::string name) {
+  SGQ_ASSIGN_OR_RETURN(auto qp,
+                       QueryProcessor::Compile(plan, vocab, options));
+  Stopwatch timer;
+  qp->PushAll(stream);
+  RunMetrics m;
+  m.name = std::move(name);
+  m.elapsed_seconds = timer.ElapsedSeconds();
+  m.edges_processed = qp->edges_processed();
+  m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
+  m.results_emitted = qp->results_emitted();
+  return m;
+}
+
+Result<RunMetrics> RunDd(const InputStream& stream,
+                         const StreamingGraphQuery& query,
+                         const Vocabulary& vocab, std::string name) {
+  SGQ_ASSIGN_OR_RETURN(auto engine,
+                       baseline::DifferentialEngine::Create(query, vocab));
+  Stopwatch timer;
+  for (const Sge& sge : stream) engine->Push(sge);
+  if (!stream.empty()) engine->AdvanceTo(stream.back().t + 1);
+  RunMetrics m;
+  m.name = std::move(name);
+  m.elapsed_seconds = timer.ElapsedSeconds();
+  m.edges_processed = engine->edges_processed();
+  m.tail_latency_seconds = engine->epoch_latencies().Percentile(0.99);
+  m.results_emitted = engine->answers_emitted();
+  return m;
+}
+
+void PrintMetricsHeader(const std::string& title) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-24s %14s %16s %12s\n", "config", "tput (edges/s)",
+              "p99 slide (ms)", "results");
+}
+
+void PrintMetricsRow(const RunMetrics& metrics) {
+  std::printf("%-24s %14.0f %16.3f %12zu\n", metrics.name.c_str(),
+              metrics.Throughput(), metrics.tail_latency_seconds * 1e3,
+              metrics.results_emitted);
+}
+
+}  // namespace sgq

@@ -1,0 +1,48 @@
+// Benchmark harness (§7.1.1): runs a query over a stream on one of the
+// engines and reports the paper's metrics — sustained throughput
+// (edges/second over the labels the query consumes) and the 99th-percentile
+// latency of a window slide.
+
+#ifndef SGQ_WORKLOAD_HARNESS_H_
+#define SGQ_WORKLOAD_HARNESS_H_
+
+#include <string>
+
+#include "algebra/logical_plan.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "core/query_processor.h"
+#include "model/sgt.h"
+#include "query/rq.h"
+
+namespace sgq {
+
+/// \brief Runs `query` over `stream` on the SGA query processor (canonical
+/// plan) and reports metrics. `options.path_impl` selects the PATH
+/// implementation (Table 3 compares the two).
+Result<RunMetrics> RunSga(const InputStream& stream,
+                          const StreamingGraphQuery& query,
+                          const Vocabulary& vocab, EngineOptions options,
+                          std::string name);
+
+/// \brief Runs an explicit logical plan on the SGA query processor
+/// (plan-space experiments of §7.4).
+Result<RunMetrics> RunSgaPlan(const InputStream& stream,
+                              const LogicalOp& plan, const Vocabulary& vocab,
+                              EngineOptions options, std::string name);
+
+/// \brief Runs `query` on the DD-style baseline engine.
+Result<RunMetrics> RunDd(const InputStream& stream,
+                         const StreamingGraphQuery& query,
+                         const Vocabulary& vocab, std::string name);
+
+/// \brief Prints a fixed-width metrics row:
+/// name, throughput (edges/s), p99 slide latency (ms), #results.
+void PrintMetricsRow(const RunMetrics& metrics);
+
+/// \brief Prints the row header matching PrintMetricsRow.
+void PrintMetricsHeader(const std::string& title);
+
+}  // namespace sgq
+
+#endif  // SGQ_WORKLOAD_HARNESS_H_

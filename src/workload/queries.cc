@@ -1,0 +1,54 @@
+#include "workload/queries.h"
+
+namespace sgq {
+
+std::vector<BenchQuery> SoQuerySet() {
+  // SO has one vertex type and three labels; a/b/c map to a2q/c2q/c2a.
+  return {
+      {"Q1", "Answer(x,y) <- a2q*(x,y)"},
+      {"Q2", "Answer(x,y) <- a2q(x,z), c2q*(z,y)"},
+      {"Q3", "Answer(x,y) <- a2q(x,z), c2q*(z,w), c2a*(w,y)"},
+      {"Q4",
+       "D(x,y) <- a2q(x,z1), c2q(z1,z2), c2a(z2,y)\n"
+       "Answer(x,y) <- D+(x,y)"},
+      {"Q5",
+       "Answer(m1,m2) <- a2q(x,y), c2q(m1,x), c2q(m2,y), c2a(m2,m1)"},
+      {"Q6", "Answer(x,y) <- a2q+(x,y), c2q(x,m), c2a(m,y)"},
+      {"Q7",
+       "RL(x,y) <- a2q+(x,y), c2q(x,m), c2a(m,y)\n"
+       "Answer(x,m) <- RL+(x,y), c2a(m,y)"},
+  };
+}
+
+std::vector<BenchQuery> SnbQuerySet() {
+  // Linear path queries run over the forest-shaped replyOf (single path
+  // between message pairs — the case where DD's batching shines, §7.2.2);
+  // Q5 is IS7 ("replies by friends"), Q6 is IC7 ("recent likers"), Q7 is
+  // Example 1 (paths over the recentLiker pattern).
+  return {
+      {"Q1", "Answer(x,y) <- replyOf*(x,y)"},
+      {"Q2", "Answer(x,y) <- likes(x,z), replyOf*(z,y)"},
+      {"Q3",
+       "Answer(x,y) <- likes(x,z), replyOf*(z,w), hasCreator*(w,y)"},
+      {"Q4",
+       "D(x,y) <- knows(x,z1), likes(z1,z2), hasCreator(z2,y)\n"
+       "Answer(x,y) <- D+(x,y)"},
+      {"Q5",
+       "Answer(m1,m2) <- knows(x,y), hasCreator(m1,x), hasCreator(m2,y), "
+       "replyOf(m2,m1)"},
+      {"Q6", "Answer(x,y) <- knows+(x,y), likes(x,m), hasCreator(m,y)"},
+      {"Q7",
+       "RL(x,y) <- knows+(x,y), likes(x,m), hasCreator(m,y)\n"
+       "Answer(x,m) <- RL+(x,y), hasCreator(m,y)"},
+  };
+}
+
+Result<StreamingGraphQuery> MakeQuery(const std::string& text,
+                                      WindowSpec window, Vocabulary* vocab) {
+  StreamingGraphQuery query;
+  SGQ_ASSIGN_OR_RETURN(query.rq, ParseRq(text, vocab));
+  query.window = window;
+  return query;
+}
+
+}  // namespace sgq

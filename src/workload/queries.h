@@ -1,0 +1,39 @@
+// The query workload of Table 1, instantiated per dataset (§7.1.3).
+//
+// Q1-Q4 are RPQs common in real-world query logs; Q5/Q6 are the complex
+// graph patterns of LDBC SNB IS7/IC7; Q7 is Example 1 — a recursive path
+// query over the graph pattern of Q6 (not expressible in Cypher/SPARQL).
+
+#ifndef SGQ_WORKLOAD_QUERIES_H_
+#define SGQ_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "model/vocabulary.h"
+#include "model/window.h"
+#include "query/rq.h"
+
+namespace sgq {
+
+/// \brief One named workload query in Datalog text form (rq.h syntax).
+struct BenchQuery {
+  std::string name;  ///< "Q1" .. "Q7"
+  std::string text;  ///< rules, instantiated with dataset labels
+};
+
+/// \brief Table 1 instantiated with SO labels: a = a2q, b = c2q, c = c2a.
+std::vector<BenchQuery> SoQuerySet();
+
+/// \brief Table 1 instantiated with SNB labels (see queries.cc for the
+/// per-query label choices mirroring IS7/IC7 and the reply trees).
+std::vector<BenchQuery> SnbQuerySet();
+
+/// \brief Parses `text` and attaches a window, producing a runnable SGQ.
+Result<StreamingGraphQuery> MakeQuery(const std::string& text,
+                                      WindowSpec window, Vocabulary* vocab);
+
+}  // namespace sgq
+
+#endif  // SGQ_WORKLOAD_QUERIES_H_

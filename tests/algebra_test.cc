@@ -1,0 +1,312 @@
+// Tests for the logical SGA: canonical translation (Algorithm SGQParser,
+// Example 8), plan validation, and the transformation rules of §5.4.
+
+#include <gtest/gtest.h>
+
+#include "algebra/logical_plan.h"
+#include "algebra/transform.h"
+#include "algebra/translate.h"
+#include "query/rq.h"
+#include "workload/queries.h"
+
+namespace sgq {
+namespace {
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  StreamingGraphQuery Q(const char* text, WindowSpec w = WindowSpec(24, 1)) {
+    auto q = MakeQuery(text, w, &vocab_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return *q;
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(TranslateTest, SingleAtomBecomesScanUnderPattern) {
+  auto plan = TranslateToCanonicalPlan(Q("Answer(x,y) <- e(x,y)"), vocab_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalOp& root = **plan;
+  EXPECT_EQ(root.kind, LogicalOpKind::kPattern);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0]->kind, LogicalOpKind::kWScan);
+  EXPECT_EQ(root.children[0]->window, WindowSpec(24, 1));
+}
+
+TEST_F(TranslateTest, ClosureBecomesPath) {
+  auto plan = TranslateToCanonicalPlan(Q("Answer(x,y) <- e+(x,y)"), vocab_);
+  ASSERT_TRUE(plan.ok());
+  // PATTERN over the PATH over the WSCAN.
+  const LogicalOp& root = **plan;
+  ASSERT_EQ(root.kind, LogicalOpKind::kPattern);
+  const LogicalOp& path = *root.children[0];
+  ASSERT_EQ(path.kind, LogicalOpKind::kPath);
+  EXPECT_EQ(path.regex.kind, RegexKind::kPlus);
+  EXPECT_EQ(path.children[0]->kind, LogicalOpKind::kWScan);
+}
+
+TEST_F(TranslateTest, MultipleRulesBecomeUnion) {
+  auto plan = TranslateToCanonicalPlan(Q("Answer(x,y) <- e(x,y)\n"
+                                         "Answer(x,y) <- f(x,y)"),
+                                       vocab_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind, LogicalOpKind::kUnion);
+  EXPECT_EQ((*plan)->children.size(), 2u);
+}
+
+TEST_F(TranslateTest, Example8CanonicalPlanShape) {
+  // The paper's Example 8: PATTERN(PATH(PATTERN(...)), WSCAN(posts)).
+  auto plan = TranslateToCanonicalPlan(
+      Q("RL(u1,u2) <- likes(u1,m1), follows+(u1,u2) as FP, posts(u2,m1)\n"
+        "Answer(u,m) <- RL+(u,v) as RLP, posts(v,m)"),
+      vocab_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const LogicalOp& root = **plan;
+  ASSERT_EQ(root.kind, LogicalOpKind::kPattern);
+  ASSERT_EQ(root.children.size(), 2u);
+  // First child: PATH[RLP, RL+] over the RL PATTERN.
+  const LogicalOp& rlp = *root.children[0];
+  ASSERT_EQ(rlp.kind, LogicalOpKind::kPath);
+  EXPECT_EQ(rlp.regex.kind, RegexKind::kPlus);
+  const LogicalOp& rl = *rlp.children[0];
+  ASSERT_EQ(rl.kind, LogicalOpKind::kPattern);
+  ASSERT_EQ(rl.children.size(), 3u);
+  // The RL pattern's middle input is PATH[FP, follows+] (Figure 8 left).
+  EXPECT_EQ(rl.children[0]->kind, LogicalOpKind::kWScan);
+  EXPECT_EQ(rl.children[1]->kind, LogicalOpKind::kPath);
+  EXPECT_EQ(rl.children[2]->kind, LogicalOpKind::kWScan);
+  // Second child of the root: WSCAN over posts.
+  EXPECT_EQ(root.children[1]->kind, LogicalOpKind::kWScan);
+  EXPECT_EQ(root.children[1]->input_label, *vocab_.FindLabel("posts"));
+  // The whole plan validates.
+  EXPECT_TRUE(ValidatePlan(root, vocab_).ok());
+}
+
+TEST_F(TranslateTest, PerLabelWindowsAreApplied) {
+  StreamingGraphQuery q = Q("Answer(x,y) <- e(x,y), f(y,x)");
+  const LabelId f = *vocab_.FindLabel("f");
+  q.per_label_windows[f] = WindowSpec(100, 5);
+  auto plan = TranslateToCanonicalPlan(q, vocab_);
+  ASSERT_TRUE(plan.ok());
+  const LogicalOp& root = **plan;
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->window, WindowSpec(24, 1));
+  EXPECT_EQ(root.children[1]->window, WindowSpec(100, 5));
+}
+
+TEST_F(TranslateTest, PlanCloneAndEquality) {
+  auto plan = TranslateToCanonicalPlan(Q("Answer(x,y) <- e+(x,y)"), vocab_);
+  ASSERT_TRUE(plan.ok());
+  LogicalPlan copy = (*plan)->Clone();
+  EXPECT_TRUE(copy->Equals(**plan));
+  copy->output_label = copy->output_label + 1;
+  EXPECT_FALSE(copy->Equals(**plan));
+}
+
+// ---------------------------------------------------------------------------
+// Plan validation
+// ---------------------------------------------------------------------------
+
+TEST(ValidatePlanTest, CatchesStructuralErrors) {
+  Vocabulary vocab;
+  LabelId a = *vocab.InternInputLabel("a");
+  LabelId d = *vocab.InternDerivedLabel("d");
+
+  // PATTERN output endpoints must be pattern variables.
+  {
+    std::vector<LogicalPlan> children;
+    children.push_back(MakeWScan(a, WindowSpec(10)));
+    auto plan = MakePattern(d, {{"x", "y"}}, "x", "zzz", std::move(children));
+    EXPECT_FALSE(ValidatePlan(*plan, vocab).ok());
+  }
+  // PATH regex alphabet must be covered by child output labels.
+  {
+    Vocabulary v2;
+    LabelId b = *v2.InternInputLabel("b");
+    LabelId c = *v2.InternInputLabel("c");
+    LabelId out = *v2.InternDerivedLabel("out");
+    std::vector<LogicalPlan> children;
+    children.push_back(MakeWScan(b, WindowSpec(10)));
+    Regex regex = Regex::Concat(
+        {Regex::Label(b), Regex::Label(c)});  // c not produced
+    auto plan = MakePath(out, regex, std::move(children));
+    EXPECT_FALSE(ValidatePlan(*plan, v2).ok());
+  }
+  // Output labels must be derived, not input (Defs. 18-20).
+  {
+    std::vector<LogicalPlan> children;
+    children.push_back(MakeWScan(a, WindowSpec(10)));
+    auto plan = MakePath(a, Regex::Plus(Regex::Label(a)),
+                         std::move(children));
+    EXPECT_FALSE(ValidatePlan(*plan, vocab).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transformation rules (§5.4)
+// ---------------------------------------------------------------------------
+
+class TransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *vocab_.InternInputLabel("a");
+    b_ = *vocab_.InternInputLabel("b");
+    c_ = *vocab_.InternInputLabel("c");
+    d_ = *vocab_.InternDerivedLabel("d");
+    out_ = *vocab_.InternDerivedLabel("out");
+  }
+
+  LogicalPlan Scan(LabelId l) { return MakeWScan(l, WindowSpec(24, 1)); }
+
+  Vocabulary vocab_;
+  LabelId a_, b_, c_, d_, out_;
+};
+
+TEST_F(TransformTest, AlternationSplitsToUnion) {
+  // R3: PATH[out, a|b](Sa, Sb) == UNION[out](PATH[a], PATH[b]).
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  auto path = MakePath(out_, Regex::Alt({Regex::Label(a_), Regex::Label(b_)}),
+                       std::move(children));
+  LogicalPlan rewritten = TrySplitPathAlternation(*path);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->kind, LogicalOpKind::kUnion);
+  ASSERT_EQ(rewritten->children.size(), 2u);
+  EXPECT_EQ(rewritten->children[0]->kind, LogicalOpKind::kPath);
+  // Each split PATH keeps only the child stream its alphabet needs.
+  EXPECT_EQ(rewritten->children[0]->children.size(), 1u);
+
+  // And the merge rule inverts the split.
+  LogicalPlan merged = TryMergePathAlternation(*rewritten);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->kind, LogicalOpKind::kPath);
+  EXPECT_EQ(merged->regex.kind, RegexKind::kAlt);
+}
+
+TEST_F(TransformTest, ConcatSplitsToPattern) {
+  // R4: PATH[out, a.b] == PATTERN[out](Sa, Sb) with trg1 = src2.
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  auto path =
+      MakePath(out_, Regex::Concat({Regex::Label(a_), Regex::Label(b_)}),
+               std::move(children));
+  LogicalPlan rewritten = TrySplitPathConcat(*path, &vocab_);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->kind, LogicalOpKind::kPattern);
+  ASSERT_EQ(rewritten->children.size(), 2u);
+  // Bare labels route the scans directly (no nested PATH needed).
+  EXPECT_EQ(rewritten->children[0]->kind, LogicalOpKind::kWScan);
+}
+
+TEST_F(TransformTest, ConcatSplitRefusesEmptyAcceptingSides) {
+  // a . b* cannot split into a join (the zero-length b* match would be
+  // lost).
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  auto path = MakePath(
+      out_, Regex::Concat({Regex::Label(a_), Regex::Star(Regex::Label(b_))}),
+      std::move(children));
+  EXPECT_EQ(TrySplitPathConcat(*path, &vocab_), nullptr);
+}
+
+TEST_F(TransformTest, FusePatternChainIntoPath) {
+  // R4': PATTERN[d](Sa, Sb, Sc) over chain x0-x1-x2-x3 == PATH[d, a.b.c].
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  children.push_back(Scan(c_));
+  auto pattern = MakePattern(
+      d_, {{"x0", "x1"}, {"x1", "x2"}, {"x2", "x3"}}, "x0", "x3",
+      std::move(children));
+  LogicalPlan fused = TryFusePatternChain(*pattern);
+  ASSERT_NE(fused, nullptr);
+  EXPECT_EQ(fused->kind, LogicalOpKind::kPath);
+  EXPECT_EQ(fused->regex.kind, RegexKind::kConcat);
+  EXPECT_EQ(fused->children.size(), 3u);
+}
+
+TEST_F(TransformTest, FuseRefusesNonChainPattern) {
+  // A triangle (shared variable reuse) is not a linear chain.
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  auto pattern = MakePattern(d_, {{"x0", "x1"}, {"x0", "x1"}}, "x0", "x1",
+                             std::move(children));
+  EXPECT_EQ(TryFusePatternChain(*pattern), nullptr);
+}
+
+TEST_F(TransformTest, FuseClosureProducesQ4PlanP1) {
+  // Q4's canonical plan PATH[out, d+](PATTERN[d](Sa,Sb,Sc)) fuses into
+  // P1 = PATH[out, (a.b.c)+](Sa, Sb, Sc) (§7.4).
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  children.push_back(Scan(c_));
+  auto pattern = MakePattern(
+      d_, {{"x0", "x1"}, {"x1", "x2"}, {"x2", "x3"}}, "x0", "x3",
+      std::move(children));
+  std::vector<LogicalPlan> path_children;
+  path_children.push_back(std::move(pattern));
+  auto closure = MakePath(out_, Regex::Plus(Regex::Label(d_)),
+                          std::move(path_children));
+
+  LogicalPlan p1 = TryFuseClosureOverProducer(*closure);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->kind, LogicalOpKind::kPath);
+  ASSERT_EQ(p1->regex.kind, RegexKind::kPlus);
+  EXPECT_EQ(p1->regex.children[0].kind, RegexKind::kConcat);
+  EXPECT_EQ(p1->children.size(), 3u);
+  EXPECT_TRUE(ValidatePlan(*p1, vocab_).ok());
+}
+
+TEST_F(TransformTest, EnumeratePlansFindsAlternatives) {
+  Vocabulary vocab = vocab_;
+  // Q4 canonical plan: enumeration must discover the fused variants.
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  children.push_back(Scan(c_));
+  auto pattern = MakePattern(
+      d_, {{"x0", "x1"}, {"x1", "x2"}, {"x2", "x3"}}, "x0", "x3",
+      std::move(children));
+  std::vector<LogicalPlan> path_children;
+  path_children.push_back(std::move(pattern));
+  auto canonical = MakePath(out_, Regex::Plus(Regex::Label(d_)),
+                            std::move(path_children));
+
+  std::vector<LogicalPlan> plans = EnumeratePlans(*canonical, &vocab, 32);
+  EXPECT_GE(plans.size(), 2u);
+  bool found_fused = false;
+  for (const auto& p : plans) {
+    if (p->kind == LogicalOpKind::kPath &&
+        p->regex.kind == RegexKind::kPlus &&
+        p->regex.children[0].kind == RegexKind::kConcat &&
+        p->children.size() == 3u) {
+      found_fused = true;
+    }
+  }
+  EXPECT_TRUE(found_fused);
+  // Every enumerated plan still validates.
+  for (const auto& p : plans) {
+    EXPECT_TRUE(ValidatePlan(*p, vocab).ok()) << p->ToString(vocab);
+  }
+}
+
+TEST_F(TransformTest, PushFilterBelowUnion) {
+  std::vector<LogicalPlan> children;
+  children.push_back(Scan(a_));
+  children.push_back(Scan(b_));
+  auto u = MakeUnion(out_, std::move(children));
+  FilterPredicate pred;
+  pred.kind = FilterPredicate::Kind::kSrcEqualsTrg;
+  auto filter = MakeFilter({pred}, std::move(u));
+  LogicalPlan rewritten = TryPushFilterBelowUnion(*filter);
+  ASSERT_NE(rewritten, nullptr);
+  EXPECT_EQ(rewritten->kind, LogicalOpKind::kUnion);
+  EXPECT_EQ(rewritten->children[0]->kind, LogicalOpKind::kFilter);
+}
+
+}  // namespace
+}  // namespace sgq

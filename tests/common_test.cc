@@ -1,0 +1,105 @@
+// Unit tests for the common module: Status/Result, metrics, string utils.
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace sgq {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, CopyAndEquality) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == Status::OK());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseResult(int x, int* out) {
+  SGQ_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 4);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseResult(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UseResult(-2, &out).ok());
+}
+
+TEST(LatencyRecorderTest, NearestRankPercentile) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.Record(i / 1000.0);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.99), 0.099);
+  EXPECT_DOUBLE_EQ(r.Percentile(1.0), 0.100);
+  EXPECT_DOUBLE_EQ(r.Percentile(0.0), 0.001);
+  EXPECT_NEAR(r.Mean(), 0.0505, 1e-9);
+  EXPECT_DOUBLE_EQ(r.Max(), 0.100);
+}
+
+TEST(LatencyRecorderTest, EmptyIsZero) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.Percentile(0.99), 0);
+  EXPECT_EQ(r.Mean(), 0);
+}
+
+TEST(RunMetricsTest, Throughput) {
+  RunMetrics m;
+  m.edges_processed = 500;
+  m.elapsed_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(m.Throughput(), 250.0);
+  m.elapsed_seconds = 0;
+  EXPECT_DOUBLE_EQ(m.Throughput(), 0.0);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, TrimAndStartsWith) {
+  EXPECT_EQ(TrimString("  x y  "), "x y");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_TRUE(StartsWith("WINDOW(24h)", "WINDOW"));
+  EXPECT_FALSE(StartsWith("WIN", "WINDOW"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,309 @@
+// Tests for the physical operators on the paper's running example:
+// WSCAN/FILTER/UNION unit behaviour, PATTERN on Example 6, PATH on
+// Example 7, and first-class path payloads.
+
+#include <gtest/gtest.h>
+
+#include "core/basic_ops.h"
+#include "core/pattern_op.h"
+#include "core/query_processor.h"
+#include "core/spath_op.h"
+#include "model/stream_io.h"
+#include "test_util.h"
+#include "workload/queries.h"
+
+namespace sgq {
+namespace {
+
+using testing_util::ResultPairsAt;
+
+// Collects everything pushed into it.
+class CollectOp : public PhysicalOp {
+ public:
+  void OnTuple(int port, const Sgt& tuple) override {
+    (void)port;
+    tuples.push_back(tuple);
+  }
+  std::string Name() const override { return "COLLECT"; }
+  std::vector<Sgt> tuples;
+};
+
+TEST(WScanOpTest, AssignsValidityIntervals) {
+  CollectOp sink;
+  WScanOp scan(/*label=*/3, WindowSpec(24, 1));
+  scan.SetParent(&sink, 0);
+  scan.OnSge(Sge(1, 2, 3, 7));
+  ASSERT_EQ(sink.tuples.size(), 1u);
+  EXPECT_EQ(sink.tuples[0].validity, Interval(7, 31));
+  EXPECT_EQ(sink.tuples[0].label, 3u);
+  ASSERT_EQ(sink.tuples[0].payload.size(), 1u);
+}
+
+TEST(WScanOpTest, SlideCoarsensExpiry) {
+  CollectOp sink;
+  WScanOp scan(3, WindowSpec(24, 6));
+  scan.SetParent(&sink, 0);
+  scan.OnSge(Sge(1, 2, 3, 7));   // floor(7/6)*6 + 24 = 30
+  scan.OnSge(Sge(1, 2, 3, 13));  // floor(13/6)*6 + 24 = 36
+  EXPECT_EQ(sink.tuples[0].validity.exp, 30);
+  EXPECT_EQ(sink.tuples[1].validity.exp, 36);
+}
+
+TEST(WScanOpTest, DeletionBecomesNegativeTuple) {
+  CollectOp sink;
+  WScanOp scan(3, WindowSpec(24, 1));
+  scan.SetParent(&sink, 0);
+  scan.OnSge(Sge(1, 2, 3, 9, /*del=*/true));
+  ASSERT_EQ(sink.tuples.size(), 1u);
+  EXPECT_TRUE(sink.tuples[0].is_deletion);
+  EXPECT_EQ(sink.tuples[0].validity.ts, 9);
+}
+
+TEST(FilterOpTest, EvaluatesConjunction) {
+  CollectOp sink;
+  FilterPredicate self_loop;
+  self_loop.kind = FilterPredicate::Kind::kSrcEqualsTrg;
+  FilterOp filter({self_loop});
+  filter.SetParent(&sink, 0);
+  filter.OnTuple(0, Sgt(1, 1, 0, Interval(0, 5)));
+  filter.OnTuple(0, Sgt(1, 2, 0, Interval(0, 5)));
+  EXPECT_EQ(sink.tuples.size(), 1u);
+}
+
+TEST(UnionOpTest, RelabelsWhenConfigured) {
+  CollectOp sink;
+  UnionOp u(/*output_label=*/9);
+  u.SetParent(&sink, 0);
+  u.OnTuple(0, Sgt(1, 2, 3, Interval(0, 5)));
+  ASSERT_EQ(sink.tuples.size(), 1u);
+  EXPECT_EQ(sink.tuples[0].label, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// The running example (Figure 2 stream; Examples 6 and 7).
+// ---------------------------------------------------------------------------
+
+class RunningExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* csv =
+        "u,follows,v,7\n"
+        "v,posts,b,10\n"
+        "y,follows,u,13\n"
+        "v,posts,c,17\n"
+        "u,posts,a,22\n"
+        "y,likes,a,28\n"
+        "u,likes,b,29\n"
+        "u,likes,c,30\n";
+    auto parsed = ParseStreamCsv(csv, &vocab_);
+    ASSERT_TRUE(parsed.ok());
+    stream_ = *parsed;
+  }
+
+  VertexId V(const char* name) { return *vocab_.FindVertex(name); }
+
+  Vocabulary vocab_;
+  InputStream stream_;
+};
+
+TEST_F(RunningExampleTest, Example6PatternFindsRecentLikers) {
+  // RL(u1,u2) <- likes(u1,m1), follows+(u1,u2), posts(u2,m1); W = 24h.
+  auto query = MakeQuery(
+      "Answer(u1,u2) <- likes(u1,m1), follows+(u1,u2), posts(u2,m1)",
+      WindowSpec(24, 1), &vocab_);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab_, {});
+  ASSERT_TRUE(qp.ok()) << qp.status().ToString();
+  (*qp)->PushAll(stream_);
+
+  const std::vector<Sgt>& results = (*qp)->results();
+  // Example 6: exactly the derived edges (y, RL, u, [28,37)) and
+  // (u, RL, v, [29,31)) (the [30,31) duplicate coalesces away).
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].src, V("y"));
+  EXPECT_EQ(results[0].trg, V("u"));
+  EXPECT_EQ(results[0].validity, Interval(28, 37));
+  EXPECT_EQ(results[1].src, V("u"));
+  EXPECT_EQ(results[1].trg, V("v"));
+  EXPECT_EQ(results[1].validity, Interval(29, 31));
+}
+
+TEST_F(RunningExampleTest, Example7PathOverRecentLikers) {
+  // Adds PATH over the derived RL edges; Example 7 expects three results,
+  // including the length-2 materialized path (y -> u -> v).
+  auto query = MakeQuery(
+      "RL(u1,u2) <- likes(u1,m1), follows+(u1,u2), posts(u2,m1)\n"
+      "Answer(x,y) <- RL+(x,y)",
+      WindowSpec(24, 1), &vocab_);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab_, {});
+  ASSERT_TRUE(qp.ok()) << qp.status().ToString();
+  (*qp)->PushAll(stream_);
+
+  const VertexId u = V("u"), v = V("v"), y = V("y");
+  VertexPairSet pairs = ResultPairsAt((*qp)->results(), 29);
+  VertexPairSet expected = {{y, u}, {u, v}, {y, v}};
+  EXPECT_EQ(pairs, expected);
+
+  // The (y, v) result is a materialized path of two RL edges (R3: paths
+  // are first-class citizens and are returned).
+  bool found_path = false;
+  for (const Sgt& r : (*qp)->results()) {
+    if (r.src == y && r.trg == v) {
+      found_path = true;
+      ASSERT_EQ(r.payload.size(), 2u);
+      EXPECT_EQ(r.payload[0].src, y);
+      EXPECT_EQ(r.payload[0].trg, u);
+      EXPECT_EQ(r.payload[1].src, u);
+      EXPECT_EQ(r.payload[1].trg, v);
+      EXPECT_EQ(r.validity, Interval(29, 31));
+    }
+  }
+  EXPECT_TRUE(found_path);
+}
+
+TEST_F(RunningExampleTest, SnapshotReducibilityOnRunningExample) {
+  auto query = MakeQuery(
+      "RL(u1,u2) <- likes(u1,m1), follows+(u1,u2), posts(u2,m1)\n"
+      "Answer(x,y) <- RL+(x,y)",
+      WindowSpec(24, 1), &vocab_);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab_, {});
+  ASSERT_TRUE(qp.ok());
+  (*qp)->PushAll(stream_);
+  for (Timestamp t : {7, 13, 22, 25, 28, 29, 30}) {
+    EXPECT_EQ(ResultPairsAt((*qp)->results(), t),
+              testing_util::OraclePairsAt(stream_, *query, vocab_, t))
+        << "at t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PATTERN operator specifics
+// ---------------------------------------------------------------------------
+
+class PatternOpTest : public ::testing::Test {
+ protected:
+  // Builds a two-atom join pattern a(x,y), b(y,z) -> out(x,z).
+  void SetUp() override {
+    a_ = *vocab_.InternInputLabel("a");
+    b_ = *vocab_.InternInputLabel("b");
+    out_ = *vocab_.InternDerivedLabel("out");
+    std::vector<LogicalPlan> children;
+    children.push_back(MakeWScan(a_, WindowSpec(10, 1)));
+    children.push_back(MakeWScan(b_, WindowSpec(10, 1)));
+    logical_ = MakePattern(out_, {{"x", "y"}, {"y", "z"}}, "x", "z",
+                           std::move(children));
+    op_ = std::make_unique<PatternOp>(*logical_);
+    op_->SetParent(&sink_, 0);
+  }
+
+  Vocabulary vocab_;
+  LabelId a_, b_, out_;
+  LogicalPlan logical_;
+  std::unique_ptr<PatternOp> op_;
+  CollectOp sink_;
+};
+
+TEST_F(PatternOpTest, JoinsOnSharedVariableWithIntervalIntersection) {
+  op_->OnTuple(0, Sgt(1, 2, a_, Interval(0, 10)));
+  EXPECT_TRUE(sink_.tuples.empty());
+  op_->OnTuple(1, Sgt(2, 3, b_, Interval(5, 15)));
+  ASSERT_EQ(sink_.tuples.size(), 1u);
+  EXPECT_EQ(sink_.tuples[0].src, 1u);
+  EXPECT_EQ(sink_.tuples[0].trg, 3u);
+  EXPECT_EQ(sink_.tuples[0].validity, Interval(5, 10));
+  EXPECT_EQ(sink_.tuples[0].label, out_);
+}
+
+TEST_F(PatternOpTest, DisjointIntervalsDoNotJoin) {
+  op_->OnTuple(0, Sgt(1, 2, a_, Interval(0, 5)));
+  op_->OnTuple(1, Sgt(2, 3, b_, Interval(7, 15)));
+  EXPECT_TRUE(sink_.tuples.empty());
+}
+
+TEST_F(PatternOpTest, SymmetricArrivalOrder) {
+  // b before a: the symmetric hash join must still find the match.
+  op_->OnTuple(1, Sgt(2, 3, b_, Interval(5, 15)));
+  op_->OnTuple(0, Sgt(1, 2, a_, Interval(0, 10)));
+  ASSERT_EQ(sink_.tuples.size(), 1u);
+  EXPECT_EQ(sink_.tuples[0].validity, Interval(5, 10));
+}
+
+TEST_F(PatternOpTest, ExplicitDeletionRetractsJoinResults) {
+  op_->OnTuple(0, Sgt(1, 2, a_, Interval(0, 10)));
+  op_->OnTuple(1, Sgt(2, 3, b_, Interval(0, 10)));
+  ASSERT_EQ(sink_.tuples.size(), 1u);
+  // Delete the a-edge: a negative (1,3) result must be emitted.
+  op_->OnTuple(0, Sgt(1, 2, a_, Interval(4, kMaxTimestamp), {},
+                      /*del=*/true));
+  ASSERT_EQ(sink_.tuples.size(), 2u);
+  EXPECT_TRUE(sink_.tuples[1].is_deletion);
+  EXPECT_EQ(sink_.tuples[1].src, 1u);
+  EXPECT_EQ(sink_.tuples[1].trg, 3u);
+  // And the join state is gone: a new b-partner finds nothing.
+  op_->OnTuple(1, Sgt(2, 9, b_, Interval(5, 10)));
+  EXPECT_EQ(sink_.tuples.size(), 2u);
+}
+
+TEST_F(PatternOpTest, PurgeDropsExpiredState) {
+  op_->OnTuple(0, Sgt(1, 2, a_, Interval(0, 10)));
+  op_->OnTuple(0, Sgt(7, 8, a_, Interval(0, 30)));
+  EXPECT_EQ(op_->StateSize(), 2u);
+  op_->Purge(20);
+  EXPECT_EQ(op_->StateSize(), 1u);
+}
+
+TEST(PatternOpSelfJoinTest, IntraAtomConstraint) {
+  // Pattern loop(x,x) keeps only self-loops.
+  Vocabulary vocab;
+  LabelId a = *vocab.InternInputLabel("a");
+  LabelId out = *vocab.InternDerivedLabel("out");
+  std::vector<LogicalPlan> children;
+  children.push_back(MakeWScan(a, WindowSpec(10, 1)));
+  auto logical =
+      MakePattern(out, {{"x", "x"}}, "x", "x", std::move(children));
+  PatternOp op(*logical);
+  CollectOp sink;
+  op.SetParent(&sink, 0);
+  op.OnTuple(0, Sgt(1, 2, a, Interval(0, 10)));
+  op.OnTuple(0, Sgt(3, 3, a, Interval(0, 10)));
+  ASSERT_EQ(sink.tuples.size(), 1u);
+  EXPECT_EQ(sink.tuples[0].src, 3u);
+}
+
+TEST(PatternOpTriangleTest, CyclicJoinProducesTriangles) {
+  // t(x,y), t(y,z), t(z,x): a directed triangle query (GraphS-style cycle
+  // detection via PATTERN).
+  Vocabulary vocab;
+  LabelId t = *vocab.InternInputLabel("t");
+  LabelId out = *vocab.InternDerivedLabel("out");
+  std::vector<LogicalPlan> children;
+  for (int i = 0; i < 3; ++i) {
+    children.push_back(MakeWScan(t, WindowSpec(100, 1)));
+  }
+  auto logical = MakePattern(out, {{"x", "y"}, {"y", "z"}, {"z", "x"}}, "x",
+                             "x", std::move(children));
+  PatternOp op(*logical);
+  CollectOp sink;
+  op.SetParent(&sink, 0);
+  auto feed = [&](VertexId s, VertexId g, Interval iv) {
+    // The same input stream feeds all three ports (self-join).
+    for (int port = 0; port < 3; ++port) {
+      op.OnTuple(port, Sgt(s, g, t, iv));
+    }
+  };
+  feed(1, 2, Interval(0, 50));
+  feed(2, 3, Interval(1, 50));
+  EXPECT_TRUE(sink.tuples.empty());
+  feed(3, 1, Interval(2, 50));
+  // Three rotations of the triangle (x bound to 1, 2 and 3).
+  ASSERT_EQ(sink.tuples.size(), 3u);
+  for (const Sgt& r : sink.tuples) {
+    EXPECT_EQ(r.src, r.trg);
+    EXPECT_EQ(r.validity, Interval(2, 50));
+  }
+}
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,163 @@
+// Tests for the QueryProcessor shell: compilation errors, stream routing,
+// metrics accounting, slide boundaries, and randomized PATTERN-vs-oracle
+// properties on multi-atom conjunctive queries.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/query_processor.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace sgq {
+namespace {
+
+using testing_util::OraclePairsAt;
+using testing_util::ResultPairsAt;
+using testing_util::SampleTimes;
+
+TEST(ProcessorTest, CompileRejectsMalformedPlans) {
+  Vocabulary vocab;
+  LabelId a = *vocab.InternInputLabel("a");
+  // PATH over a label its children do not produce.
+  LabelId out = *vocab.InternDerivedLabel("out");
+  std::vector<LogicalPlan> children;
+  children.push_back(MakeWScan(a, WindowSpec(10, 1)));
+  LabelId other = *vocab.InternInputLabel("zzz");
+  auto bad = MakePath(out, Regex::Plus(Regex::Label(other)),
+                      std::move(children));
+  EXPECT_FALSE(QueryProcessor::Compile(*bad, vocab, {}).ok());
+}
+
+TEST(ProcessorTest, DiscardsUnreferencedLabels) {
+  Vocabulary vocab;
+  auto query = MakeQuery("Answer(x,y) <- a(x,y)", WindowSpec(10, 1), &vocab);
+  ASSERT_TRUE(query.ok());
+  LabelId noise = *vocab.InternInputLabel("noise");
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  (*qp)->Push(Sge(1, 2, *vocab.FindLabel("a"), 0));
+  (*qp)->Push(Sge(3, 4, noise, 1));
+  EXPECT_EQ((*qp)->edges_pushed(), 2u);
+  EXPECT_EQ((*qp)->edges_processed(), 1u);
+  EXPECT_EQ((*qp)->results_emitted(), 1u);
+}
+
+TEST(ProcessorTest, SlideLatenciesRecordedPerBoundary) {
+  Vocabulary vocab;
+  auto query = MakeQuery("Answer(x,y) <- a(x,y)", WindowSpec(10, 5), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  LabelId a = *vocab.FindLabel("a");
+  for (Timestamp t : {0, 3, 7, 11, 22}) (*qp)->Push(Sge(1, 2, a, t));
+  // Boundaries crossed: 5, 10, 15, 20 -> four recorded slides.
+  EXPECT_EQ((*qp)->slide_latencies().count(), 4u);
+}
+
+TEST(ProcessorTest, AdvanceToDrainsWithoutInput) {
+  Vocabulary vocab;
+  auto query = MakeQuery("Answer(x,y) <- a(x,y)", WindowSpec(6, 2), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  (*qp)->Push(Sge(1, 2, *vocab.FindLabel("a"), 1));
+  (*qp)->AdvanceTo(40);
+  EXPECT_GE((*qp)->slide_latencies().count(), 19u);
+  // Results survive as the recorded interval; state may be purged.
+  EXPECT_EQ(ResultPairsAt((*qp)->results(), 3).size(), 1u);
+  EXPECT_EQ(ResultPairsAt((*qp)->results(), 30).size(), 0u);
+}
+
+TEST(ProcessorTest, ExplainDescribesPlan) {
+  Vocabulary vocab;
+  auto query =
+      MakeQuery("Answer(x,y) <- a+(x,y)", WindowSpec(10, 1), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  const std::string plan = (*qp)->Explain();
+  EXPECT_NE(plan.find("PATH"), std::string::npos);
+  EXPECT_NE(plan.find("WSCAN"), std::string::npos);
+}
+
+TEST(ProcessorTest, TakeResultsDrainsBuffer) {
+  Vocabulary vocab;
+  auto query = MakeQuery("Answer(x,y) <- a(x,y)", WindowSpec(10, 1), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  (*qp)->Push(Sge(1, 2, *vocab.FindLabel("a"), 0));
+  EXPECT_EQ((*qp)->TakeResults().size(), 1u);
+  EXPECT_TRUE((*qp)->results().empty());
+  // Metrics keep counting across takes.
+  EXPECT_EQ((*qp)->results_emitted(), 1u);
+}
+
+TEST(ProcessorTest, RejectsOutOfOrderTimestamps) {
+  Vocabulary vocab;
+  auto query = MakeQuery("Answer(x,y) <- a(x,y)", WindowSpec(10, 1), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  LabelId a = *vocab.FindLabel("a");
+  (*qp)->Push(Sge(1, 2, a, 10));
+  EXPECT_DEATH((*qp)->Push(Sge(1, 2, a, 5)), "ordered");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized conjunctive patterns vs the oracle.
+// ---------------------------------------------------------------------------
+
+class RandomPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPatternTest, RandomConjunctiveQueryMatchesOracle) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  Vocabulary vocab;
+  RandomStreamOptions opt;
+  opt.seed = static_cast<uint64_t>(GetParam()) + 3000;
+  opt.num_vertices = 7;
+  opt.num_labels = 3;
+  opt.num_edges = 70;
+  opt.max_gap = 2;
+  auto stream = GenerateRandomStream(opt, &vocab);
+  ASSERT_TRUE(stream.ok());
+
+  // Build a random conjunctive rule with 2-4 atoms over variables
+  // x0..x3; head endpoints drawn from used variables.
+  const char* vars[] = {"x0", "x1", "x2", "x3"};
+  const char* labels[] = {"a", "b", "c"};
+  const int num_atoms = 2 + static_cast<int>(rng() % 3);
+  std::vector<std::string> used;
+  std::string body;
+  for (int i = 0; i < num_atoms; ++i) {
+    if (i > 0) body += ", ";
+    const char* src = vars[rng() % 4];
+    const char* trg = vars[rng() % 4];
+    body += std::string(labels[rng() % 3]) + "(" + src + "," + trg + ")";
+    used.push_back(src);
+    used.push_back(trg);
+  }
+  const std::string head_src = used[rng() % used.size()];
+  const std::string head_trg = used[rng() % used.size()];
+  const std::string text =
+      "Answer(" + head_src + "," + head_trg + ") <- " + body;
+
+  auto query = MakeQuery(text, WindowSpec(14, 1), &vocab);
+  ASSERT_TRUE(query.ok()) << text;
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok()) << text;
+  (*qp)->PushAll(*stream);
+  for (Timestamp t : SampleTimes(*stream, 8)) {
+    ASSERT_EQ(ResultPairsAt((*qp)->results(), t),
+              OraclePairsAt(*stream, *query, vocab, t))
+        << "query: " << text << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPatternTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,189 @@
+// Unit and property tests for the regex -> NFA -> DFA pipeline that powers
+// the PATH operators.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "regex/dfa.h"
+#include "regex/nfa.h"
+#include "regex/regex.h"
+
+namespace sgq {
+namespace {
+
+class RegexTest : public ::testing::Test {
+ protected:
+  LabelId L(const char* name) {
+    auto r = vocab_.InternInputLabel(name);
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+  Result<Regex> Parse(const char* text) { return ParseRegex(text, &vocab_); }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(RegexTest, ParsesConcatenationByJuxtaposition) {
+  auto r = Parse("a b c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, RegexKind::kConcat);
+  EXPECT_EQ(r->children.size(), 3u);
+}
+
+TEST_F(RegexTest, ParsesAlternationAndPrecedence) {
+  // Concatenation binds tighter than alternation.
+  auto r = Parse("a b | c");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->kind, RegexKind::kAlt);
+  ASSERT_EQ(r->children.size(), 2u);
+  EXPECT_EQ(r->children[0].kind, RegexKind::kConcat);
+  EXPECT_EQ(r->children[1].kind, RegexKind::kLabel);
+}
+
+TEST_F(RegexTest, ParsesQuantifiersAndGroups) {
+  auto r = Parse("(a b)+ c* d?");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->kind, RegexKind::kConcat);
+  EXPECT_EQ(r->children[0].kind, RegexKind::kPlus);
+  EXPECT_EQ(r->children[1].kind, RegexKind::kStar);
+  EXPECT_EQ(r->children[2].kind, RegexKind::kOpt);
+}
+
+TEST_F(RegexTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("(a").ok());
+  EXPECT_FALSE(Parse("a )").ok());
+  EXPECT_FALSE(Parse("|a").ok());
+  EXPECT_FALSE(Parse("a §").ok());
+}
+
+TEST_F(RegexTest, AlphabetCollectsDistinctLabels) {
+  auto r = Parse("a (b | a)* c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Alphabet().size(), 3u);
+}
+
+TEST_F(RegexTest, NfaAcceptsSimpleLanguages) {
+  LabelId a = L("a"), b = L("b");
+  auto r = Parse("a b*");
+  ASSERT_TRUE(r.ok());
+  Nfa nfa = Nfa::FromRegex(*r);
+  EXPECT_TRUE(nfa.Accepts({a}));
+  EXPECT_TRUE(nfa.Accepts({a, b}));
+  EXPECT_TRUE(nfa.Accepts({a, b, b, b}));
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts({b}));
+  EXPECT_FALSE(nfa.Accepts({a, a}));
+}
+
+TEST_F(RegexTest, DfaMatchesNfaOnHandPickedCases) {
+  LabelId a = L("a"), b = L("b"), c = L("c");
+  auto r = Parse("(a b c)+");
+  ASSERT_TRUE(r.ok());
+  Dfa dfa = Dfa::FromRegex(*r);
+  EXPECT_TRUE(dfa.Accepts({a, b, c}));
+  EXPECT_TRUE(dfa.Accepts({a, b, c, a, b, c}));
+  EXPECT_FALSE(dfa.Accepts({a, b}));
+  EXPECT_FALSE(dfa.Accepts({a, b, c, a}));
+  EXPECT_FALSE(dfa.AcceptsEmpty());
+}
+
+TEST_F(RegexTest, DfaStartCanRead) {
+  LabelId a = L("a");
+  LabelId b = L("b");
+  auto r = Parse("a b*");
+  ASSERT_TRUE(r.ok());
+  Dfa dfa = Dfa::FromRegex(*r);
+  EXPECT_TRUE(dfa.StartCanRead(a));
+  EXPECT_FALSE(dfa.StartCanRead(b));
+}
+
+TEST_F(RegexTest, MinimizationPreservesLanguage) {
+  LabelId a = L("a"), b = L("b");
+  // (a|b)* a (a|b): classic exponential-subset language; minimized DFA for
+  // "second-to-last symbol is a" over 2 letters has 4 states.
+  auto r = Parse("(a|b)* a (a|b)");
+  ASSERT_TRUE(r.ok());
+  Dfa unmin = Dfa::FromNfa(Nfa::FromRegex(*r));
+  Dfa min = unmin.Minimize();
+  EXPECT_LE(min.NumStates(), unmin.NumStates());
+  EXPECT_EQ(min.NumStates(), 4u);
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<LabelId> word;
+    const int len = static_cast<int>(rng() % 8);
+    for (int j = 0; j < len; ++j) word.push_back(rng() % 2 == 0 ? a : b);
+    EXPECT_EQ(min.Accepts(word), unmin.Accepts(word));
+  }
+}
+
+TEST_F(RegexTest, EmptyLanguageHandled) {
+  // "a" minimized keeps the start state; over an unrelated word it dies.
+  LabelId a = L("a"), b = L("b");
+  auto r = Parse("a");
+  ASSERT_TRUE(r.ok());
+  Dfa dfa = Dfa::FromRegex(*r);
+  EXPECT_TRUE(dfa.Accepts({a}));
+  EXPECT_FALSE(dfa.Accepts({b}));
+  EXPECT_EQ(dfa.Next(dfa.start(), b), Dfa::kNoState);
+}
+
+// Property: minimized DFA and NFA agree on random words for random
+// regexes. Parameterized over seeds (property-style sweep).
+class RegexPropertyTest : public ::testing::TestWithParam<int> {};
+
+Regex RandomRegex(std::mt19937_64* rng, const std::vector<LabelId>& labels,
+                  int depth) {
+  std::uniform_int_distribution<int> kind_dist(0, depth <= 0 ? 0 : 5);
+  switch (kind_dist(*rng)) {
+    case 1: {
+      std::vector<Regex> parts;
+      for (int i = 0; i < 2; ++i) {
+        parts.push_back(RandomRegex(rng, labels, depth - 1));
+      }
+      return Regex::Concat(std::move(parts));
+    }
+    case 2: {
+      std::vector<Regex> parts;
+      for (int i = 0; i < 2; ++i) {
+        parts.push_back(RandomRegex(rng, labels, depth - 1));
+      }
+      return Regex::Alt(std::move(parts));
+    }
+    case 3:
+      return Regex::Star(RandomRegex(rng, labels, depth - 1));
+    case 4:
+      return Regex::Plus(RandomRegex(rng, labels, depth - 1));
+    case 5:
+      return Regex::Opt(RandomRegex(rng, labels, depth - 1));
+    default:
+      return Regex::Label(labels[(*rng)() % labels.size()]);
+  }
+}
+
+TEST_P(RegexPropertyTest, DfaEquivalentToNfaOracle) {
+  Vocabulary vocab;
+  std::vector<LabelId> labels = {*vocab.InternInputLabel("a"),
+                                 *vocab.InternInputLabel("b"),
+                                 *vocab.InternInputLabel("c")};
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  Regex regex = RandomRegex(&rng, labels, 4);
+  Nfa nfa = Nfa::FromRegex(regex);
+  Dfa dfa = Dfa::FromRegex(regex);
+  for (int i = 0; i < 120; ++i) {
+    std::vector<LabelId> word;
+    const int len = static_cast<int>(rng() % 7);
+    for (int j = 0; j < len; ++j) {
+      word.push_back(labels[rng() % labels.size()]);
+    }
+    ASSERT_EQ(dfa.Accepts(word), nfa.Accepts(word))
+        << "seed=" << GetParam() << " word length " << word.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRegexes, RegexPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sgq

@@ -1,0 +1,84 @@
+// Unit tests for snapshot graphs (Def. 12) and materialized path entries
+// (Def. 6): set semantics, adjacency, path extraction from sgt payloads,
+// and deletion truncation.
+
+#include <gtest/gtest.h>
+
+#include "model/snapshot_graph.h"
+
+namespace sgq {
+namespace {
+
+TEST(SnapshotGraphTest, SetSemanticsOnEdges) {
+  SnapshotGraph g;
+  g.AddEdge(EdgeRef(1, 2, 0));
+  g.AddEdge(EdgeRef(1, 2, 0));  // duplicate: ignored
+  g.AddEdge(EdgeRef(1, 2, 1));  // different label: kept
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutNeighbors(1, 0).size(), 1u);
+}
+
+TEST(SnapshotGraphTest, AdjacencyIsPerLabel) {
+  SnapshotGraph g;
+  g.AddEdge(EdgeRef(1, 2, 0));
+  g.AddEdge(EdgeRef(1, 3, 0));
+  g.AddEdge(EdgeRef(1, 4, 1));
+  EXPECT_EQ(g.OutNeighbors(1, 0).size(), 2u);
+  EXPECT_EQ(g.OutNeighbors(1, 1).size(), 1u);
+  EXPECT_TRUE(g.OutNeighbors(2, 0).empty());
+  EXPECT_EQ(g.EdgesWithLabel(0).size(), 2u);
+}
+
+TEST(SnapshotGraphTest, VerticesCoverEdgeAndPathEndpoints) {
+  SnapshotGraph g;
+  g.AddEdge(EdgeRef(1, 2, 0));
+  g.AddPath(SnapshotPath{7, 9, 3, {EdgeRef(7, 8, 0), EdgeRef(8, 9, 0)}});
+  auto vs = g.Vertices();
+  EXPECT_EQ(vs.size(), 4u);  // 1, 2, 7, 9 (interior 8 is not an endpoint)
+}
+
+TEST(SnapshotGraphTest, AtSeparatesEdgesFromPaths) {
+  // Multi-edge payload => first-class path (P_t); single edge => E_t.
+  SgtStream stream = {
+      Sgt(1, 2, 0, Interval(0, 10), {EdgeRef(1, 2, 0)}),
+      Sgt(5, 7, 3, Interval(0, 10), {EdgeRef(5, 6, 0), EdgeRef(6, 7, 0)}),
+  };
+  SnapshotGraph g = SnapshotGraph::At(stream, 5);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  ASSERT_EQ(g.paths().size(), 1u);
+  EXPECT_EQ(g.paths()[0].src, 5u);
+  EXPECT_EQ(g.paths()[0].trg, 7u);
+  EXPECT_EQ(g.paths()[0].edges.size(), 2u);
+}
+
+TEST(SnapshotGraphTest, AtRespectsValidityAndDeletions) {
+  SgtStream stream = {
+      Sgt(1, 2, 0, Interval(0, 10), {EdgeRef(1, 2, 0)}),
+      Sgt(3, 4, 0, Interval(5, 20), {EdgeRef(3, 4, 0)}),
+      // Explicit deletion of (1,2) at t=7.
+      Sgt(1, 2, 0, Interval(7, kMaxTimestamp), {}, /*del=*/true),
+  };
+  EXPECT_EQ(SnapshotGraph::At(stream, 6).NumEdges(), 2u);
+  EXPECT_EQ(SnapshotGraph::At(stream, 7).NumEdges(), 1u);
+  EXPECT_EQ(SnapshotGraph::At(stream, 25).NumEdges(), 0u);
+}
+
+TEST(SnapshotGraphTest, PathKeysAreSetSemantic) {
+  SnapshotGraph g;
+  g.AddPath(SnapshotPath{1, 3, 9, {EdgeRef(1, 2, 0), EdgeRef(2, 3, 0)}});
+  // Same (src, trg, label) with a different witness: first one wins.
+  g.AddPath(SnapshotPath{1, 3, 9, {EdgeRef(1, 3, 1)}});
+  ASSERT_EQ(g.paths().size(), 1u);
+  EXPECT_EQ(g.paths()[0].edges.size(), 2u);
+}
+
+TEST(SnapshotGraphTest, FromEdgesBulkConstruction) {
+  SnapshotGraph g = SnapshotGraph::FromEdges(
+      {EdgeRef(1, 2, 0), EdgeRef(2, 3, 0), EdgeRef(1, 2, 0)});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(EdgeRef(2, 3, 0)));
+  EXPECT_FALSE(g.HasEdge(EdgeRef(3, 2, 0)));
+}
+
+}  // namespace
+}  // namespace sgq

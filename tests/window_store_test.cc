@@ -1,0 +1,64 @@
+// Unit tests for the windowed edge store used by the PATH operators.
+
+#include <gtest/gtest.h>
+
+#include "core/window_store.h"
+
+namespace sgq {
+namespace {
+
+TEST(WindowEdgeStoreTest, InsertAndLookup) {
+  WindowEdgeStore store;
+  store.Insert(1, 2, 0, Interval(0, 10));
+  store.Insert(1, 3, 0, Interval(2, 12));
+  store.Insert(1, 2, 1, Interval(0, 10));  // different label
+  ASSERT_EQ(store.OutEdges(1, 0).size(), 2u);
+  ASSERT_EQ(store.OutEdges(1, 1).size(), 1u);
+  EXPECT_TRUE(store.OutEdges(2, 0).empty());
+  EXPECT_EQ(store.NumEntries(), 3u);
+}
+
+TEST(WindowEdgeStoreTest, CoalescesTouchingIntervals) {
+  WindowEdgeStore store;
+  store.Insert(1, 2, 0, Interval(0, 10));
+  store.Insert(1, 2, 0, Interval(5, 20));   // overlapping: span
+  store.Insert(1, 2, 0, Interval(20, 25));  // adjacent: span
+  ASSERT_EQ(store.OutEdges(1, 0).size(), 1u);
+  EXPECT_EQ(store.OutEdges(1, 0)[0].validity, Interval(0, 25));
+  // A disjoint re-insertion stays separate.
+  store.Insert(1, 2, 0, Interval(40, 50));
+  EXPECT_EQ(store.OutEdges(1, 0).size(), 2u);
+}
+
+TEST(WindowEdgeStoreTest, EmptyIntervalIgnored) {
+  WindowEdgeStore store;
+  store.Insert(1, 2, 0, Interval(5, 5));
+  EXPECT_EQ(store.NumEntries(), 0u);
+}
+
+TEST(WindowEdgeStoreTest, DeleteAtTruncates) {
+  WindowEdgeStore store;
+  store.Insert(1, 2, 0, Interval(0, 100));
+  EXPECT_TRUE(store.DeleteAt(1, 2, 0, 40));
+  ASSERT_EQ(store.OutEdges(1, 0).size(), 1u);
+  EXPECT_EQ(store.OutEdges(1, 0)[0].validity, Interval(0, 40));
+  // Deleting before the start removes the entry entirely.
+  EXPECT_TRUE(store.DeleteAt(1, 2, 0, 0));
+  EXPECT_TRUE(store.OutEdges(1, 0).empty());
+  // Deleting something absent reports no effect.
+  EXPECT_FALSE(store.DeleteAt(9, 9, 0, 5));
+}
+
+TEST(WindowEdgeStoreTest, PurgeExpiredReturnsDropped) {
+  WindowEdgeStore store;
+  store.Insert(1, 2, 0, Interval(0, 10));
+  store.Insert(1, 3, 0, Interval(0, 30));
+  store.Insert(4, 5, 1, Interval(5, 8));
+  std::vector<Sgt> dropped = store.PurgeExpired(10);
+  EXPECT_EQ(dropped.size(), 2u);
+  EXPECT_EQ(store.NumEntries(), 1u);
+  EXPECT_EQ(store.OutEdges(1, 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sgq
