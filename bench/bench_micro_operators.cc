@@ -96,7 +96,8 @@ void BM_SymmetricHashJoin(benchmark::State& state) {
 
   PatternOp op(*logical);
   NullSink sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   std::mt19937_64 rng(3);
   Timestamp t = 0;
   for (auto _ : state) {
@@ -126,7 +127,8 @@ void BM_SPathExpand(benchmark::State& state) {
 
   SPathOp op(Dfa::FromRegex(*regex), out);
   NullSink sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   std::mt19937_64 rng(11);
   Timestamp t = 0;
   for (auto _ : state) {

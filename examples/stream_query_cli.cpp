@@ -2,7 +2,7 @@
 //
 // Usage:
 //   stream_query_cli <query-file> <stream.csv> [window] [slide] [--gcore]
-//                    [--delta-path] [--slack N]
+//                    [--delta-path] [--slack N] [--batch N]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream.csv   lines `src,label,trg,timestamp[,+|-]`, timestamp-ordered
@@ -56,7 +56,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--delta-path") == 0) {
       options.path_impl = PathImpl::kDeltaPath;
     } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
-      slack = std::atoll(argv[++i]);
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n < 0) {
+        std::fprintf(stderr,
+                     "--slack: expected a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      slack = n;
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n <= 0) {
+        std::fprintf(stderr, "--batch: expected a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      options.batch_size = static_cast<std::size_t>(n);
     } else if (positional == 0) {
       auto text = ReadFile(argv[i]);
       if (!text.ok()) {
@@ -124,6 +139,13 @@ int main(int argc, char** argv) {
     }
   };
 
+  if (slack > 0 && options.batch_size > 1) {
+    // The slack path delivers (and prints) results per element, which
+    // flushes the ingest queue each time — batching cannot take effect.
+    std::fprintf(stderr,
+                 "--batch has no effect with --slack; running "
+                 "tuple-at-a-time\n");
+  }
   if (slack > 0) {
     // Tolerate bounded disorder: re-parse leniently line by line.
     ReorderBuffer buffer(slack);
@@ -131,16 +153,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "late element dropped (t=%lld)\n",
                    static_cast<long long>(late.t));
     });
+    std::size_t line_no = 0;
     for (const std::string& line : SplitString(stream_text, '\n')) {
+      ++line_no;
       if (TrimString(line).empty()) continue;
-      Vocabulary* v = &vocab;
-      auto one = ParseStreamCsv(std::string(TrimString(line)) + "\n", v);
-      if (!one.ok() || one->empty()) continue;
+      auto one = ParseStreamCsv(std::string(TrimString(line)) + "\n", &vocab);
+      if (!one.ok()) {
+        // --slack tolerates disorder, not malformed input: a single-line
+        // parse cannot fail the ordering check, so any error is fatal.
+        // The single-line parser reports "line 1"; substitute the real
+        // line number.
+        std::string msg = one.status().message();
+        const std::string kInnerPrefix = "line 1: ";
+        if (StartsWith(msg, kInnerPrefix)) {
+          msg = msg.substr(kInnerPrefix.size());
+        }
+        std::fprintf(stderr, "stream: line %zu: %s\n", line_no, msg.c_str());
+        return 1;
+      }
+      if (one->empty()) continue;  // comment line
       for (const Sge& released : buffer.Offer((*one)[0])) {
         deliver(released);
       }
     }
     for (const Sge& released : buffer.Flush()) deliver(released);
+  } else if (options.batch_size > 1) {
+    // Micro-batched ingest: results materialize at flush boundaries, so
+    // print them once the stream is drained.
+    (*qp)->PushAll(*stream);
+    for (const Sgt& r : (*qp)->TakeResults()) {
+      std::printf("%s\n", r.ToString(vocab).c_str());
+    }
   } else {
     for (const Sge& sge : *stream) deliver(sge);
   }

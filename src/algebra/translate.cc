@@ -1,5 +1,6 @@
 #include "algebra/translate.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -108,6 +109,86 @@ Result<LogicalPlan> TranslateToCanonicalPlan(
   SGQ_ASSIGN_OR_RETURN(LogicalPlan answer, exp.For(rq.answer()));
   SGQ_RETURN_NOT_OK(ValidatePlan(*answer, vocab));
   return answer;
+}
+
+namespace {
+
+// Vocabulary-free canonical rendering of a regex (label ids, not names).
+std::string RegexSignature(const Regex& r) {
+  switch (r.kind) {
+    case RegexKind::kEpsilon:
+      return "e";
+    case RegexKind::kLabel:
+      return "l" + std::to_string(r.label);
+    case RegexKind::kConcat:
+    case RegexKind::kAlt: {
+      std::string out = r.kind == RegexKind::kConcat ? "(." : "(|";
+      for (const Regex& c : r.children) out += RegexSignature(c);
+      return out + ")";
+    }
+    case RegexKind::kStar:
+      return "(" + RegexSignature(r.children[0]) + ")*";
+    case RegexKind::kPlus:
+      return "(" + RegexSignature(r.children[0]) + ")+";
+    case RegexKind::kOpt:
+      return "(" + RegexSignature(r.children[0]) + ")?";
+  }
+  return "?";
+}
+
+std::string PredicateSignature(const FilterPredicate& p) {
+  return std::to_string(static_cast<int>(p.kind)) + ":" +
+         std::to_string(p.vertex) + ":" + std::to_string(p.label);
+}
+
+}  // namespace
+
+std::string PlanSignature(const LogicalOp& plan) {
+  std::string out;
+  switch (plan.kind) {
+    case LogicalOpKind::kWScan:
+      out = "W(" + std::to_string(plan.input_label) + "," +
+            std::to_string(plan.window.size) + "," +
+            std::to_string(plan.window.slide) + ")";
+      break;
+    case LogicalOpKind::kFilter: {
+      std::vector<std::string> preds;
+      preds.reserve(plan.predicates.size());
+      for (const FilterPredicate& p : plan.predicates) {
+        preds.push_back(PredicateSignature(p));
+      }
+      std::sort(preds.begin(), preds.end());  // conjunction commutes
+      out = "F(";
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (i > 0) out += ";";
+        out += preds[i];
+      }
+      out += ")";
+      break;
+    }
+    case LogicalOpKind::kUnion:
+      out = "U(" + std::to_string(plan.output_label) + ")";
+      break;
+    case LogicalOpKind::kPattern: {
+      out = "P(" + std::to_string(plan.output_label) + ";";
+      for (const auto& [src, trg] : plan.child_vars) {
+        out += src + ">" + trg + ";";
+      }
+      out += plan.out_src_var + ">" + plan.out_trg_var + ")";
+      break;
+    }
+    case LogicalOpKind::kPath:
+      out = "R(" + std::to_string(plan.output_label) + ";" +
+            RegexSignature(plan.regex) + ")";
+      break;
+  }
+  out += "[";
+  for (std::size_t i = 0; i < plan.children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += PlanSignature(*plan.children[i]);
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace sgq

@@ -19,6 +19,14 @@ namespace sgq {
 Result<LogicalPlan> TranslateToCanonicalPlan(const StreamingGraphQuery& query,
                                              const Vocabulary& vocab);
 
+/// \brief Canonical structural signature of a (sub)plan: equal signatures
+/// imply the two subplans produce the same output stream for every input
+/// stream. The runtime keys shared WindowStore partitions and deduplicated
+/// WSCAN operators on it. FILTER conjuncts are order-normalized (a
+/// conjunction commutes); UNION children are not (emission order matters
+/// for shared state).
+std::string PlanSignature(const LogicalOp& plan);
+
 }  // namespace sgq
 
 #endif  // SGQ_ALGEBRA_TRANSLATE_H_

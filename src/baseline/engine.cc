@@ -64,6 +64,11 @@ void DifferentialEngine::Push(const Sge& sge) {
   pending_.push_back(sge);
 }
 
+void DifferentialEngine::PushAll(const InputStream& stream) {
+  for (const Sge& sge : stream) Push(sge);
+  if (!stream.empty()) AdvanceTo(stream.back().t + 1);
+}
+
 void DifferentialEngine::AdvanceTo(Timestamp t) {
   if (!started_) {
     next_boundary_ = (t / slide_) * slide_ + slide_;

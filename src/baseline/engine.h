@@ -45,6 +45,10 @@ class DifferentialEngine {
   /// \brief Feeds one stream element (buffered until its epoch closes).
   void Push(const Sge& sge);
 
+  /// \brief Feeds a whole stream in order and closes the final epoch —
+  /// the batch driver loop mirroring QueryProcessor::PushAll.
+  void PushAll(const InputStream& stream);
+
   /// \brief Advances the clock to `t`, closing and processing every epoch
   /// boundary passed on the way.
   void AdvanceTo(Timestamp t);

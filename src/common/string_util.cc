@@ -1,6 +1,8 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cstdint>
+#include <limits>
 
 namespace sgq {
 
@@ -46,6 +48,34 @@ std::string JoinStrings(const std::vector<std::string>& parts,
     out += parts[i];
   }
   return out;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (text[0] == '-' || text[0] == '+') i = 1;
+  if (i == text.size()) return false;  // sign only
+  uint64_t magnitude = 0;
+  const uint64_t limit =
+      negative ? static_cast<uint64_t>(
+                     std::numeric_limits<int64_t>::max()) +
+                     1
+               : static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (limit - digit) / 10) return false;  // overflow
+    magnitude = magnitude * 10 + digit;
+  }
+  if (negative) {
+    *out = magnitude == limit ? std::numeric_limits<int64_t>::min()
+                              : -static_cast<int64_t>(magnitude);
+  } else {
+    *out = static_cast<int64_t>(magnitude);
+  }
+  return true;
 }
 
 }  // namespace sgq

@@ -3,6 +3,7 @@
 #ifndef SGQ_COMMON_STRING_UTIL_H_
 #define SGQ_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,6 +22,11 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// \brief Joins `parts` with `sep`.
 std::string JoinStrings(const std::vector<std::string>& parts,
                         std::string_view sep);
+
+/// \brief Strict signed-integer parse: the whole of `text` must be a
+/// base-10 integer (optional leading '-'/'+'), no trailing garbage, no
+/// empty input. Returns false on any violation or overflow.
+bool ParseInt64(std::string_view text, int64_t* out);
 
 }  // namespace sgq
 

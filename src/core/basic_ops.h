@@ -16,13 +16,17 @@ namespace sgq {
 
 /// \brief Physical WSCAN (Def. 16): turns input sges into sgts by
 /// assigning the validity interval [t, floor(t/beta)*beta + T).
-class WScanOp : public PhysicalOp {
+///
+/// A source operator: the Executor routes each ingested sge to the scans
+/// registered for its label. The runtime deduplicates structurally
+/// identical WSCANs — one operator fans its channel out to every consumer.
+class WScanOp : public SourceOp {
  public:
   WScanOp(LabelId label, WindowSpec window)
       : label_(label), window_(window) {}
 
   /// \brief Entry point used by the engine's stream router.
-  void OnSge(const Sge& sge);
+  void OnSge(const Sge& sge) override;
 
   void OnTuple(int port, const Sgt& tuple) override;
   std::string Name() const override { return "WSCAN"; }

@@ -9,7 +9,7 @@ void DeltaPathOp::OnTuple(int port, const Sgt& tuple) {
     return;
   }
   if (tuple.validity.Empty()) return;
-  window_.Insert(tuple.src, tuple.trg, tuple.label, tuple.validity);
+  window_->Insert(tuple.src, tuple.trg, tuple.label, tuple.validity);
   expiry_heap_.push(tuple.validity.exp);
 
   std::vector<AttachWork> work;
@@ -59,7 +59,7 @@ void DeltaPathOp::DrainWorklist(std::vector<AttachWork> work) {
       EmitResult(tree, w.child, w.iv);
     }
     for (const auto& [label, q] : OutTransitions(w.child.second)) {
-      for (const StoredEdge& e : window_.OutEdges(w.child.first, label)) {
+      for (const StoredEdge& e : window_->OutEdges(w.child.first, label)) {
         const Interval next_iv = w.iv.Intersect(e.validity);
         if (next_iv.Empty()) continue;
         work.push_back(AttachWork{w.root, w.child, NodeKey{e.trg, q},
@@ -83,7 +83,7 @@ void DeltaPathOp::OnTimeAdvance(Timestamp now) {
   // sets are closed under descendants (a child's interval is contained in
   // its parent's at attach time and is never widened), so detaching them
   // together is sound.
-  window_.PurgeExpired(now);
+  window_->PurgeExpired(now);
   for (auto& [root, tree] : trees_) {
     (void)root;
     std::vector<NodeKey> expired;

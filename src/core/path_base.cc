@@ -169,7 +169,7 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
   auto relax_from = [&](const NodeKey& parent_key, const Interval& piv) {
     for (const auto& [label, q] : out_transitions_[parent_key.second]) {
       for (const StoredEdge& e :
-           window_.OutEdges(parent_key.first, label)) {
+           window_->OutEdges(parent_key.first, label)) {
         const NodeKey child{e.trg, q};
         if (detached.count(child) == 0) continue;
         const Interval iv = piv.Intersect(e.validity);
@@ -226,7 +226,11 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
 
 void PathOpBase::HandleExplicitDeletion(const Sgt& t) {
   const Timestamp td = t.validity.ts;
-  if (!window_.DeleteAt(t.src, t.trg, t.label, td)) return;
+  // A shared partition may already have been truncated by a sibling
+  // consumer of the same deletion, so DeleteAt's "affected" bit alone
+  // cannot gate the tree repair: the forest can reference the edge as
+  // `via` regardless of who truncated the store first.
+  const bool affected = window_->DeleteAt(t.src, t.trg, t.label, td);
   // A deleted *tree* edge disconnects the subtree under its child node;
   // non-tree edges leave the forest unchanged (§6.2.5).
   for (const auto& [s, q] : dfa_.TransitionsOnLabel(t.label)) {
@@ -240,6 +244,11 @@ void PathOpBase::HandleExplicitDeletion(const Sgt& t) {
       if (node_it == tree.nodes.end() || node_it->second.is_root) continue;
       const TreeNode& node = node_it->second;
       if (node.parent != parent_key || node.via != t.edge()) continue;
+      // When the store had no live entry (the edge expired or was deleted
+      // before), only still-live references need repair — the sibling-
+      // truncated-first case. Dead references ended naturally with the
+      // window; re-deriving them would emit spurious retractions.
+      if (!affected && node.iv.exp <= td) continue;
       RederiveSubtree(tree, CollectSubtree(tree, child_key), td,
                       /*emit_negatives=*/true);
     }
@@ -247,7 +256,7 @@ void PathOpBase::HandleExplicitDeletion(const Sgt& t) {
 }
 
 void PathOpBase::Purge(Timestamp now) {
-  window_.PurgeExpired(now);
+  window_->PurgeExpired(now);
   for (auto tree_it = trees_.begin(); tree_it != trees_.end();) {
     SpanningTree& tree = tree_it->second;
     std::vector<NodeKey> dead;
@@ -268,7 +277,7 @@ void PathOpBase::Purge(Timestamp now) {
 }
 
 std::size_t PathOpBase::StateSize() const {
-  std::size_t n = window_.NumEntries() + out_coalescer_.NumKeys();
+  std::size_t n = window_->NumEntries() + out_coalescer_.NumKeys();
   for (const auto& [_, tree] : trees_) n += tree.nodes.size();
   return n;
 }

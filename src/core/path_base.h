@@ -30,6 +30,16 @@ class PathOpBase : public PhysicalOp {
   std::string Name() const override { return "PATH"; }
   std::size_t StateSize() const override;
 
+  /// \brief Probes and maintains window state through a partition of the
+  /// runtime WindowStore instead of a private copy. Must be called before
+  /// the first tuple; the caller keeps `store` alive. Safe to share with
+  /// other PATH operators over the same input: inserts coalesce
+  /// idempotently, deletions truncate idempotently, and repeated purges
+  /// are cheap.
+  void BindSharedWindow(WindowEdgeStore* store) { window_ = store; }
+
+  bool shares_window() const { return window_ != &owned_window_; }
+
   /// \brief Frees window edges, tree nodes and coalescer state that
   /// expired before `now` (memory only; results are unaffected because
   /// probes intersect intervals).
@@ -107,10 +117,15 @@ class PathOpBase : public PhysicalOp {
   const Dfa& dfa() const { return dfa_; }
   LabelId out_label() const { return out_label_; }
 
-  WindowEdgeStore window_;
+  /// Window adjacency: points at the operator's own store, or at a shared
+  /// WindowStore partition after BindSharedWindow(). Shared maintenance is
+  /// safe without coordination: inserts coalesce idempotently and repeated
+  /// purges are cheap (the store tracks its earliest expiry).
+  WindowEdgeStore* window_ = &owned_window_;
   std::unordered_map<VertexId, SpanningTree> trees_;
 
  private:
+  WindowEdgeStore owned_window_;
   Dfa dfa_;
   LabelId out_label_;
   /// Inverted index (Def. 22): node key -> roots of trees containing it.

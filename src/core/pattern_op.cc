@@ -8,7 +8,8 @@
 
 namespace sgq {
 
-PatternOp::PatternOp(const LogicalOp& pattern) {
+PatternOp::PatternOp(const LogicalOp& pattern,
+                     std::vector<PatternPortState> port_state) {
   SGQ_CHECK(pattern.kind == LogicalOpKind::kPattern);
   num_ports_ = static_cast<int>(pattern.child_vars.size());
   out_label_ = pattern.output_label;
@@ -39,6 +40,33 @@ PatternOp::PatternOp(const LogicalOp& pattern) {
     level.key_vars.erase(
         std::unique(level.key_vars.begin(), level.key_vars.end()),
         level.key_vars.end());
+
+    // Move the port's single-atom state into the runtime WindowStore when
+    // a partition was provided, the port's label is static, and the level
+    // has a join key to probe the index with.
+    if (static_cast<std::size_t>(p) < port_state.size() &&
+        port_state[static_cast<std::size_t>(p)].store != nullptr &&
+        port_state[static_cast<std::size_t>(p)].label != kInvalidLabel &&
+        !level.key_vars.empty()) {
+      level.store = port_state[static_cast<std::size_t>(p)].store;
+      level.store_label = port_state[static_cast<std::size_t>(p)].label;
+      const auto& [sv, tv] = port_vars_[static_cast<std::size_t>(p)];
+      const bool has_src =
+          std::binary_search(level.key_vars.begin(), level.key_vars.end(),
+                             sv);
+      const bool has_trg =
+          std::binary_search(level.key_vars.begin(), level.key_vars.end(),
+                             tv);
+      if (has_src && has_trg) {
+        level.probe = ProbeKind::kOutFiltered;
+      } else if (has_src) {
+        level.probe = ProbeKind::kOut;
+      } else {
+        level.probe = ProbeKind::kIn;
+        level.store->EnableInIndex();
+      }
+    }
+
     levels_.push_back(std::move(level));
     acc_vars.insert(port_vars_[p].first);
     acc_vars.insert(port_vars_[p].second);
@@ -63,6 +91,56 @@ PatternOp::Key PatternOp::ExtractKey(const Level& level,
     key.push_back(b.vals[static_cast<std::size_t>(v)]);
   }
   return key;
+}
+
+template <typename Fn>
+void PatternOp::ForEachRightMatch(std::size_t level_idx, const Key& key,
+                                  Fn&& fn) const {
+  const Level& lv = levels_[level_idx];
+  const int port = static_cast<int>(level_idx) + 1;
+  if (lv.store == nullptr) {
+    auto it = lv.right.find(key);
+    if (it == lv.right.end()) return;
+    for (const Binding& other : it->second) fn(other);
+    return;
+  }
+  // The key vector is aligned with the sorted key_vars.
+  auto key_val = [&](int var) {
+    const auto pos =
+        std::lower_bound(lv.key_vars.begin(), lv.key_vars.end(), var);
+    return key[static_cast<std::size_t>(pos - lv.key_vars.begin())];
+  };
+  const auto& [src_var, trg_var] = port_vars_[static_cast<std::size_t>(port)];
+  Binding b;
+  auto try_edge = [&](VertexId s, VertexId g, const Interval& iv) {
+    const Sgt tuple(s, g, lv.store_label, iv);
+    if (BindPort(port, tuple, &b)) fn(b);
+  };
+  switch (lv.probe) {
+    case ProbeKind::kOutFiltered: {
+      const VertexId s = key_val(src_var);
+      const VertexId g = key_val(trg_var);
+      for (const StoredEdge& e : lv.store->OutEdges(s, lv.store_label)) {
+        if (e.trg == g) try_edge(s, e.trg, e.validity);
+      }
+      break;
+    }
+    case ProbeKind::kOut: {
+      const VertexId s = key_val(src_var);
+      for (const StoredEdge& e : lv.store->OutEdges(s, lv.store_label)) {
+        try_edge(s, e.trg, e.validity);
+      }
+      break;
+    }
+    case ProbeKind::kIn: {
+      const VertexId g = key_val(trg_var);
+      // Reverse-index entries store the *source* in `trg`.
+      for (const StoredEdge& e : lv.store->InEdges(g, lv.store_label)) {
+        try_edge(e.trg, g, e.validity);
+      }
+      break;
+    }
+  }
 }
 
 void PatternOp::InsertCoalesced(Table* table, const Key& key, Binding b) {
@@ -97,12 +175,10 @@ void PatternOp::Cascade(std::size_t level, const Binding& acc, Mode mode) {
   // kRetract must not touch state; kReassert re-inserts idempotently
   // (identical bindings coalesce away).
   if (mode != Mode::kRetract) InsertCoalesced(&lv.left, key, acc);
-  auto it = lv.right.find(key);
-  if (it == lv.right.end()) return;
-  for (const Binding& other : it->second) {
+  ForEachRightMatch(level, key, [&](const Binding& other) {
     Binding merged = Merge(acc, other);
     Cascade(level + 1, merged, mode);
-  }
+  });
 }
 
 void PatternOp::Project(const Binding& b, Mode mode) {
@@ -165,7 +241,12 @@ void PatternOp::OnTuple(int port, const Sgt& tuple) {
   // Symmetric side: store the port tuple, then probe the accumulated side.
   Level& lv = levels_[static_cast<std::size_t>(port - 1)];
   const Key key = ExtractKey(lv, b);
-  InsertCoalesced(&lv.right, key, b);
+  if (lv.store != nullptr) {
+    SGQ_DCHECK(tuple.label == lv.store_label);
+    lv.store->Insert(tuple.src, tuple.trg, lv.store_label, b.iv);
+  } else {
+    InsertCoalesced(&lv.right, key, b);
+  }
   auto it = lv.left.find(key);
   if (it == lv.left.end()) return;
   for (const Binding& acc : it->second) {
@@ -218,10 +299,20 @@ void PatternOp::HandleDeletion(int port, const Binding& b) {
   if (port == 0) {
     if (!levels_.empty()) scrub(&levels_[0].left);
   } else {
-    scrub(&levels_[static_cast<std::size_t>(port - 1)].right);
+    Level& lv = levels_[static_cast<std::size_t>(port - 1)];
+    if (lv.store != nullptr) {
+      const auto& [src_var, trg_var] =
+          port_vars_[static_cast<std::size_t>(port)];
+      lv.store->RemoveValue(b.vals[static_cast<std::size_t>(src_var)],
+                            b.vals[static_cast<std::size_t>(trg_var)],
+                            lv.store_label);
+    } else {
+      scrub(&lv.right);
+    }
   }
   // Accumulated bindings at levels >= port embed port tuples.
-  for (std::size_t j = std::max(1, port); j < levels_.size(); ++j) {
+  for (std::size_t j = static_cast<std::size_t>(std::max(1, port));
+       j < levels_.size(); ++j) {
     scrub(&levels_[j].left);
   }
 
@@ -261,7 +352,11 @@ void PatternOp::Purge(Timestamp now) {
   };
   for (Level& lv : levels_) {
     purge_table(&lv.left);
-    purge_table(&lv.right);
+    if (lv.store != nullptr) {
+      lv.store->PurgeExpired(now);
+    } else {
+      purge_table(&lv.right);
+    }
   }
   out_coalescer_.PurgeBefore(now);
 }
@@ -270,7 +365,19 @@ std::size_t PatternOp::StateSize() const {
   std::size_t n = out_coalescer_.NumKeys();
   for (const Level& lv : levels_) {
     for (const auto& [_, bucket] : lv.left) n += bucket.size();
-    for (const auto& [_, bucket] : lv.right) n += bucket.size();
+    if (lv.store != nullptr) {
+      n += lv.store->NumEntries();
+    } else {
+      for (const auto& [_, bucket] : lv.right) n += bucket.size();
+    }
+  }
+  return n;
+}
+
+std::size_t PatternOp::num_store_backed_ports() const {
+  std::size_t n = 0;
+  for (const Level& lv : levels_) {
+    if (lv.store != nullptr) ++n;
   }
   return n;
 }

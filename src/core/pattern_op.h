@@ -9,6 +9,16 @@
 // (the *direct approach*): an expired entry can never produce a non-empty
 // intersection with a future tuple, so probes skip it and Purge() reclaims
 // it. Explicit deletions use the negative-tuple approach (§6.2.5).
+//
+// Single-atom state lives in the runtime's WindowStore: each port >= 1
+// whose input has a known output label keeps its edges in a
+// WindowEdgeStore partition and the join probes that index (by source,
+// by target via the reverse index, or by both) instead of a private hash
+// table. The partitions are per-operator — deletion handling replays the
+// join against pre-deletion state, so aliasing them across operators
+// would make retraction order-dependent (see DESIGN.md). Ports without a
+// single static label (label-preserving UNION inputs) and cross-product
+// levels (no shared variables) fall back to the private table.
 
 #ifndef SGQ_CORE_PATTERN_OP_H_
 #define SGQ_CORE_PATTERN_OP_H_
@@ -20,9 +30,16 @@
 
 #include "algebra/logical_plan.h"
 #include "core/physical.h"
+#include "core/window_store.h"
 #include "model/coalesce.h"
 
 namespace sgq {
+
+/// \brief Shared-runtime state configuration for one PATTERN input port.
+struct PatternPortState {
+  WindowEdgeStore* store = nullptr;  ///< partition for this port's edges
+  LabelId label = kInvalidLabel;     ///< the port's (single) tuple label
+};
 
 /// \brief Streaming subgraph-pattern operator (Def. 19).
 class PatternOp : public PhysicalOp {
@@ -30,12 +47,19 @@ class PatternOp : public PhysicalOp {
   /// \brief Builds the join pipeline from a logical PATTERN node. The join
   /// tree follows the order of the pattern's atoms (§6.2.2: "we use the
   /// ordering of predicates in PATTERN to construct the join tree").
-  explicit PatternOp(const LogicalOp& pattern);
+  /// `port_state[p]`, when present with a store and label, moves port p's
+  /// single-atom state into that WindowStore partition (p >= 1).
+  explicit PatternOp(const LogicalOp& pattern,
+                     std::vector<PatternPortState> port_state = {});
 
   void OnTuple(int port, const Sgt& tuple) override;
   void Purge(Timestamp now) override;
   std::string Name() const override { return "PATTERN"; }
   std::size_t StateSize() const override;
+
+  /// \brief Number of ports whose state is WindowStore-backed
+  /// (diagnostics).
+  std::size_t num_store_backed_ports() const;
 
  private:
   /// A (partial) variable binding: one value per pattern variable, with
@@ -48,12 +72,24 @@ class PatternOp : public PhysicalOp {
   using Key = std::vector<uint64_t>;
   using Table = std::unordered_map<Key, std::vector<Binding>, VecHash>;
 
-  /// One symmetric hash join: `left` holds bindings over ports 0..j,
-  /// `right` holds bindings of port j+1, both keyed on the shared vars.
+  /// How a store-backed right side is probed, derived from which of the
+  /// port's variables appear in the level's join key.
+  enum class ProbeKind {
+    kOut,          ///< key binds the source: OutEdges(src)
+    kOutFiltered,  ///< key binds both endpoints: OutEdges(src), filter trg
+    kIn,           ///< key binds the target: InEdges(trg)
+  };
+
+  /// One symmetric hash join: `left` holds bindings over ports 0..j;
+  /// the right side holds bindings of port j+1 — in the WindowStore
+  /// partition `store` when set, else in the private `right` table.
   struct Level {
     std::vector<int> key_vars;  ///< shared variable indexes (sorted)
     Table left;
     Table right;
+    WindowEdgeStore* store = nullptr;
+    LabelId store_label = kInvalidLabel;
+    ProbeKind probe = ProbeKind::kOut;
   };
 
   /// Converts a port tuple into a binding; returns false if an intra-atom
@@ -61,6 +97,13 @@ class PatternOp : public PhysicalOp {
   bool BindPort(int port, const Sgt& tuple, Binding* out) const;
 
   Key ExtractKey(const Level& level, const Binding& b) const;
+
+  /// Calls `fn(binding)` for every right-side binding of `level_idx`
+  /// matching `key`, probing the WindowStore partition or the private
+  /// table as configured.
+  template <typename Fn>
+  void ForEachRightMatch(std::size_t level_idx, const Key& key,
+                         Fn&& fn) const;
 
   /// Inserts `b` into `table[key]`, coalescing with a value-equivalent
   /// entry whose interval overlaps or is adjacent.

@@ -1,10 +1,13 @@
 // Physical operator interface of the push-based dataflow runtime (§6).
 //
-// Operators are non-blocking and tuple-at-a-time: each arriving sgt is
-// pushed through the operator tree immediately (the paper's prototype
-// behaves the same way on top of Timely Dataflow; see DESIGN.md for the
-// substitution note). Time advances monotonically; OnTimeAdvance lets
-// stateful operators process expirations and purge state.
+// Operators are non-blocking: each arriving sgt is processed immediately
+// (the paper's prototype behaves the same way on top of Timely Dataflow;
+// see DESIGN.md for the substitution note). Operators do not call each
+// other: outputs go through an OutputChannel, and the Executor
+// (runtime/executor.h) that owns the operator topology drives
+// OnTuple/OnTimeAdvance/MaybePurge waves in topological order. Time
+// advances monotonically; OnTimeAdvance lets stateful operators process
+// expirations and purge state.
 
 #ifndef SGQ_CORE_PHYSICAL_H_
 #define SGQ_CORE_PHYSICAL_H_
@@ -14,19 +17,28 @@
 #include <string>
 
 #include "model/sgt.h"
+#include "runtime/channel.h"
 
 namespace sgq {
 
 /// \brief Base class of all physical operators.
 ///
-/// Tuples flow upward: an operator pushes its outputs to its parent via
-/// EmitTuple(). Multi-input operators distinguish inputs by port number.
+/// Multi-input operators distinguish inputs by port number. Output goes to
+/// the bound OutputChannel; an unbound channel discards emissions (useful
+/// for operators probed only for their state).
 class PhysicalOp {
  public:
   virtual ~PhysicalOp() = default;
 
   /// \brief Processes one input tuple arriving on `port`.
   virtual void OnTuple(int port, const Sgt& tuple) = 0;
+
+  /// \brief Processes a micro-batch of tuples arriving on `port`. The
+  /// default forwards tuple-at-a-time; operators with batch-amortizable
+  /// work (hash-table probes, window inserts) may override.
+  virtual void OnBatch(int port, const Sgt* tuples, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) OnTuple(port, tuples[i]);
+  }
 
   /// \brief Notifies the operator that time advanced to `now`. Called for
   /// every distinct input timestamp (so negative-tuple expiry processing is
@@ -39,7 +51,7 @@ class PhysicalOp {
   /// probes because interval intersections come out empty).
   virtual void Purge(Timestamp now) { (void)now; }
 
-  /// \brief Amortized purge used by the engine at slide boundaries: a full
+  /// \brief Amortized purge used by the runtime at slide boundaries: a full
   /// Purge() scan runs only once the operator's state has doubled since
   /// the last purge, keeping purge cost O(state) amortized instead of
   /// O(state) per slide.
@@ -56,21 +68,28 @@ class PhysicalOp {
   /// \brief Approximate number of state entries held (for diagnostics).
   virtual std::size_t StateSize() const { return 0; }
 
-  void SetParent(PhysicalOp* parent, int port) {
-    parent_ = parent;
-    parent_port_ = port;
-  }
+  /// \brief Binds the output channel tuples are emitted into. The channel
+  /// is owned by the Executor (engine mode) or by the caller (direct mode).
+  void BindOutput(OutputChannel* out) { out_ = out; }
 
  protected:
-  /// \brief Pushes an output tuple to the parent operator.
+  /// \brief Pushes an output tuple into the bound output channel.
   void EmitTuple(const Sgt& tuple) {
-    if (parent_ != nullptr) parent_->OnTuple(parent_port_, tuple);
+    if (out_ != nullptr) out_->Push(tuple);
   }
 
  private:
-  PhysicalOp* parent_ = nullptr;
-  int parent_port_ = 0;
+  OutputChannel* out_ = nullptr;
   std::size_t purge_watermark_ = 1024;
+};
+
+/// \brief A source operator: entry point of raw stream elements. The
+/// Executor routes each ingested sge to the sources registered for its
+/// label.
+class SourceOp : public PhysicalOp {
+ public:
+  /// \brief Processes one raw stream element.
+  virtual void OnSge(const Sge& sge) = 0;
 };
 
 /// \brief Physical implementation choices for the PATH logical operator.

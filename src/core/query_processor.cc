@@ -13,7 +13,11 @@ namespace sgq {
 Result<std::unique_ptr<QueryProcessor>> QueryProcessor::Compile(
     const LogicalOp& plan, const Vocabulary& vocab, EngineOptions options) {
   SGQ_RETURN_NOT_OK(ValidatePlan(plan, vocab));
-  std::unique_ptr<QueryProcessor> qp(new QueryProcessor());
+  ExecutorOptions exec_options;
+  exec_options.batch_size = options.batch_size;
+  std::unique_ptr<QueryProcessor> qp(new QueryProcessor(exec_options));
+
+  SGQ_ASSIGN_OR_RETURN(OpId root, qp->Build(plan, vocab, options));
 
   // PATTERN and PATH coalesce their own output (Def. 11); re-coalescing at
   // the sink would only repeat the work. UNION/FILTER/WSCAN roots can still
@@ -23,21 +27,12 @@ Result<std::unique_ptr<QueryProcessor>> QueryProcessor::Compile(
   auto sink = std::make_unique<SinkOp>(options.coalesce_output &&
                                        !root_coalesces);
   qp->sink_ = sink.get();
+  const OpId sink_id = qp->executor_.AddOp(std::move(sink));
+  SGQ_RETURN_NOT_OK(qp->executor_.Connect(root, sink_id, 0));
 
-  SGQ_ASSIGN_OR_RETURN(PhysicalOp * root, qp->Build(plan, vocab, options));
-  root->SetParent(sink.get(), 0);
-  qp->ops_.push_back(std::move(sink));
-
-  // The engine's slide granularity is the finest slide of any scan.
-  Timestamp slide = kMaxTimestamp;
-  for (const auto& [label, scans] : qp->scans_) {
-    (void)label;
-    for (const WScanOp* scan : scans) {
-      slide = std::min(slide, scan->window().slide);
-    }
-  }
-  qp->slide_ = slide == kMaxTimestamp ? 1 : slide;
-  qp->explain_ = plan.ToString(vocab);
+  SGQ_RETURN_NOT_OK(qp->executor_.Finalize());
+  qp->explain_ = plan.ToString(vocab) + "-- runtime topology --\n" +
+                 qp->executor_.DescribeTopology();
   return qp;
 }
 
@@ -49,24 +44,31 @@ Result<std::unique_ptr<QueryProcessor>> QueryProcessor::FromQuery(
   return Compile(*plan, vocab, options);
 }
 
-Result<PhysicalOp*> QueryProcessor::Build(const LogicalOp& node,
-                                          const Vocabulary& vocab,
-                                          const EngineOptions& options) {
-  // Children first (ops_ stays in bottom-up order, which TimeAdvanceWave
-  // and ProcessBoundary rely on).
-  std::vector<PhysicalOp*> children;
+Result<OpId> QueryProcessor::Build(const LogicalOp& node,
+                                   const Vocabulary& vocab,
+                                   const EngineOptions& options) {
+  // Children first: the executor's insertion order doubles as its wave
+  // order, and channels must point from children to parents.
+  std::vector<OpId> children;
   for (const auto& c : node.children) {
-    SGQ_ASSIGN_OR_RETURN(PhysicalOp * child, Build(*c, vocab, options));
+    SGQ_ASSIGN_OR_RETURN(OpId child, Build(*c, vocab, options));
     children.push_back(child);
   }
 
   std::unique_ptr<PhysicalOp> op;
   switch (node.kind) {
     case LogicalOpKind::kWScan: {
+      // Structurally identical scans compile to one operator whose channel
+      // fans out to every consumer (shared scan state, §6.1).
+      const std::string sig = PlanSignature(node);
+      auto it = scan_dedup_.find(sig);
+      if (it != scan_dedup_.end()) return it->second;
       auto scan = std::make_unique<WScanOp>(node.input_label, node.window);
-      scans_[node.input_label].push_back(scan.get());
-      op = std::move(scan);
-      break;
+      const OpId id = executor_.AddOp(std::move(scan));
+      SGQ_RETURN_NOT_OK(
+          executor_.RegisterSource(node.input_label, id, node.window.slide));
+      scan_dedup_.emplace(sig, id);
+      return id;
     }
     case LogicalOpKind::kFilter:
       op = std::make_unique<FilterOp>(node.predicates);
@@ -74,88 +76,59 @@ Result<PhysicalOp*> QueryProcessor::Build(const LogicalOp& node,
     case LogicalOpKind::kUnion:
       op = std::make_unique<UnionOp>(node.output_label);
       break;
-    case LogicalOpKind::kPattern:
-      op = std::make_unique<PatternOp>(node);
+    case LogicalOpKind::kPattern: {
+      // Single-atom join state lives in the runtime WindowStore. The
+      // partitions are per-operator (keyed by the operator's position):
+      // deletion retraction replays the join against pre-deletion state,
+      // which cross-operator aliasing would make order-dependent.
+      std::vector<PatternPortState> port_state(node.children.size());
+      const std::string op_key = std::to_string(executor_.NumOps());
+      for (std::size_t i = 1; i < node.children.size(); ++i) {
+        const LabelId label = node.children[i]->OutputLabel();
+        if (label == kInvalidLabel) continue;  // mixed-label input: private
+        port_state[i].label = label;
+        port_state[i].store = executor_.window_store()->Acquire(
+            "atom:" + op_key + ":" + std::to_string(i) + ":" +
+            PlanSignature(*node.children[i]));
+      }
+      op = std::make_unique<PatternOp>(node, std::move(port_state));
       break;
+    }
     case LogicalOpKind::kPath: {
       Dfa dfa = Dfa::FromRegex(node.regex);
+      std::unique_ptr<PathOpBase> path;
       if (options.path_impl == PathImpl::kSPath) {
-        op = std::make_unique<SPathOp>(std::move(dfa), node.output_label);
+        path = std::make_unique<SPathOp>(std::move(dfa), node.output_label);
       } else {
-        op = std::make_unique<DeltaPathOp>(std::move(dfa),
-                                           node.output_label);
+        path = std::make_unique<DeltaPathOp>(std::move(dfa),
+                                             node.output_label);
       }
+      // PATH operators over structurally identical inputs share one
+      // window partition: the adjacency depends only on the input stream,
+      // not on the regex, and maintenance is idempotent.
+      std::string in_sig = "path-in:";
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) in_sig += ",";
+        in_sig += PlanSignature(*node.children[i]);
+      }
+      path->BindSharedWindow(executor_.window_store()->Acquire(in_sig));
+      op = std::move(path);
       break;
     }
   }
-  PhysicalOp* raw = op.get();
+  const OpId id = executor_.AddOp(std::move(op));
   for (std::size_t i = 0; i < children.size(); ++i) {
     // PATTERN distinguishes ports; single-input operators merge on port 0.
     const int port =
         node.kind == LogicalOpKind::kPattern ? static_cast<int>(i) : 0;
-    children[i]->SetParent(raw, port);
+    SGQ_RETURN_NOT_OK(executor_.Connect(children[i], id, port));
   }
-  ops_.push_back(std::move(op));
-  return raw;
-}
-
-void QueryProcessor::TimeAdvanceWave(Timestamp now) {
-  for (auto& op : ops_) op->OnTimeAdvance(now);
-}
-
-void QueryProcessor::ProcessBoundary(Timestamp boundary) {
-  Stopwatch timer;
-  TimeAdvanceWave(boundary);
-  for (auto& op : ops_) op->MaybePurge(boundary);
-  slide_accum_seconds_ += timer.ElapsedSeconds();
-  // The paper's per-slide latency: all processing attributable to the
-  // slide that just closed (arrivals within it plus expiry work).
-  slide_latencies_.Record(slide_accum_seconds_);
-  slide_accum_seconds_ = 0;
-}
-
-void QueryProcessor::AdvanceTo(Timestamp t) {
-  if (!started_) {
-    current_time_ = t;
-    next_boundary_ = (t / slide_) * slide_ + slide_;
-    started_ = true;
-    return;
-  }
-  SGQ_CHECK_GE(t, current_time_) << "stream timestamps must be ordered";
-  while (next_boundary_ <= t) {
-    ProcessBoundary(next_boundary_);
-    next_boundary_ += slide_;
-  }
-  if (t > current_time_) {
-    // Exact expiry processing for negative-tuple operators (they check a
-    // heap and return immediately when nothing is due).
-    Stopwatch timer;
-    TimeAdvanceWave(t);
-    slide_accum_seconds_ += timer.ElapsedSeconds();
-    current_time_ = t;
-  }
-}
-
-void QueryProcessor::Push(const Sge& sge) {
-  AdvanceTo(sge.t);
-  current_time_ = sge.t;
-  ++edges_pushed_;
-  auto it = scans_.find(sge.label);
-  if (it == scans_.end()) return;  // label not referenced by the query
-  ++edges_processed_;
-  Stopwatch timer;
-  for (WScanOp* scan : it->second) scan->OnSge(sge);
-  slide_accum_seconds_ += timer.ElapsedSeconds();
+  return id;
 }
 
 void QueryProcessor::PushAll(const InputStream& stream) {
   for (const Sge& sge : stream) Push(sge);
-}
-
-std::size_t QueryProcessor::StateSize() const {
-  std::size_t n = 0;
-  for (const auto& op : ops_) n += op->StateSize();
-  return n;
+  executor_.Flush();
 }
 
 }  // namespace sgq

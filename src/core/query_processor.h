@@ -1,10 +1,11 @@
 // End-to-end streaming graph query processor (§6.1).
 //
-// Compiles a logical SGA plan into a tree of non-blocking physical
-// operators and executes the persistent query in a data-driven fashion:
-// every pushed sge flows through the plan immediately and new results
-// accumulate at the sink. Window slides are tracked so the processor can
-// report the paper's metrics (per-slide tail latency, throughput).
+// Compiles a logical SGA plan into a physical operator topology owned by
+// the dataflow runtime (runtime/executor.h) and executes the persistent
+// query in a data-driven fashion: every pushed sge flows through the
+// topology and new results accumulate at the sink. The QueryProcessor is
+// the compiler and facade; scheduling, micro-batching, window-slide
+// tracking and the shared WindowStore all live in the Executor.
 
 #ifndef SGQ_CORE_QUERY_PROCESSOR_H_
 #define SGQ_CORE_QUERY_PROCESSOR_H_
@@ -20,6 +21,7 @@
 #include "core/basic_ops.h"
 #include "core/physical.h"
 #include "query/rq.h"
+#include "runtime/executor.h"
 
 namespace sgq {
 
@@ -29,6 +31,12 @@ struct EngineOptions {
   PathImpl path_impl = PathImpl::kSPath;
   /// Coalesce value-equivalent results at the sink (Def. 11).
   bool coalesce_output = true;
+  /// Micro-batch size of the runtime's ingest queue. 1 (the default)
+  /// reproduces tuple-at-a-time semantics exactly; larger values trade
+  /// result latency for throughput (results materialize when the batch
+  /// flushes — on overflow, timestamp change handling, AdvanceTo, or
+  /// TakeResults).
+  std::size_t batch_size = 1;
 };
 
 /// \brief A compiled, running persistent query.
@@ -53,58 +61,63 @@ class QueryProcessor {
 
   /// \brief Feeds one stream element; timestamps must be non-decreasing.
   /// Elements whose label no SGA scan consumes are discarded (§7.2.1).
-  void Push(const Sge& sge);
+  void Push(const Sge& sge) { executor_.Ingest(sge); }
 
-  /// \brief Feeds a whole stream in order.
+  /// \brief Feeds a whole stream in order and flushes the ingest queue.
   void PushAll(const InputStream& stream);
 
   /// \brief Advances time (processing slide boundaries and expirations)
   /// without new input, e.g. to drain final window movements.
-  void AdvanceTo(Timestamp t);
+  void AdvanceTo(Timestamp t) { executor_.AdvanceTo(t); }
 
-  /// \brief All results emitted so far (coalesced if configured).
+  /// \brief Drains any buffered micro-batch (no-op at batch_size 1).
+  void Flush() { executor_.Flush(); }
+
+  /// \brief All results emitted so far (coalesced if configured). With
+  /// batch_size > 1, reflects the input flushed so far.
   const std::vector<Sgt>& results() const { return sink_->results(); }
 
   /// \brief Moves the accumulated results out (resets the result buffer,
-  /// not the operator state).
-  std::vector<Sgt> TakeResults() { return sink_->TakeResults(); }
+  /// not the operator state). Flushes buffered input first.
+  std::vector<Sgt> TakeResults() {
+    executor_.Flush();
+    return sink_->TakeResults();
+  }
 
   /// \name Metrics (§7.1.1)
   /// @{
-  const LatencyRecorder& slide_latencies() const { return slide_latencies_; }
-  std::size_t edges_pushed() const { return edges_pushed_; }
-  std::size_t edges_processed() const { return edges_processed_; }
+  const LatencyRecorder& slide_latencies() const {
+    return executor_.slide_latencies();
+  }
+  std::size_t edges_pushed() const { return executor_.edges_pushed(); }
+  std::size_t edges_processed() const {
+    return executor_.edges_processed();
+  }
   std::size_t results_emitted() const { return sink_->total_emitted(); }
   /// @}
 
   /// \brief Total operator state entries (diagnostics).
-  std::size_t StateSize() const;
+  std::size_t StateSize() const { return executor_.StateSize(); }
 
-  /// \brief Human-readable physical plan.
+  /// \brief The runtime executing this query.
+  Executor& executor() { return executor_; }
+  const Executor& executor() const { return executor_; }
+
+  /// \brief Human-readable physical plan and runtime topology.
   std::string Explain() const { return explain_; }
 
  private:
-  QueryProcessor() = default;
+  explicit QueryProcessor(ExecutorOptions options) : executor_(options) {}
 
-  Result<PhysicalOp*> Build(const LogicalOp& node, const Vocabulary& vocab,
-                            const EngineOptions& options);
-  void ProcessBoundary(Timestamp boundary);
-  void TimeAdvanceWave(Timestamp now);
+  Result<OpId> Build(const LogicalOp& node, const Vocabulary& vocab,
+                     const EngineOptions& options);
 
-  std::vector<std::unique_ptr<PhysicalOp>> ops_;  // bottom-up order
-  std::unordered_map<LabelId, std::vector<WScanOp*>> scans_;
+  Executor executor_;
+  /// Structural-signature dedup of WSCAN operators: one scan per distinct
+  /// (label, window), fanned out to every consumer.
+  std::unordered_map<std::string, OpId> scan_dedup_;
   SinkOp* sink_ = nullptr;
   std::string explain_;
-
-  Timestamp current_time_ = kMinTimestamp;
-  Timestamp slide_ = 1;
-  Timestamp next_boundary_ = kMinTimestamp;
-  bool started_ = false;
-
-  LatencyRecorder slide_latencies_;
-  double slide_accum_seconds_ = 0;
-  std::size_t edges_pushed_ = 0;
-  std::size_t edges_processed_ = 0;
 };
 
 }  // namespace sgq

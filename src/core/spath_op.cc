@@ -11,7 +11,7 @@ void SPathOp::OnTuple(int port, const Sgt& tuple) {
     return;
   }
   if (tuple.validity.Empty()) return;
-  window_.Insert(tuple.src, tuple.trg, tuple.label, tuple.validity);
+  window_->Insert(tuple.src, tuple.trg, tuple.label, tuple.validity);
 
   std::vector<AttachWork> work;
   for (const auto& [s, q] : dfa().TransitionsOnLabel(tuple.label)) {
@@ -79,7 +79,7 @@ void SPathOp::DrainWorklist(std::vector<AttachWork> work) {
     // Continue the traversal of the snapshot graph from the new/updated
     // node (Expand/Propagate lines 8-12).
     for (const auto& [label, q] : OutTransitions(w.child.second)) {
-      for (const StoredEdge& e : window_.OutEdges(w.child.first, label)) {
+      for (const StoredEdge& e : window_->OutEdges(w.child.first, label)) {
         const Interval next_iv = result_iv.Intersect(e.validity);
         if (next_iv.Empty()) continue;
         work.push_back(AttachWork{w.root, w.child, NodeKey{e.trg, q},

@@ -8,18 +8,36 @@ namespace {
 const std::vector<StoredEdge> kNoEdges;
 }  // namespace
 
-void WindowEdgeStore::Insert(VertexId src, VertexId trg, LabelId label,
-                             Interval iv) {
-  if (iv.Empty()) return;
-  auto& edges = adjacency_[{src, label}];
+void WindowEdgeStore::InsertInto(Adjacency* adj, VertexId key_vertex,
+                                 VertexId other, LabelId label, Interval iv) {
+  auto& edges = (*adj)[{key_vertex, label}];
   for (StoredEdge& e : edges) {
-    if (e.trg == trg && e.validity.OverlapsOrAdjacent(iv)) {
+    if (e.trg == other && e.validity.OverlapsOrAdjacent(iv)) {
       e.validity = e.validity.Span(iv);
       return;
     }
   }
-  edges.push_back(StoredEdge{trg, iv});
-  ++num_entries_;
+  edges.push_back(StoredEdge{other, iv});
+}
+
+void WindowEdgeStore::Insert(VertexId src, VertexId trg, LabelId label,
+                             Interval iv) {
+  if (iv.Empty()) return;
+  auto& edges = adjacency_[{src, label}];
+  bool coalesced = false;
+  for (StoredEdge& e : edges) {
+    if (e.trg == trg && e.validity.OverlapsOrAdjacent(iv)) {
+      e.validity = e.validity.Span(iv);
+      coalesced = true;
+      break;
+    }
+  }
+  if (!coalesced) {
+    edges.push_back(StoredEdge{trg, iv});
+    ++num_entries_;
+  }
+  if (in_index_enabled_) InsertInto(&in_adjacency_, trg, src, label, iv);
+  min_exp_ = std::min(min_exp_, iv.exp);
 }
 
 bool WindowEdgeStore::DeleteAt(VertexId src, VertexId trg, LabelId label,
@@ -32,6 +50,7 @@ bool WindowEdgeStore::DeleteAt(VertexId src, VertexId trg, LabelId label,
     if (e->trg == trg && e->validity.exp > t) {
       affected = true;
       e->validity.exp = t;
+      min_exp_ = std::min(min_exp_, t);
       if (e->validity.Empty()) {
         e = edges.erase(e);
         --num_entries_;
@@ -40,17 +59,84 @@ bool WindowEdgeStore::DeleteAt(VertexId src, VertexId trg, LabelId label,
     }
     ++e;
   }
+  if (affected && in_index_enabled_) {
+    auto rit = in_adjacency_.find({trg, label});
+    if (rit != in_adjacency_.end()) {
+      auto& redges = rit->second;
+      for (auto e = redges.begin(); e != redges.end();) {
+        if (e->trg == src && e->validity.exp > t) {
+          e->validity.exp = t;
+          if (e->validity.Empty()) {
+            e = redges.erase(e);
+            continue;
+          }
+        }
+        ++e;
+      }
+      if (redges.empty()) in_adjacency_.erase(rit);
+    }
+  }
   return affected;
 }
 
-const std::vector<StoredEdge>& WindowEdgeStore::OutEdges(VertexId src,
-                                                         LabelId label) const {
+std::size_t WindowEdgeStore::RemoveValue(VertexId src, VertexId trg,
+                                         LabelId label) {
+  auto it = adjacency_.find({src, label});
+  if (it == adjacency_.end()) return 0;
+  auto& edges = it->second;
+  std::size_t removed = 0;
+  for (auto e = edges.begin(); e != edges.end();) {
+    if (e->trg == trg) {
+      e = edges.erase(e);
+      --num_entries_;
+      ++removed;
+    } else {
+      ++e;
+    }
+  }
+  if (edges.empty()) adjacency_.erase(it);
+  if (removed > 0 && in_index_enabled_) {
+    auto rit = in_adjacency_.find({trg, label});
+    if (rit != in_adjacency_.end()) {
+      auto& redges = rit->second;
+      redges.erase(std::remove_if(redges.begin(), redges.end(),
+                                  [src](const StoredEdge& e) {
+                                    return e.trg == src;
+                                  }),
+                   redges.end());
+      if (redges.empty()) in_adjacency_.erase(rit);
+    }
+  }
+  return removed;
+}
+
+const std::vector<StoredEdge>& WindowEdgeStore::OutEdges(
+    VertexId src, LabelId label) const {
   auto it = adjacency_.find({src, label});
   return it == adjacency_.end() ? kNoEdges : it->second;
 }
 
+const std::vector<StoredEdge>& WindowEdgeStore::InEdges(VertexId trg,
+                                                        LabelId label) const {
+  auto it = in_adjacency_.find({trg, label});
+  return it == in_adjacency_.end() ? kNoEdges : it->second;
+}
+
+void WindowEdgeStore::EnableInIndex() {
+  if (in_index_enabled_) return;
+  in_index_enabled_ = true;
+  in_adjacency_.clear();
+  for (const auto& [key, edges] : adjacency_) {
+    for (const StoredEdge& e : edges) {
+      InsertInto(&in_adjacency_, e.trg, key.first, key.second, e.validity);
+    }
+  }
+}
+
 std::vector<Sgt> WindowEdgeStore::PurgeExpired(Timestamp now) {
+  if (min_exp_ > now) return {};  // nothing can have expired
   std::vector<Sgt> dropped;
+  Timestamp next_min = kMaxTimestamp;
   for (auto it = adjacency_.begin(); it != adjacency_.end();) {
     auto& edges = it->second;
     for (auto e = edges.begin(); e != edges.end();) {
@@ -60,6 +146,7 @@ std::vector<Sgt> WindowEdgeStore::PurgeExpired(Timestamp now) {
         e = edges.erase(e);
         --num_entries_;
       } else {
+        next_min = std::min(next_min, e->validity.exp);
         ++e;
       }
     }
@@ -69,6 +156,22 @@ std::vector<Sgt> WindowEdgeStore::PurgeExpired(Timestamp now) {
       ++it;
     }
   }
+  if (in_index_enabled_) {
+    for (auto it = in_adjacency_.begin(); it != in_adjacency_.end();) {
+      auto& edges = it->second;
+      edges.erase(std::remove_if(edges.begin(), edges.end(),
+                                 [now](const StoredEdge& e) {
+                                   return e.validity.exp <= now;
+                                 }),
+                  edges.end());
+      if (edges.empty()) {
+        it = in_adjacency_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  min_exp_ = next_min;
   return dropped;
 }
 

@@ -1,6 +1,9 @@
-// Windowed edge store: the snapshot-graph adjacency maintained by the PATH
-// physical operators for their traversals (Algorithms Expand/Propagate walk
-// "each edge e(v, w) in G_ts").
+// Windowed edge store: the snapshot-graph adjacency maintained for the
+// stateful physical operators. PATH operators walk it for their traversals
+// (Algorithms Expand/Propagate walk "each edge e(v, w) in G_ts") and
+// PATTERN operators probe it as the shared single-atom side of their
+// symmetric hash joins. Partitions of the shared runtime WindowStore
+// (runtime/window_store.h) are WindowEdgeStores.
 
 #ifndef SGQ_CORE_WINDOW_STORE_H_
 #define SGQ_CORE_WINDOW_STORE_H_
@@ -14,7 +17,8 @@
 
 namespace sgq {
 
-/// \brief One stored out-edge: target plus validity.
+/// \brief One stored out-edge: target plus validity. (In the reverse index
+/// the same struct stores the *source* in `trg`.)
 struct StoredEdge {
   VertexId trg = kInvalidVertex;
   Interval validity;
@@ -34,20 +38,52 @@ class WindowEdgeStore {
   /// if any entry was affected.
   bool DeleteAt(VertexId src, VertexId trg, LabelId label, Timestamp t);
 
+  /// \brief Removes every entry of (src, trg, label) regardless of
+  /// validity (PATTERN's deletion scrub semantics: the historical
+  /// intervals must not feed re-derivations). Returns the number of
+  /// entries removed.
+  std::size_t RemoveValue(VertexId src, VertexId trg, LabelId label);
+
   /// \brief Out-edges of `src` with `label` (may contain expired entries;
   /// callers intersect intervals).
   const std::vector<StoredEdge>& OutEdges(VertexId src, LabelId label) const;
 
-  /// \brief Drops entries with exp <= now; returns the dropped edges
-  /// (used by the negative-tuple PATH to drive re-derivation).
+  /// \brief In-edges of `trg` with `label`; each entry's `trg` field holds
+  /// the *source* vertex. Requires EnableInIndex().
+  const std::vector<StoredEdge>& InEdges(VertexId trg, LabelId label) const;
+
+  /// \brief Maintains the reverse (target-indexed) adjacency from now on;
+  /// existing content is re-indexed. Consumers that probe by target
+  /// (PATTERN levels keyed on the atom's target variable) call this once
+  /// at plan-build time.
+  void EnableInIndex();
+  bool in_index_enabled() const { return in_index_enabled_; }
+
+  /// \brief Drops entries with exp <= now and returns them (diagnostics
+  /// and tests). Cheap when nothing expired since the last purge: the
+  /// store tracks a lower bound on the earliest expiry, so shared
+  /// partitions can be purged by every consumer without repeated
+  /// O(state) scans — which also means only the *first* purge at a given
+  /// instant sees the dropped edges; do not build re-derivation logic on
+  /// the return value of a shared partition.
   std::vector<Sgt> PurgeExpired(Timestamp now);
 
   std::size_t NumEntries() const { return num_entries_; }
 
  private:
   using Key = std::pair<VertexId, LabelId>;
-  std::unordered_map<Key, std::vector<StoredEdge>, PairHash> adjacency_;
+  using Adjacency = std::unordered_map<Key, std::vector<StoredEdge>, PairHash>;
+
+  static void InsertInto(Adjacency* adj, VertexId key_vertex, VertexId other,
+                         LabelId label, Interval iv);
+
+  Adjacency adjacency_;
+  Adjacency in_adjacency_;  ///< reverse index; maintained when enabled
+  bool in_index_enabled_ = false;
   std::size_t num_entries_ = 0;
+  /// Lower bound on the earliest expiry among stored entries; entries can
+  /// only disappear earlier than this via PurgeExpired itself.
+  Timestamp min_exp_ = kMaxTimestamp;
 };
 
 }  // namespace sgq

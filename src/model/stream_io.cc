@@ -22,20 +22,41 @@ Result<InputStream> ParseStreamCsv(const std::string& text,
                                 ": expected 4 or 5 fields, got " +
                                 std::to_string(fields.size()));
     }
+    const std::string_view src = TrimString(fields[0]);
+    const std::string_view label = TrimString(fields[1]);
+    const std::string_view trg = TrimString(fields[2]);
+    if (src.empty() || label.empty() || trg.empty()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": empty src/label/trg field");
+    }
     Sge sge;
-    sge.src = vocab->InternVertex(TrimString(fields[0]));
-    SGQ_ASSIGN_OR_RETURN(sge.label,
-                         vocab->InternInputLabel(TrimString(fields[1])));
-    sge.trg = vocab->InternVertex(TrimString(fields[2]));
-    try {
-      sge.t = std::stoll(std::string(TrimString(fields[3])));
-    } catch (const std::exception&) {
+    sge.src = vocab->InternVertex(src);
+    {
+      auto interned = vocab->InternInputLabel(label);
+      if (!interned.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  interned.status().message());
+      }
+      sge.label = *interned;
+    }
+    sge.trg = vocab->InternVertex(trg);
+    // Strict integer parse: "12abc" and the like must error, not silently
+    // truncate.
+    if (!ParseInt64(TrimString(fields[3]), &sge.t)) {
       return Status::ParseError("line " + std::to_string(line_no) +
                                 ": bad timestamp '" + fields[3] + "'");
     }
-    if (sge.t < last_t) {
+    if (sge.t < kMinTimestamp) {
       return Status::ParseError("line " + std::to_string(line_no) +
-                                ": timestamps must be non-decreasing");
+                                ": negative timestamp " +
+                                std::to_string(sge.t) +
+                                " (time domain is non-negative)");
+    }
+    if (sge.t < last_t) {
+      return Status::ParseError(
+          "line " + std::to_string(line_no) +
+          ": timestamps must be non-decreasing (got " +
+          std::to_string(sge.t) + " after " + std::to_string(last_t) + ")");
     }
     last_t = sge.t;
     if (fields.size() == 5) {

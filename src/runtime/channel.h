@@ -1,0 +1,73 @@
+// Typed output channels of the dataflow runtime.
+//
+// An operator never holds a pointer to its consumer: it emits into its
+// OutputChannel, and the channel either (a) hands the tuple to the Executor
+// that owns the topology (engine mode), or (b) delivers it synchronously to
+// a single destination operator (direct mode — unit tests and
+// micro-benchmarks that exercise one operator in isolation).
+//
+// A channel may have several destinations (fan-out): this is what lets the
+// runtime share one WSCAN operator between every consumer of the same
+// (label, window) pair, and it is the seam for future sharded execution
+// where destinations live on different workers.
+
+#ifndef SGQ_RUNTIME_CHANNEL_H_
+#define SGQ_RUNTIME_CHANNEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/sgt.h"
+
+namespace sgq {
+
+class Executor;
+class PhysicalOp;
+
+/// \brief Identifier of an operator inside an Executor's topology.
+using OpId = int32_t;
+inline constexpr OpId kInvalidOpId = -1;
+
+/// \brief One destination of a channel: an operator input port.
+struct PortRef {
+  OpId op = kInvalidOpId;
+  int port = 0;
+};
+
+/// \brief The output edge(s) of one operator in the dataflow topology.
+class OutputChannel {
+ public:
+  OutputChannel() = default;
+
+  /// \brief Direct mode: deliver every pushed tuple synchronously to
+  /// `op`/`port`. For standalone operator harnesses only — the engine
+  /// always routes through an Executor.
+  OutputChannel(PhysicalOp* op, int port)
+      : direct_op_(op), direct_port_(port) {}
+
+  /// \brief Pushes one output tuple (called by PhysicalOp::EmitTuple).
+  void Push(const Sgt& tuple);
+
+  /// \brief Destinations in delivery order (engine mode).
+  const std::vector<PortRef>& destinations() const { return dests_; }
+
+  bool connected() const {
+    return direct_op_ != nullptr || (exec_ != nullptr && !dests_.empty());
+  }
+
+ private:
+  friend class Executor;
+
+  // Engine mode (set by Executor::Connect / Finalize).
+  Executor* exec_ = nullptr;
+  OpId from_ = kInvalidOpId;
+  std::vector<PortRef> dests_;
+
+  // Direct mode.
+  PhysicalOp* direct_op_ = nullptr;
+  int direct_port_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_CHANNEL_H_

@@ -1,0 +1,297 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sgq {
+
+// ---------------------------------------------------------------------------
+// OutputChannel
+// ---------------------------------------------------------------------------
+
+void OutputChannel::Push(const Sgt& tuple) {
+  if (direct_op_ != nullptr) {
+    direct_op_->OnTuple(direct_port_, tuple);
+    return;
+  }
+  if (exec_ != nullptr) exec_->Route(*this, tuple);
+}
+
+// ---------------------------------------------------------------------------
+// Topology construction
+// ---------------------------------------------------------------------------
+
+Executor::Executor(ExecutorOptions options) : options_(options) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+Executor::~Executor() = default;
+
+OpId Executor::AddOp(std::unique_ptr<PhysicalOp> op) {
+  SGQ_CHECK(!finalized_) << "topology is frozen after Finalize()";
+  const OpId id = static_cast<OpId>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().op = std::move(op);
+  return id;
+}
+
+PhysicalOp* Executor::op(OpId id) const {
+  SGQ_CHECK_GE(id, 0);
+  SGQ_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)].op.get();
+}
+
+Status Executor::Connect(OpId from, OpId to, int port) {
+  if (finalized_) return Status::Internal("Connect after Finalize");
+  if (from < 0 || static_cast<std::size_t>(from) >= nodes_.size() ||
+      to < 0 || static_cast<std::size_t>(to) >= nodes_.size()) {
+    return Status::InvalidArgument("Connect: unknown operator id");
+  }
+  if (from >= to) {
+    // Insertion order doubles as the wave order; a forward edge would make
+    // it non-topological.
+    return Status::InvalidArgument(
+        "Connect: channels must go from earlier to later operators "
+        "(children-first insertion)");
+  }
+  auto& node = nodes_[static_cast<std::size_t>(from)];
+  node.out.dests_.push_back(PortRef{to, port});
+  auto& pending = nodes_[static_cast<std::size_t>(to)].pending;
+  if (pending.size() <= static_cast<std::size_t>(port)) {
+    pending.resize(static_cast<std::size_t>(port) + 1);
+  }
+  return Status::OK();
+}
+
+Status Executor::RegisterSource(LabelId label, OpId source, Timestamp slide) {
+  if (finalized_) return Status::Internal("RegisterSource after Finalize");
+  if (source < 0 || static_cast<std::size_t>(source) >= nodes_.size()) {
+    return Status::InvalidArgument("RegisterSource: unknown operator id");
+  }
+  if (dynamic_cast<SourceOp*>(op(source)) == nullptr) {
+    return Status::InvalidArgument("RegisterSource: not a SourceOp");
+  }
+  sources_[label].push_back(source);
+  min_slide_ = std::min(min_slide_, slide);
+  return Status::OK();
+}
+
+Status Executor::Finalize() {
+  if (finalized_) return Status::Internal("Finalize called twice");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    OpNode& node = nodes_[i];
+    node.out.exec_ = this;
+    node.out.from_ = static_cast<OpId>(i);
+    node.op->BindOutput(&node.out);
+    for (const PortRef& dst : node.out.dests_) {
+      if (dst.op <= static_cast<OpId>(i)) {
+        return Status::Internal("non-topological channel");
+      }
+    }
+  }
+  // The engine's slide granularity is the finest slide of any source.
+  slide_ = min_slide_ == kMaxTimestamp ? 1 : min_slide_;
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::string Executor::DescribeTopology() const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out += "#" + std::to_string(i) + " " + nodes_[i].op->Name();
+    const auto& dests = nodes_[i].out.destinations();
+    if (!dests.empty()) {
+      out += " ->";
+      for (const PortRef& d : dests) {
+        out += " #" + std::to_string(d.op) + ":" + std::to_string(d.port);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Delivery
+// ---------------------------------------------------------------------------
+
+void Executor::Route(const OutputChannel& channel, const Sgt& tuple) {
+  if (wave_mode()) {
+    for (const PortRef& dst : channel.dests_) {
+      nodes_[static_cast<std::size_t>(dst.op)]
+          .pending[static_cast<std::size_t>(dst.port)]
+          .push_back(tuple);
+    }
+    return;
+  }
+  // Tuple mode: collect into the current delivery segment; DrainStack
+  // pushes the segment in reverse so the first emission is processed (and
+  // its cascade completed) first — exactly the old recursion order.
+  SGQ_CHECK(segment_ != nullptr) << "emission outside a delivery";
+  for (const PortRef& dst : channel.dests_) {
+    segment_->emplace_back(dst, tuple);
+  }
+}
+
+void Executor::DrainStack() {
+  std::vector<std::pair<PortRef, Sgt>> segment;
+  while (!stack_.empty()) {
+    auto [dst, tuple] = std::move(stack_.back());
+    stack_.pop_back();
+    segment.clear();
+    segment_ = &segment;
+    nodes_[static_cast<std::size_t>(dst.op)].op->OnTuple(dst.port, tuple);
+    segment_ = nullptr;
+    for (auto it = segment.rbegin(); it != segment.rend(); ++it) {
+      stack_.push_back(std::move(*it));
+    }
+  }
+}
+
+void Executor::RunWave() {
+  ++num_waves_;
+  bool any = true;
+  while (any) {  // a tree topology settles in one pass; loop is a safety net
+    any = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      OpNode& node = nodes_[i];
+      for (std::size_t port = 0; port < node.pending.size(); ++port) {
+        if (node.pending[port].empty()) continue;
+        any = true;
+        std::vector<Sgt> batch;
+        batch.swap(node.pending[port]);
+        node.op->OnBatch(static_cast<int>(port), batch.data(), batch.size());
+      }
+    }
+  }
+}
+
+template <typename Fn>
+void Executor::RunOpPhase(Fn&& fn) {
+  if (wave_mode()) {
+    fn();  // emissions buffer in the pending queues until the next wave
+    return;
+  }
+  // Tuple mode: collect the call's emissions, then run each cascade to
+  // completion in emission order — the recursive engine's depth-first
+  // order exactly.
+  std::vector<std::pair<PortRef, Sgt>> segment;
+  segment_ = &segment;
+  fn();
+  segment_ = nullptr;
+  for (auto rit = segment.rbegin(); rit != segment.rend(); ++rit) {
+    stack_.push_back(std::move(*rit));
+  }
+  DrainStack();
+}
+
+void Executor::DeliverSge(const Sge& sge) {
+  auto it = sources_.find(sge.label);
+  if (it == sources_.end()) return;  // label not referenced by the query
+  ++edges_processed_;
+  for (OpId source : it->second) {
+    auto* src =
+        static_cast<SourceOp*>(nodes_[static_cast<std::size_t>(source)]
+                                   .op.get());
+    RunOpPhase([&] { src->OnSge(sge); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clock
+// ---------------------------------------------------------------------------
+
+void Executor::TimeAdvanceWave(Timestamp now) {
+  // Negative-tuple operators can emit retractions/re-derivations during
+  // OnTimeAdvance; RunOpPhase delivers them downstream.
+  for (auto& node : nodes_) {
+    RunOpPhase([&] { node.op->OnTimeAdvance(now); });
+  }
+  if (wave_mode()) RunWave();
+}
+
+void Executor::ProcessBoundary(Timestamp boundary) {
+  Stopwatch timer;
+  TimeAdvanceWave(boundary);
+  for (auto& node : nodes_) {
+    RunOpPhase([&] { node.op->MaybePurge(boundary); });
+  }
+  if (wave_mode()) RunWave();
+  slide_accum_seconds_ += timer.ElapsedSeconds();
+  // The paper's per-slide latency: all processing attributable to the
+  // slide that just closed (arrivals within it plus expiry work).
+  slide_latencies_.Record(slide_accum_seconds_);
+  slide_accum_seconds_ = 0;
+}
+
+void Executor::AdvanceClock(Timestamp t) {
+  if (!started_) {
+    current_time_ = t;
+    next_boundary_ = (t / slide_) * slide_ + slide_;
+    started_ = true;
+    return;
+  }
+  SGQ_CHECK_GE(t, current_time_) << "stream timestamps must be ordered";
+  while (next_boundary_ <= t) {
+    ProcessBoundary(next_boundary_);
+    next_boundary_ += slide_;
+  }
+  if (t > current_time_) {
+    // Exact expiry processing for negative-tuple operators (they check a
+    // heap and return immediately when nothing is due).
+    Stopwatch timer;
+    TimeAdvanceWave(t);
+    slide_accum_seconds_ += timer.ElapsedSeconds();
+    current_time_ = t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+void Executor::Ingest(const Sge& sge) {
+  SGQ_CHECK(finalized_) << "Ingest before Finalize";
+  const Timestamp floor = queue_.empty() ? current_time_ : queue_.back().t;
+  if (started_ || !queue_.empty()) {
+    SGQ_CHECK_GE(sge.t, floor) << "stream timestamps must be ordered";
+  }
+  ++edges_pushed_;
+  queue_.push_back(sge);
+  if (queue_.size() >= options_.batch_size) Flush();
+}
+
+void Executor::Flush() {
+  if (queue_.empty()) return;
+  std::vector<Sge> batch;
+  batch.swap(queue_);
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    // One micro-batch = one distinct timestamp: window boundaries and
+    // expirations between groups are processed exactly as in
+    // tuple-at-a-time mode.
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].t == batch[i].t) ++j;
+    AdvanceClock(batch[i].t);
+    Stopwatch timer;
+    for (std::size_t k = i; k < j; ++k) DeliverSge(batch[k]);
+    if (wave_mode()) RunWave();
+    slide_accum_seconds_ += timer.ElapsedSeconds();
+    i = j;
+  }
+}
+
+void Executor::AdvanceTo(Timestamp t) {
+  SGQ_CHECK(finalized_) << "AdvanceTo before Finalize";
+  Flush();
+  AdvanceClock(t);
+}
+
+std::size_t Executor::StateSize() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.op->StateSize();
+  return n;
+}
+
+}  // namespace sgq

@@ -1,0 +1,200 @@
+// Explicit dataflow runtime (§6.1): the Executor owns the physical
+// operator topology of one compiled query — operator IDs, their typed
+// output channels, and the per-timestamp micro-batch ingest queue — and
+// drives OnTuple/OnTimeAdvance/MaybePurge waves in topological order.
+//
+// This replaces the previous recursive push architecture (operator ->
+// parent_->OnTuple()) whose unbounded recursion could not batch, share
+// state across operators, or parallelize. Delivery is iterative:
+//
+//  - batch_size == 1 ("tuple-at-a-time"): every ingested sge is routed to
+//    its source operators and the resulting cascade is drained on an
+//    explicit stack whose segment-reversal discipline reproduces the old
+//    depth-first recursion order *exactly* — batch=1 output is
+//    byte-identical to the recursive engine.
+//  - batch_size > 1: sges buffer in the micro-batch queue (grouped by
+//    timestamp, so window semantics are untouched) and each group is
+//    processed as a topological wave: every operator receives its pending
+//    inputs per port as one OnBatch call. Equivalent result *sets*,
+//    amortized per-tuple overhead.
+//
+// Window bookkeeping is consolidated in a shared WindowStore
+// (runtime/window_store.h) owned by the executor.
+
+#ifndef SGQ_RUNTIME_EXECUTOR_H_
+#define SGQ_RUNTIME_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "core/physical.h"
+#include "model/sgt.h"
+#include "runtime/channel.h"
+#include "runtime/window_store.h"
+
+namespace sgq {
+
+/// \brief Runtime configuration.
+struct ExecutorOptions {
+  /// Micro-batch size: how many sges the ingest queue buffers before a
+  /// flush. 1 reproduces tuple-at-a-time semantics exactly.
+  std::size_t batch_size = 1;
+};
+
+/// \brief Owns and drives the operator topology of one running query.
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// \name Topology construction (before Finalize)
+  /// @{
+
+  /// \brief Adds an operator; returns its id. Operators must be added
+  /// children-first: the insertion order doubles as the wave order and is
+  /// verified to be topological by Finalize().
+  OpId AddOp(std::unique_ptr<PhysicalOp> op);
+
+  /// \brief Connects `from`'s output channel to input `port` of `to`.
+  /// A channel may have several destinations (fan-out); delivery follows
+  /// connection order.
+  Status Connect(OpId from, OpId to, int port);
+
+  /// \brief Registers `source` as a consumer of raw sges with `label`.
+  /// `slide` is the source's window slide; the engine's slide granularity
+  /// is the finest slide of any source.
+  Status RegisterSource(LabelId label, OpId source, Timestamp slide);
+
+  /// \brief Validates the topology (edges must go from lower to higher op
+  /// id — children-first insertion), binds channels, and fixes the slide
+  /// granularity. Must be called once before ingesting.
+  Status Finalize();
+  /// @}
+
+  /// \name Streaming
+  /// @{
+
+  /// \brief Feeds one stream element into the micro-batch queue;
+  /// timestamps must be non-decreasing. Flushes when the queue reaches
+  /// batch_size.
+  void Ingest(const Sge& sge);
+
+  /// \brief Drains the micro-batch queue: groups buffered sges by
+  /// timestamp, advances the clock between groups (processing slide
+  /// boundaries and expirations), and runs each group through the
+  /// topology.
+  void Flush();
+
+  /// \brief Flushes, then advances time to `t` without new input
+  /// (processing slide boundaries and expirations on the way).
+  void AdvanceTo(Timestamp t);
+  /// @}
+
+  /// \name Introspection
+  /// @{
+  PhysicalOp* op(OpId id) const;
+  std::size_t NumOps() const { return nodes_.size(); }
+  WindowStore* window_store() { return &window_store_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  const LatencyRecorder& slide_latencies() const { return slide_latencies_; }
+  std::size_t edges_pushed() const { return edges_pushed_; }
+  std::size_t edges_processed() const { return edges_processed_; }
+  std::size_t num_waves() const { return num_waves_; }
+
+  /// \brief Total operator state entries (diagnostics). Shared window
+  /// partitions are counted once per consumer (each consumer's watermark
+  /// must see them).
+  std::size_t StateSize() const;
+
+  /// \brief Timestamps every operator has been advanced to so far.
+  Timestamp now() const { return current_time_; }
+  Timestamp slide() const { return slide_; }
+
+  /// \brief Human-readable topology: one line per operator with its
+  /// channel destinations.
+  std::string DescribeTopology() const;
+  /// @}
+
+ private:
+  friend class OutputChannel;
+
+  struct OpNode {
+    std::unique_ptr<PhysicalOp> op;
+    OutputChannel out;
+    /// Per-port pending input buffers (wave mode).
+    std::vector<std::vector<Sgt>> pending;
+  };
+
+  /// \brief Channel entry point: dispatches an emitted tuple according to
+  /// the active drain mode.
+  void Route(const OutputChannel& channel, const Sgt& tuple);
+
+  /// \brief Routes one sge to its registered sources. In tuple mode each
+  /// source's cascade is drained to completion before the next source
+  /// (matching the recursive engine); in wave mode emissions buffer.
+  void DeliverSge(const Sge& sge);
+
+  /// \brief True when the runtime batches (batch_size > 1): emissions
+  /// buffer per (op, port) and propagate in topological waves. Tuple mode
+  /// (batch_size == 1) reproduces recursive depth-first delivery exactly.
+  bool wave_mode() const { return options_.batch_size > 1; }
+
+  /// \brief Runs one operator phase call (OnSge / OnTimeAdvance /
+  /// MaybePurge) and delivers whatever it emitted.
+  template <typename Fn>
+  void RunOpPhase(Fn&& fn);
+
+  /// \brief Drains the tuple-mode delivery stack (exact DFS order).
+  void DrainStack();
+
+  /// \brief Runs one topological wave over the pending buffers.
+  void RunWave();
+
+  /// \brief Advances the clock to `t`: processes every slide boundary
+  /// passed on the way and runs a time-advance wave for the new distinct
+  /// timestamp. Does not touch the ingest queue.
+  void AdvanceClock(Timestamp t);
+
+  void ProcessBoundary(Timestamp boundary);
+  void TimeAdvanceWave(Timestamp now);
+
+  ExecutorOptions options_;
+  std::vector<OpNode> nodes_;  ///< index == OpId; insertion is wave order
+  std::unordered_map<LabelId, std::vector<OpId>> sources_;
+  WindowStore window_store_;
+  bool finalized_ = false;
+
+  // --- micro-batch ingest queue ---
+  std::vector<Sge> queue_;
+
+  // --- drain state ---
+  std::vector<std::pair<PortRef, Sgt>> stack_;
+  std::vector<std::pair<PortRef, Sgt>>* segment_ = nullptr;
+  std::size_t num_waves_ = 0;
+
+  // --- clock ---
+  Timestamp current_time_ = kMinTimestamp;
+  Timestamp min_slide_ = kMaxTimestamp;  ///< finest registered source slide
+  Timestamp slide_ = 1;
+  Timestamp next_boundary_ = kMinTimestamp;
+  bool started_ = false;
+
+  // --- metrics ---
+  LatencyRecorder slide_latencies_;
+  double slide_accum_seconds_ = 0;
+  std::size_t edges_pushed_ = 0;
+  std::size_t edges_processed_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,25 @@
+#include "runtime/window_store.h"
+
+namespace sgq {
+
+WindowEdgeStore* WindowStore::Acquire(const std::string& signature) {
+  auto [it, inserted] = partitions_.try_emplace(signature);
+  if (inserted) {
+    it->second = std::make_unique<WindowEdgeStore>();
+  } else {
+    ++shared_acquires_;
+  }
+  return it->second.get();
+}
+
+std::size_t WindowStore::NumEntries() const {
+  std::size_t n = 0;
+  for (const auto& [_, store] : partitions_) n += store->NumEntries();
+  return n;
+}
+
+void WindowStore::PurgeExpired(Timestamp now) {
+  for (auto& [_, store] : partitions_) store->PurgeExpired(now);
+}
+
+}  // namespace sgq

@@ -1,0 +1,57 @@
+// Shared window state of one running query (runtime subsystem).
+//
+// Before this registry existed every stateful operator owned a private
+// copy of its input window: two PATH operators over the same scanned
+// stream each maintained a full adjacency, and PATTERN kept the same edges
+// again in its per-port join tables — duplicate memory and duplicate
+// expiry scans. The WindowStore consolidates that: operators acquire a
+// partition keyed by the *plan signature* of the subplan that produces
+// their input (algebra/translate.h), so structurally identical inputs
+// resolve to one shared WindowEdgeStore. Inserts are idempotent
+// (value-equivalent edges coalesce, Def. 11) and purges are cheap to
+// repeat (the partition tracks its earliest expiry), so any number of
+// consumers can maintain the shared partition without coordination.
+
+#ifndef SGQ_RUNTIME_WINDOW_STORE_H_
+#define SGQ_RUNTIME_WINDOW_STORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/window_store.h"
+
+namespace sgq {
+
+/// \brief Registry of shared WindowEdgeStore partitions, one per distinct
+/// input-subplan signature. Owned by the Executor; handles stay valid for
+/// the lifetime of the store.
+class WindowStore {
+ public:
+  /// \brief Returns the partition for `signature`, creating it on first
+  /// use. Subsequent calls with the same signature return the same
+  /// partition (that is the sharing).
+  WindowEdgeStore* Acquire(const std::string& signature);
+
+  std::size_t NumPartitions() const { return partitions_.size(); }
+
+  /// \brief Number of Acquire() calls that hit an existing partition —
+  /// i.e. how much duplicate state the consolidation removed.
+  std::size_t NumSharedAcquires() const { return shared_acquires_; }
+
+  /// \brief Total entries across partitions (diagnostics).
+  std::size_t NumEntries() const;
+
+  /// \brief Purges every partition (memory only; results unaffected).
+  void PurgeExpired(Timestamp now);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<WindowEdgeStore>>
+      partitions_;
+  std::size_t shared_acquires_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_WINDOW_STORE_H_

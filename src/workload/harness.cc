@@ -45,8 +45,7 @@ Result<RunMetrics> RunDd(const InputStream& stream,
   SGQ_ASSIGN_OR_RETURN(auto engine,
                        baseline::DifferentialEngine::Create(query, vocab));
   Stopwatch timer;
-  for (const Sge& sge : stream) engine->Push(sge);
-  if (!stream.empty()) engine->AdvanceTo(stream.back().t + 1);
+  engine->PushAll(stream);
   RunMetrics m;
   m.name = std::move(name);
   m.elapsed_seconds = timer.ElapsedSeconds();

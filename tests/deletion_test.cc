@@ -60,7 +60,8 @@ class PathDeletionTest : public ::testing::Test {
 TEST_F(PathDeletionTest, NonTreeEdgeDeletionIsFree) {
   SPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   // Two parallel derivations 1 -> 2; the first one becomes the tree edge,
   // the second (shorter-lived) is a non-tree edge.
   op.OnTuple(0, Edge(1, 2, 0, 100));
@@ -85,7 +86,8 @@ TEST_F(PathDeletionTest, NonTreeEdgeDeletionIsFree) {
 TEST_F(PathDeletionTest, TreeEdgeDeletionReroutesThroughAlternative) {
   SPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   // Tree path 1->2->4 plus an alternative 1->3->4 with smaller expiry.
   op.OnTuple(0, Edge(1, 2, 0, 100));
   op.OnTuple(0, Edge(2, 4, 1, 100));
@@ -105,7 +107,8 @@ TEST_F(PathDeletionTest, TreeEdgeDeletionReroutesThroughAlternative) {
 TEST_F(PathDeletionTest, CascadingDeletionKillsWholeSubtree) {
   SPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   // Chain 1 -> 2 -> 3 -> 4 with no alternatives.
   op.OnTuple(0, Edge(1, 2, 0, 100));
   op.OnTuple(0, Edge(2, 3, 1, 100));
@@ -124,7 +127,8 @@ TEST_F(PathDeletionTest, CascadingDeletionKillsWholeSubtree) {
 TEST_F(PathDeletionTest, DeltaPathHandlesExplicitDeletionsToo) {
   DeltaPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   op.OnTuple(0, Edge(1, 2, 0, 100));
   op.OnTuple(0, Edge(2, 3, 1, 100));
   op.OnTuple(0, Deletion(1, 2, 5));
@@ -137,7 +141,8 @@ TEST_F(PathDeletionTest, DeltaPathHandlesExplicitDeletionsToo) {
 TEST_F(PathDeletionTest, DeltaPathCountsRederivationRounds) {
   DeltaPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   op.OnTuple(0, Edge(1, 2, 0, 10));
   op.OnTuple(0, Edge(2, 3, 1, 20));
   EXPECT_EQ(op.rederivation_rounds(), 0u);

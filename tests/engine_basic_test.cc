@@ -31,7 +31,8 @@ class CollectOp : public PhysicalOp {
 TEST(WScanOpTest, AssignsValidityIntervals) {
   CollectOp sink;
   WScanOp scan(/*label=*/3, WindowSpec(24, 1));
-  scan.SetParent(&sink, 0);
+  OutputChannel scan_wire(&sink, 0);
+  scan.BindOutput(&scan_wire);
   scan.OnSge(Sge(1, 2, 3, 7));
   ASSERT_EQ(sink.tuples.size(), 1u);
   EXPECT_EQ(sink.tuples[0].validity, Interval(7, 31));
@@ -42,7 +43,8 @@ TEST(WScanOpTest, AssignsValidityIntervals) {
 TEST(WScanOpTest, SlideCoarsensExpiry) {
   CollectOp sink;
   WScanOp scan(3, WindowSpec(24, 6));
-  scan.SetParent(&sink, 0);
+  OutputChannel scan_wire(&sink, 0);
+  scan.BindOutput(&scan_wire);
   scan.OnSge(Sge(1, 2, 3, 7));   // floor(7/6)*6 + 24 = 30
   scan.OnSge(Sge(1, 2, 3, 13));  // floor(13/6)*6 + 24 = 36
   EXPECT_EQ(sink.tuples[0].validity.exp, 30);
@@ -52,7 +54,8 @@ TEST(WScanOpTest, SlideCoarsensExpiry) {
 TEST(WScanOpTest, DeletionBecomesNegativeTuple) {
   CollectOp sink;
   WScanOp scan(3, WindowSpec(24, 1));
-  scan.SetParent(&sink, 0);
+  OutputChannel scan_wire(&sink, 0);
+  scan.BindOutput(&scan_wire);
   scan.OnSge(Sge(1, 2, 3, 9, /*del=*/true));
   ASSERT_EQ(sink.tuples.size(), 1u);
   EXPECT_TRUE(sink.tuples[0].is_deletion);
@@ -64,7 +67,8 @@ TEST(FilterOpTest, EvaluatesConjunction) {
   FilterPredicate self_loop;
   self_loop.kind = FilterPredicate::Kind::kSrcEqualsTrg;
   FilterOp filter({self_loop});
-  filter.SetParent(&sink, 0);
+  OutputChannel filter_wire(&sink, 0);
+  filter.BindOutput(&filter_wire);
   filter.OnTuple(0, Sgt(1, 1, 0, Interval(0, 5)));
   filter.OnTuple(0, Sgt(1, 2, 0, Interval(0, 5)));
   EXPECT_EQ(sink.tuples.size(), 1u);
@@ -73,7 +77,8 @@ TEST(FilterOpTest, EvaluatesConjunction) {
 TEST(UnionOpTest, RelabelsWhenConfigured) {
   CollectOp sink;
   UnionOp u(/*output_label=*/9);
-  u.SetParent(&sink, 0);
+  OutputChannel u_wire(&sink, 0);
+  u.BindOutput(&u_wire);
   u.OnTuple(0, Sgt(1, 2, 3, Interval(0, 5)));
   ASSERT_EQ(sink.tuples.size(), 1u);
   EXPECT_EQ(sink.tuples[0].label, 9u);
@@ -195,12 +200,14 @@ class PatternOpTest : public ::testing::Test {
     logical_ = MakePattern(out_, {{"x", "y"}, {"y", "z"}}, "x", "z",
                            std::move(children));
     op_ = std::make_unique<PatternOp>(*logical_);
-    op_->SetParent(&sink_, 0);
+    wire_ = OutputChannel(&sink_, 0);
+    op_->BindOutput(&wire_);
   }
 
   Vocabulary vocab_;
   LabelId a_, b_, out_;
   LogicalPlan logical_;
+  OutputChannel wire_;
   std::unique_ptr<PatternOp> op_;
   CollectOp sink_;
 };
@@ -265,7 +272,8 @@ TEST(PatternOpSelfJoinTest, IntraAtomConstraint) {
       MakePattern(out, {{"x", "x"}}, "x", "x", std::move(children));
   PatternOp op(*logical);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   op.OnTuple(0, Sgt(1, 2, a, Interval(0, 10)));
   op.OnTuple(0, Sgt(3, 3, a, Interval(0, 10)));
   ASSERT_EQ(sink.tuples.size(), 1u);
@@ -286,7 +294,8 @@ TEST(PatternOpTriangleTest, CyclicJoinProducesTriangles) {
                              "x", std::move(children));
   PatternOp op(*logical);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   auto feed = [&](VertexId s, VertexId g, Interval iv) {
     // The same input stream feeds all three ports (self-join).
     for (int port = 0; port < 3; ++port) {

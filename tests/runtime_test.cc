@@ -1,0 +1,367 @@
+// Tests for the dataflow runtime (runtime/executor.h): topology
+// construction, exact depth-first delivery at batch=1, micro-batch waves,
+// purge amortization (MaybePurge watermark doubling), time-advance
+// ordering (OnTimeAdvance for every distinct timestamp), shared
+// WindowStore partitions and WSCAN deduplication, and batch=1 vs batch=N
+// result equivalence on seeded random streams.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/basic_ops.h"
+#include "core/query_processor.h"
+#include "runtime/executor.h"
+#include "test_util.h"
+#include "workload/generators.h"
+#include "workload/queries.h"
+
+namespace sgq {
+namespace {
+
+using testing_util::ResultPairsAt;
+using testing_util::SampleTimes;
+
+// ---------------------------------------------------------------------------
+// Instrumented operators
+// ---------------------------------------------------------------------------
+
+/// Records every lifecycle call the runtime makes.
+class ProbeOp : public PhysicalOp {
+ public:
+  void OnTuple(int port, const Sgt& tuple) override {
+    (void)port;
+    tuples.push_back(tuple);
+  }
+  void OnBatch(int port, const Sgt* ts, std::size_t n) override {
+    batch_sizes.push_back(n);
+    PhysicalOp::OnBatch(port, ts, n);
+  }
+  void OnTimeAdvance(Timestamp now) override { advances.push_back(now); }
+  void Purge(Timestamp now) override { purges.push_back(now); }
+  std::size_t StateSize() const override { return fake_state_size; }
+  std::string Name() const override { return "PROBE"; }
+
+  std::vector<Sgt> tuples;
+  std::vector<std::size_t> batch_sizes;
+  std::vector<Timestamp> advances;
+  std::vector<Timestamp> purges;
+  std::size_t fake_state_size = 0;
+};
+
+/// Emits `fanout` copies of every input tuple (exercises cascades).
+class FanOp : public PhysicalOp {
+ public:
+  explicit FanOp(int fanout) : fanout_(fanout) {}
+  void OnTuple(int port, const Sgt& tuple) override {
+    (void)port;
+    for (int i = 0; i < fanout_; ++i) {
+      Sgt copy = tuple;
+      copy.src = tuple.src * 10 + static_cast<VertexId>(i);
+      EmitTuple(copy);
+    }
+  }
+  std::string Name() const override { return "FAN"; }
+
+ private:
+  int fanout_;
+};
+
+// ---------------------------------------------------------------------------
+// MaybePurge amortization
+// ---------------------------------------------------------------------------
+
+TEST(MaybePurgeTest, WatermarkDoubles) {
+  ProbeOp op;
+  // Below the initial watermark (1024): no purge regardless of calls.
+  op.fake_state_size = 1023;
+  op.MaybePurge(10);
+  op.MaybePurge(20);
+  EXPECT_TRUE(op.purges.empty());
+
+  // Reaching the watermark triggers a purge and doubles the bar.
+  op.fake_state_size = 1024;
+  op.MaybePurge(30);
+  ASSERT_EQ(op.purges.size(), 1u);
+  EXPECT_EQ(op.purges[0], 30);
+
+  // New watermark is 2 * post-purge state = 2048: 2047 stays quiet.
+  op.fake_state_size = 2047;
+  op.MaybePurge(40);
+  EXPECT_EQ(op.purges.size(), 1u);
+  op.fake_state_size = 2048;
+  op.MaybePurge(50);
+  ASSERT_EQ(op.purges.size(), 2u);
+  EXPECT_EQ(op.purges[1], 50);
+
+  // The floor never drops below 1024 even when the state shrinks to
+  // nothing during the purge.
+  op.fake_state_size = 0;
+  op.MaybePurge(60);
+  EXPECT_EQ(op.purges.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor topology
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, RejectsForwardChannels) {
+  Executor exec;
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 1)));
+  // Channels must go from earlier to later ids (children-first order).
+  EXPECT_FALSE(exec.Connect(scan, probe, 0).ok());
+  EXPECT_FALSE(exec.Connect(scan, scan, 0).ok());
+}
+
+TEST(ExecutorTest, RegisterSourceRequiresSourceOp) {
+  Executor exec;
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  EXPECT_FALSE(exec.RegisterSource(0, probe, 1).ok());
+}
+
+TEST(ExecutorTest, DescribeTopologyListsChannels) {
+  Executor exec;
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 1)));
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, probe, 0).ok());
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 1).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+  const std::string topo = exec.DescribeTopology();
+  EXPECT_NE(topo.find("WSCAN"), std::string::npos);
+  EXPECT_NE(topo.find("PROBE"), std::string::npos);
+  EXPECT_NE(topo.find("->"), std::string::npos);
+}
+
+TEST(ExecutorTest, DeliversThroughChannels) {
+  Executor exec;
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(7, WindowSpec(10, 1)));
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, probe, 0).ok());
+  ASSERT_TRUE(exec.RegisterSource(7, scan, 1).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+
+  exec.Ingest(Sge(1, 2, 7, 0));
+  exec.Ingest(Sge(3, 4, 9, 1));  // label 9 unregistered: dropped
+  auto* p = static_cast<ProbeOp*>(exec.op(probe));
+  ASSERT_EQ(p->tuples.size(), 1u);
+  EXPECT_EQ(p->tuples[0].validity, Interval(0, 10));
+  EXPECT_EQ(exec.edges_pushed(), 2u);
+  EXPECT_EQ(exec.edges_processed(), 1u);
+}
+
+TEST(ExecutorTest, ChannelFanOutDeliversInConnectionOrder) {
+  Executor exec;
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 1)));
+  const OpId a = exec.AddOp(std::make_unique<ProbeOp>());
+  const OpId b = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, a, 0).ok());
+  ASSERT_TRUE(exec.Connect(scan, b, 1).ok());
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 1).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+  exec.Ingest(Sge(1, 2, 0, 0));
+  EXPECT_EQ(static_cast<ProbeOp*>(exec.op(a))->tuples.size(), 1u);
+  EXPECT_EQ(static_cast<ProbeOp*>(exec.op(b))->tuples.size(), 1u);
+}
+
+TEST(ExecutorTest, TupleModeDrainsDepthFirst) {
+  // scan -> fan(2) -> fan(2) -> probe: 4 leaf tuples per input, in the
+  // exact order the recursive engine would produce (left subtree first).
+  Executor exec;
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 1)));
+  const OpId f1 = exec.AddOp(std::make_unique<FanOp>(2));
+  const OpId f2 = exec.AddOp(std::make_unique<FanOp>(2));
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, f1, 0).ok());
+  ASSERT_TRUE(exec.Connect(f1, f2, 0).ok());
+  ASSERT_TRUE(exec.Connect(f2, probe, 0).ok());
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 1).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+
+  exec.Ingest(Sge(1, 2, 0, 0));
+  auto* p = static_cast<ProbeOp*>(exec.op(probe));
+  ASSERT_EQ(p->tuples.size(), 4u);
+  // src evolves 1 -> 1*10+i -> (1*10+i)*10+j; DFS order: 100, 101, 110,
+  // 111.
+  EXPECT_EQ(p->tuples[0].src, 100u);
+  EXPECT_EQ(p->tuples[1].src, 101u);
+  EXPECT_EQ(p->tuples[2].src, 110u);
+  EXPECT_EQ(p->tuples[3].src, 111u);
+}
+
+TEST(ExecutorTest, WaveModeBatchesPerPort) {
+  Executor exec(ExecutorOptions{/*batch_size=*/4});
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 1)));
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, probe, 0).ok());
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 1).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+
+  auto* p = static_cast<ProbeOp*>(exec.op(probe));
+  // Same timestamp: the whole micro-batch arrives as one OnBatch call.
+  for (int i = 0; i < 3; ++i) exec.Ingest(Sge(1, 2, 0, 5));
+  EXPECT_TRUE(p->tuples.empty());  // buffered until the batch fills
+  exec.Ingest(Sge(1, 2, 0, 5));
+  ASSERT_EQ(p->tuples.size(), 4u);
+  ASSERT_EQ(p->batch_sizes.size(), 1u);
+  EXPECT_EQ(p->batch_sizes[0], 4u);
+  EXPECT_EQ(exec.num_waves(), 1u);
+}
+
+TEST(ExecutorTest, FlushOnTimestampGroupBoundaries) {
+  Executor exec(ExecutorOptions{/*batch_size=*/8});
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 5)));
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, probe, 0).ok());
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 5).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+
+  // Timestamps 1,1,3,7 buffered; Flush processes per-timestamp groups
+  // with clock advances (and the slide boundary at 5) between them.
+  for (Timestamp t : {1, 1, 3, 7}) exec.Ingest(Sge(1, 2, 0, t));
+  exec.Flush();
+  auto* p = static_cast<ProbeOp*>(exec.op(probe));
+  ASSERT_EQ(p->tuples.size(), 4u);
+  EXPECT_EQ(p->batch_sizes, (std::vector<std::size_t>{2, 1, 1}));
+  // Distinct timestamps 3 and 7 and the boundary 5 all advanced time.
+  EXPECT_NE(std::find(p->advances.begin(), p->advances.end(), 3),
+            p->advances.end());
+  EXPECT_NE(std::find(p->advances.begin(), p->advances.end(), 5),
+            p->advances.end());
+  EXPECT_NE(std::find(p->advances.begin(), p->advances.end(), 7),
+            p->advances.end());
+}
+
+TEST(ExecutorTest, IngestRejectsOutOfOrderTimestamps) {
+  Executor exec;
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(10, 1)));
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 1).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+  exec.Ingest(Sge(1, 2, 0, 10));
+  EXPECT_DEATH(exec.Ingest(Sge(1, 2, 0, 5)), "ordered");
+}
+
+// ---------------------------------------------------------------------------
+// Time-advance ordering through the engine
+// ---------------------------------------------------------------------------
+
+TEST(TimeAdvanceTest, EveryDistinctTimestampReachesOperators) {
+  // slide = 5, arrivals at 1, 3, 7, 7, 12: operators must see advances
+  // for the distinct input instants 3, 7, 12 and the boundaries 5, 10.
+  Executor exec;
+  const OpId scan =
+      exec.AddOp(std::make_unique<WScanOp>(0, WindowSpec(20, 5)));
+  const OpId probe = exec.AddOp(std::make_unique<ProbeOp>());
+  ASSERT_TRUE(exec.Connect(scan, probe, 0).ok());
+  ASSERT_TRUE(exec.RegisterSource(0, scan, 5).ok());
+  ASSERT_TRUE(exec.Finalize().ok());
+
+  for (Timestamp t : {1, 3, 7, 7, 12}) exec.Ingest(Sge(1, 2, 0, t));
+  auto* p = static_cast<ProbeOp*>(exec.op(probe));
+  EXPECT_EQ(p->advances, (std::vector<Timestamp>{3, 5, 7, 10, 12}));
+  // Purge waves ran at every slide boundary.
+  EXPECT_EQ(exec.slide_latencies().count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shared state through the compiler
+// ---------------------------------------------------------------------------
+
+TEST(SharedStateTest, DuplicateScansCompileToOneOperator) {
+  Vocabulary vocab;
+  // Two atoms over the same label and window: one WSCAN, fanned out.
+  auto query =
+      MakeQuery("Answer(x,z) <- a(x,y), a(y,z)", WindowSpec(10, 1), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok());
+  // Topology: WSCAN + PATTERN + SINK (the second scan deduplicated away).
+  EXPECT_EQ((*qp)->executor().NumOps(), 3u);
+  // Results unaffected by the dedup.
+  LabelId a = *vocab.FindLabel("a");
+  (*qp)->Push(Sge(1, 2, a, 0));
+  (*qp)->Push(Sge(2, 3, a, 1));
+  EXPECT_EQ(ResultPairsAt((*qp)->results(), 1).size(), 1u);
+}
+
+TEST(SharedStateTest, PathOpsShareWindowPartitions) {
+  Vocabulary vocab;
+  // Two closures over the same base label: both PATH operators resolve to
+  // the same "path-in" partition.
+  auto query = MakeQuery(
+      "Answer(x,y) <- a+(x,y)\nAnswer(x,y) <- a+(y,x)",
+      WindowSpec(10, 1), &vocab);
+  ASSERT_TRUE(query.ok());
+  auto qp = QueryProcessor::FromQuery(*query, vocab, {});
+  ASSERT_TRUE(qp.ok()) << qp.status().ToString();
+  EXPECT_GE((*qp)->executor().window_store()->NumSharedAcquires(), 1u);
+  LabelId a = *vocab.FindLabel("a");
+  (*qp)->Push(Sge(1, 2, a, 0));
+  (*qp)->Push(Sge(2, 3, a, 1));
+  // a+ paths: (1,2),(2,3),(1,3) and the reversed head (2,1),(3,2),(3,1).
+  EXPECT_EQ(ResultPairsAt((*qp)->results(), 1).size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// batch=1 vs batch=N equivalence
+// ---------------------------------------------------------------------------
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchEquivalenceTest, SnapshotsMatchAcrossBatchSizes) {
+  const int seed = GetParam();
+  const char* queries[] = {
+      "Answer(x,z) <- a(x,y), b(y,z)",
+      "Answer(x,y) <- a+(x,y)",
+      "Answer(x,z) <- a+(x,y), b(y,z)",
+  };
+  for (const char* text : queries) {
+    Vocabulary vocab;
+    RandomStreamOptions opt;
+    opt.seed = static_cast<uint64_t>(seed) * 31 + 5;
+    opt.num_vertices = 8;
+    opt.num_labels = 2;
+    opt.num_edges = 120;
+    opt.max_gap = 2;
+    opt.deletion_probability = 0.1;
+    auto stream = GenerateRandomStream(opt, &vocab);
+    ASSERT_TRUE(stream.ok());
+    auto query = MakeQuery(text, WindowSpec(12, 3), &vocab);
+    ASSERT_TRUE(query.ok()) << text;
+
+    EngineOptions base;
+    auto reference = QueryProcessor::FromQuery(*query, vocab, base);
+    ASSERT_TRUE(reference.ok()) << text;
+    (*reference)->PushAll(*stream);
+
+    for (std::size_t batch : {std::size_t{7}, std::size_t{64}}) {
+      EngineOptions options;
+      options.batch_size = batch;
+      auto qp = QueryProcessor::FromQuery(*query, vocab, options);
+      ASSERT_TRUE(qp.ok()) << text;
+      (*qp)->PushAll(*stream);
+      EXPECT_EQ((*qp)->edges_processed(), (*reference)->edges_processed());
+      for (Timestamp t : SampleTimes(*stream, 10)) {
+        ASSERT_EQ(ResultPairsAt((*qp)->results(), t),
+                  ResultPairsAt((*reference)->results(), t))
+            << "query: " << text << " batch=" << batch << " t=" << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalenceTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sgq

@@ -80,7 +80,8 @@ class Figure9Test : public ::testing::Test {
 TEST_F(Figure9Test, SPathTraceMatchesPaperSnapshots) {
   SPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   for (const Sgt& t : Figure9Stream()) op.OnTuple(0, t);
 
   auto from_x = [&](Timestamp t) {
@@ -118,8 +119,10 @@ TEST_F(Figure9Test, Example10DirectVsNegativeTupleEquivalence) {
   SPathOp direct(dfa_, out_);
   DeltaPathOp negative(dfa_, out_);
   CollectOp direct_sink, negative_sink;
-  direct.SetParent(&direct_sink, 0);
-  negative.SetParent(&negative_sink, 0);
+  OutputChannel direct_wire(&direct_sink, 0);
+  direct.BindOutput(&direct_wire);
+  OutputChannel negative_wire(&negative_sink, 0);
+  negative.BindOutput(&negative_wire);
 
   Timestamp last = 0;
   for (const Sgt& t : Figure9Stream()) {
@@ -147,7 +150,8 @@ TEST_F(Figure9Test, Example10DirectVsNegativeTupleEquivalence) {
 TEST_F(Figure9Test, WitnessPathsAreWellFormed) {
   SPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   std::vector<Sgt> stream = Figure9Stream();
   for (const Sgt& t : stream) op.OnTuple(0, t);
 
@@ -172,7 +176,8 @@ TEST_F(Figure9Test, WitnessPathsAreWellFormed) {
 TEST_F(Figure9Test, ExplicitDeletionRetractsAndReasserts) {
   SPathOp op(dfa_, out_);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   // x -> z -> u plus a parallel edge x -> u.
   op.OnTuple(0, Sgt(Id("x"), Id("z"), rl_, Interval(10, 40),
                     {EdgeRef(Id("x"), Id("z"), rl_)}));
@@ -224,7 +229,8 @@ TEST_P(PathPropertyTest, SPathMatchesProductBfsOracle) {
   const WindowSpec window(20, 1);
   SPathOp op(dfa, out);
   CollectOp sink;
-  op.SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op.BindOutput(&op_wire);
   SgtStream windowed;
   for (const Sge& sge : *stream) {
     Sgt t(sge.src, sge.trg, sge.label,
@@ -261,8 +267,10 @@ TEST_P(PathPropertyTest, DeltaPathMatchesSPathSnapshots) {
   SPathOp direct(dfa, out);
   DeltaPathOp negative(dfa, out);
   CollectOp sink_d, sink_n;
-  direct.SetParent(&sink_d, 0);
-  negative.SetParent(&sink_n, 0);
+  OutputChannel direct_wire(&sink_d, 0);
+  direct.BindOutput(&direct_wire);
+  OutputChannel negative_wire(&sink_n, 0);
+  negative.BindOutput(&negative_wire);
 
   Timestamp last = 0;
   for (const Sge& sge : *stream) {

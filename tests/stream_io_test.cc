@@ -1,0 +1,119 @@
+// Hardened stream parsing: malformed or out-of-order lines surface a
+// Status error naming the offending line instead of silently producing
+// garbage.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "model/stream_io.h"
+
+namespace sgq {
+namespace {
+
+TEST(ParseInt64Test, StrictFullFieldMatch) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(ParseInt64("+5", &v));
+  EXPECT_EQ(v, 5);
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("+", &v));
+  EXPECT_FALSE(ParseInt64("12abc", &v));   // trailing garbage
+  EXPECT_FALSE(ParseInt64("abc12", &v));
+  EXPECT_FALSE(ParseInt64("1 2", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));   // overflow
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));  // underflow
+}
+
+TEST(StreamIoTest, ParsesWellFormedStream) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("# header\nu,a,v,1\n v , b , w , 2 \nu,a,v,3,-\n",
+                          &vocab);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_FALSE((*r)[0].is_deletion);
+  EXPECT_EQ((*r)[1].t, 2);
+  EXPECT_TRUE((*r)[2].is_deletion);
+}
+
+TEST(StreamIoTest, TrailingGarbageTimestampErrorsWithLineNumber) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,a,v,1\nu,a,v,2x\n", &vocab);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("timestamp"), std::string::npos);
+}
+
+TEST(StreamIoTest, NegativeTimestampRejected) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,a,v,-4\n", &vocab);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(r.status().message().find("negative"), std::string::npos);
+}
+
+TEST(StreamIoTest, EmptyFieldRejected) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,,v,1\n", &vocab);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  auto r2 = ParseStreamCsv("u,a,v,1\n,a,v,2\n", &vocab);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_NE(r2.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(StreamIoTest, OutOfOrderNamesBothTimestamps) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,a,v,5\nu,a,v,3\n", &vocab);
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().message();
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("3"), std::string::npos);
+  EXPECT_NE(msg.find("5"), std::string::npos);
+}
+
+TEST(StreamIoTest, WrongFieldCountNamesLine) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,a,v\n", &vocab);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  auto r2 = ParseStreamCsv("u,a,v,1,+,extra\n", &vocab);
+  ASSERT_FALSE(r2.ok());
+}
+
+TEST(StreamIoTest, BadOpFieldNamesLine) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,a,v,1,x\n", &vocab);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(StreamIoTest, RoundTripsThroughFormat) {
+  Vocabulary vocab;
+  auto r = ParseStreamCsv("u,a,v,1\nv,b,w,2\nu,a,v,9,-\n", &vocab);
+  ASSERT_TRUE(r.ok());
+  const std::string csv = FormatStreamCsv(*r, vocab);
+  Vocabulary vocab2;
+  auto r2 = ParseStreamCsv(csv, &vocab2);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->size(), r->size());
+  for (std::size_t i = 0; i < r->size(); ++i) {
+    EXPECT_EQ((*r2)[i].t, (*r)[i].t);
+    EXPECT_EQ((*r2)[i].is_deletion, (*r)[i].is_deletion);
+  }
+}
+
+}  // namespace
+}  // namespace sgq

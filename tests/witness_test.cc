@@ -58,7 +58,8 @@ TEST_P(WitnessPropertyTest, EmittedWitnessesAreSound) {
     op = std::make_unique<SPathOp>(dfa, out);
   }
   CollectOp sink;
-  op->SetParent(&sink, 0);
+  OutputChannel op_wire(&sink, 0);
+  op->BindOutput(&op_wire);
 
   // Remember each input edge's validity for condition (iii).
   std::map<EdgeRef, std::vector<Interval>> edge_validity;
