@@ -1,0 +1,78 @@
+// Sharded multi-worker scaling: throughput of the SGA query processor as
+// a function of ExecutorOptions::num_workers (DESIGN.md §2.4).
+//
+// Workloads are the window benchmark mix on the SO-like stream (dense and
+// cyclic, so PATH traversal work dominates and parallelizes): a path
+// closure, a two-atom join, and the mixed query. Every configuration runs
+// with the same micro-batch size so the comparison isolates sharding.
+//
+// Output: one JSON object per line on stdout —
+//   {"bench":"runtime_parallel","workload":...,"workers":N,"batch":B,
+//    "edges":E,"elapsed_seconds":S,"tuples_per_sec":T,"results":R,
+//    "speedup_vs_1":X}
+// so future PRs can track the scaling trajectory mechanically. A human
+// summary goes to stderr. Result counts are checked for snapshot
+// plausibility (a worker count must not lose all results).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sgq;
+
+  struct Workload {
+    const char* name;
+    const char* query;
+  };
+  const Workload workloads[] = {
+      {"path-closure", "Answer(x,y) <- a2q+(x,y)"},
+      {"pattern-2atom", "Answer(x,z) <- a2q(x,y), c2a(y,z)"},
+      {"mixed", "Answer(x,z) <- a2q+(x,y), c2q(y,z)"},
+  };
+  const std::size_t kBatch = 512;
+
+  int failures = 0;
+  for (const Workload& w : workloads) {
+    std::fprintf(stderr, "-- %s --\n", w.name);
+    double baseline_tput = 0;
+    std::size_t baseline_results = 0;
+    for (std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      Vocabulary vocab;
+      auto stream = bench::SoStream(&vocab);
+      bench::CheckOk(stream.status(), "stream");
+      auto query = MakeQuery(w.query, bench::PaperWindow(), &vocab);
+      bench::CheckOk(query.status(), w.name);
+      EngineOptions options;
+      options.batch_size = kBatch;
+      options.num_workers = workers;
+      auto metrics =
+          RunSga(*stream, *query, vocab, options,
+                 std::string(w.name) + "/workers=" + std::to_string(workers));
+      bench::CheckOk(metrics.status(), "run");
+
+      const double tput = metrics->Throughput();
+      if (workers == 1) {
+        baseline_tput = tput;
+        baseline_results = metrics->results_emitted;
+      } else if (metrics->results_emitted == 0 && baseline_results != 0) {
+        std::fprintf(stderr,
+                     "workers=%zu produced no results (baseline %zu)\n",
+                     workers, baseline_results);
+        ++failures;
+      }
+      const double speedup = baseline_tput > 0 ? tput / baseline_tput : 0;
+      std::printf(
+          "{\"bench\":\"runtime_parallel\",\"workload\":\"%s\","
+          "\"workers\":%zu,\"batch\":%zu,\"edges\":%zu,"
+          "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
+          "\"results\":%zu,\"speedup_vs_1\":%.3f}\n",
+          w.name, workers, kBatch, metrics->edges_processed,
+          metrics->elapsed_seconds, tput, metrics->results_emitted, speedup);
+      std::fprintf(stderr,
+                   "  workers=%zu  %10.0f tuples/s  (%.2fx vs 1)  "
+                   "%zu results\n",
+                   workers, tput, speedup, metrics->results_emitted);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

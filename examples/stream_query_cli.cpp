@@ -2,7 +2,7 @@
 //
 // Usage:
 //   stream_query_cli <query-file> <stream.csv> [window] [slide] [--gcore]
-//                    [--delta-path] [--slack N] [--batch N]
+//                    [--delta-path] [--slack N] [--batch N] [--workers N]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream.csv   lines `src,label,trg,timestamp[,+|-]`, timestamp-ordered
@@ -72,6 +72,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.batch_size = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n <= 0) {
+        std::fprintf(stderr,
+                     "--workers: expected a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      options.num_workers = static_cast<std::size_t>(n);
     } else if (positional == 0) {
       auto text = ReadFile(argv[i]);
       if (!text.ok()) {

@@ -7,8 +7,8 @@
 namespace sgq {
 
 double LatencyRecorder::Percentile(double q) const {
-  if (samples_.empty()) return 0;
-  std::vector<double> sorted = samples_;
+  std::vector<double> sorted = Samples();
+  if (sorted.empty()) return 0;
   std::sort(sorted.begin(), sorted.end());
   // Nearest-rank: ceil(q * N)-th smallest sample (1-indexed).
   const double clamped = std::min(std::max(q, 0.0), 1.0);
@@ -19,14 +19,16 @@ double LatencyRecorder::Percentile(double q) const {
 }
 
 double LatencyRecorder::Mean() const {
-  if (samples_.empty()) return 0;
-  const double sum = std::accumulate(samples_.begin(), samples_.end(), 0.0);
-  return sum / static_cast<double>(samples_.size());
+  const std::vector<double> samples = Samples();
+  if (samples.empty()) return 0;
+  const double sum = std::accumulate(samples.begin(), samples.end(), 0.0);
+  return sum / static_cast<double>(samples.size());
 }
 
 double LatencyRecorder::Max() const {
-  if (samples_.empty()) return 0;
-  return *std::max_element(samples_.begin(), samples_.end());
+  const std::vector<double> samples = Samples();
+  if (samples.empty()) return 0;
+  return *std::max_element(samples.begin(), samples.end());
 }
 
 }  // namespace sgq

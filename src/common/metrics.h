@@ -1,16 +1,46 @@
 // Measurement helpers shared by the benchmark harness and tests:
 // wall-clock timers, latency percentile tracking, throughput accounting.
+//
+// Counter and LatencyRecorder are thread-safe: sharded execution
+// (runtime/executor.h, num_workers > 1) lets per-shard operators bump
+// shared counters concurrently, so Counter is a relaxed atomic and
+// LatencyRecorder serializes its sample vector behind a mutex.
 
 #ifndef SGQ_COMMON_METRICS_H_
 #define SGQ_COMMON_METRICS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace sgq {
+
+/// \brief Monotonically increasing event counter, safe to bump from any
+/// worker thread. Relaxed ordering: counts are diagnostics, not
+/// synchronization — readers that need a consistent view read after a
+/// pool barrier.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
 
 /// \brief Monotonic stopwatch with microsecond resolution.
 class Stopwatch {
@@ -41,13 +71,29 @@ class Stopwatch {
 ///
 /// The paper reports the 99th-percentile ("tail") latency of each window
 /// slide; LatencyRecorder::Percentile(0.99) computes exactly that with the
-/// nearest-rank method.
+/// nearest-rank method. Thread-safe: samples may be recorded from any
+/// worker thread.
 class LatencyRecorder {
  public:
-  /// \brief Records one latency sample, in seconds.
-  void Record(double seconds) { samples_.push_back(seconds); }
+  LatencyRecorder() = default;
+  LatencyRecorder(const LatencyRecorder& other) : samples_(other.Samples()) {}
+  LatencyRecorder& operator=(const LatencyRecorder& other) {
+    std::vector<double> copy = other.Samples();
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_ = std::move(copy);
+    return *this;
+  }
 
-  std::size_t count() const { return samples_.size(); }
+  /// \brief Records one latency sample, in seconds.
+  void Record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(seconds);
+  }
+
+  std::size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
 
   /// \brief Nearest-rank percentile, q in [0, 1]; 0 when no samples.
   double Percentile(double q) const;
@@ -57,10 +103,20 @@ class LatencyRecorder {
 
   double Max() const;
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+  }
 
  private:
-  mutable std::vector<double> samples_;
+  /// \brief Snapshot of the samples under the lock.
+  std::vector<double> Samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
 };
 
 /// \brief Aggregate result of one benchmark run.

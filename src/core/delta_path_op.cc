@@ -14,7 +14,7 @@ void DeltaPathOp::OnTuple(int port, const Sgt& tuple) {
 
   std::vector<AttachWork> work;
   for (const auto& [s, q] : dfa().TransitionsOnLabel(tuple.label)) {
-    if (s == dfa().start()) EnsureTree(tuple.src);
+    if (s == dfa().start() && OwnsRoot(tuple.src)) EnsureTree(tuple.src);
     const NodeKey parent_key{tuple.src, s};
     for (VertexId root : TreesContaining(parent_key)) {
       auto tree_it = trees_.find(root);

@@ -37,6 +37,10 @@ class DeltaPathOp : public PathOpBase {
 
   std::string Name() const override { return "PATH[delta-tree]"; }
 
+  /// \brief Expiry re-derivation is the Δ-tree's dominant cost; sharded
+  /// time-advance phases for it are worth a pool dispatch.
+  bool HasTimeDrivenWork() const override { return true; }
+
   /// \brief Number of delete/re-derive rounds executed (diagnostics; the
   /// S-PATH comparison expects this to dominate on cyclic inputs).
   std::size_t rederivation_rounds() const { return rederivation_rounds_; }

@@ -30,6 +30,31 @@ class PathOpBase : public PhysicalOp {
   std::string Name() const override { return "PATH"; }
   std::size_t StateSize() const override;
 
+  /// \brief Sharded execution: every input tuple is broadcast to every
+  /// shard — spanning trees are keyed by *root* vertex, but any edge can
+  /// extend any tree, so each shard maintains the full window adjacency
+  /// (its own shard-suffixed partition) and owns the trees whose root
+  /// hashes to it.
+  RoutingKey InputRouting(int port) const override {
+    (void)port;
+    return RoutingKey::kBroadcast;
+  }
+
+  /// \brief Declares this instance shard `shard` of `num_shards`. With
+  /// num_shards == 1 (the default) the operator owns every tree root —
+  /// the unsharded behavior, untouched.
+  void ConfigureShard(ShardId shard, std::size_t num_shards) {
+    shard_ = shard;
+    num_shards_ = num_shards == 0 ? 1 : num_shards;
+  }
+
+  /// \brief True when this shard owns the spanning tree rooted at `v`.
+  /// Results for (root, v) pairs are emitted only by the owner, so each
+  /// output value — including its retractions — stays on one shard.
+  bool OwnsRoot(VertexId v) const {
+    return num_shards_ == 1 || ShardOfVertex(v, num_shards_) == shard_;
+  }
+
   /// \brief Probes and maintains window state through a partition of the
   /// runtime WindowStore instead of a private copy. Must be called before
   /// the first tuple; the caller keeps `store` alive. Safe to share with
@@ -128,6 +153,8 @@ class PathOpBase : public PhysicalOp {
   WindowEdgeStore owned_window_;
   Dfa dfa_;
   LabelId out_label_;
+  ShardId shard_ = 0;
+  std::size_t num_shards_ = 1;
   /// Inverted index (Def. 22): node key -> roots of trees containing it.
   /// Flat vectors (deduplicated on insert): root sets are small and the
   /// index is probed on every arriving sgt.

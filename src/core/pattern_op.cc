@@ -211,6 +211,15 @@ void PatternOp::Project(const Binding& b, Mode mode) {
 void PatternOp::OnTuple(int port, const Sgt& tuple) {
   SGQ_CHECK_GE(port, 0);
   SGQ_CHECK_LT(port, num_ports_);
+  if (num_ports_ > 1 && tuple.is_deletion) {
+    // Unsharded deletion: the two coordination phases composed
+    // back-to-back on this instance reproduce the original
+    // single-threaded retract + reassert exactly (the extra Forget in
+    // ReassertRetracted is a no-op on values already forgotten by the
+    // retract cascade).
+    ReassertRetracted(RetractForDeletion(port, tuple));
+    return;
+  }
   Binding b;
   if (!BindPort(port, tuple, &b)) return;
 
@@ -226,11 +235,6 @@ void PatternOp::OnTuple(int port, const Sgt& tuple) {
     } else if (out_coalescer_.Offer(out)) {
       EmitTuple(out);
     }
-    return;
-  }
-
-  if (tuple.is_deletion) {
-    HandleDeletion(port, b);
     return;
   }
 
@@ -255,7 +259,10 @@ void PatternOp::OnTuple(int port, const Sgt& tuple) {
   }
 }
 
-void PatternOp::HandleDeletion(int port, const Binding& b) {
+std::vector<EdgeRef> PatternOp::RetractForDeletion(int port,
+                                                   const Sgt& tuple) {
+  Binding b;
+  if (!BindPort(port, tuple, &b)) return {};
   // 1. Emit negative tuples for every live output containing the deleted
   //    tuple, by replaying the join cascade without inserting.
   retracted_values_.clear();
@@ -316,22 +323,38 @@ void PatternOp::HandleDeletion(int port, const Binding& b) {
     scrub(&levels_[j].left);
   }
 
-  // 3. Re-assert: an output value retracted above may still hold via a
-  //    different derivation (other witness tuples binding the same output
-  //    endpoints). Replay the surviving port-0 bindings through the
-  //    pipeline and re-emit positives for the retracted values. Deletions
-  //    are rare (§6.2.5), so the full replay is acceptable.
-  if (!retracted_values_.empty() && !levels_.empty()) {
-    // Copy: kReassert re-inserts (idempotently) while iterating.
-    std::vector<Binding> port0;
-    for (const auto& [_, bucket] : levels_[0].left) {
-      port0.insert(port0.end(), bucket.begin(), bucket.end());
-    }
-    for (const Binding& acc : port0) {
-      Cascade(0, acc, Mode::kReassert);
-    }
-    retracted_values_.clear();
+  // std::set iteration is sorted: the returned order is deterministic, so
+  // the sharded executor's cross-shard union is reproducible.
+  std::vector<EdgeRef> out(retracted_values_.begin(),
+                           retracted_values_.end());
+  retracted_values_.clear();
+  return out;
+}
+
+void PatternOp::ReassertRetracted(const std::vector<EdgeRef>& retracted) {
+  // Re-assert: an output value retracted (on this shard or, under sharded
+  // execution, on a sibling shard) may still hold via a derivation in the
+  // surviving local state. Replay the surviving port-0 bindings through
+  // the pipeline and re-emit positives for the retracted values.
+  // Deletions are rare (§6.2.5), so the full replay is acceptable.
+  if (retracted.empty() || levels_.empty()) return;
+  retracted_values_.clear();
+  for (const EdgeRef& value : retracted) {
+    // A sibling shard's retraction must not leave this shard's coalescer
+    // suppressing the re-assertion (no-op for values this shard
+    // retracted itself — the retract cascade already forgot them).
+    out_coalescer_.Forget(value);
+    retracted_values_.insert(value);
   }
+  // Copy: kReassert re-inserts (idempotently) while iterating.
+  std::vector<Binding> port0;
+  for (const auto& [_, bucket] : levels_[0].left) {
+    port0.insert(port0.end(), bucket.begin(), bucket.end());
+  }
+  for (const Binding& acc : port0) {
+    Cascade(0, acc, Mode::kReassert);
+  }
+  retracted_values_.clear();
 }
 
 void PatternOp::Purge(Timestamp now) {

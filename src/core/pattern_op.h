@@ -42,7 +42,16 @@ struct PatternPortState {
 };
 
 /// \brief Streaming subgraph-pattern operator (Def. 19).
-class PatternOp : public PhysicalOp {
+///
+/// Sharded execution partitions the join by the *driving atom*: port-0
+/// tuples hash to one shard (kEdgeValue), which then owns every
+/// accumulated binding — and thus every derivation — growing from them;
+/// ports >= 1 broadcast, so each shard keeps a full replica of the
+/// right-side single-atom state its left bindings probe. Each derivation
+/// therefore happens on exactly one shard. Deletions need the two-phase
+/// cross-shard protocol (DeletionCoordination): an output value retracted
+/// on one shard may survive via a derivation owned by another.
+class PatternOp : public PhysicalOp, public DeletionCoordination {
  public:
   /// \brief Builds the join pipeline from a logical PATTERN node. The join
   /// tree follows the order of the pattern's atoms (§6.2.2: "we use the
@@ -56,6 +65,24 @@ class PatternOp : public PhysicalOp {
   void Purge(Timestamp now) override;
   std::string Name() const override { return "PATTERN"; }
   std::size_t StateSize() const override;
+
+  /// \brief Port 0 (the driving atom) hash-partitions by edge value;
+  /// every other port broadcasts (replicated right-side state).
+  RoutingKey InputRouting(int port) const override {
+    return port == 0 ? RoutingKey::kEdgeValue : RoutingKey::kBroadcast;
+  }
+
+  /// \brief Multi-atom patterns derive one output value from several
+  /// port-0 bindings, potentially on different shards; single-atom
+  /// patterns are value-partitioned pass-throughs and need none.
+  bool NeedsDeletionCoordination() const override { return num_ports_ > 1; }
+
+  /// \name DeletionCoordination (sharded two-phase deletions)
+  /// @{
+  std::vector<EdgeRef> RetractForDeletion(int port,
+                                          const Sgt& tuple) override;
+  void ReassertRetracted(const std::vector<EdgeRef>& retracted) override;
+  /// @}
 
   /// \brief Number of ports whose state is WindowStore-backed
   /// (diagnostics).
@@ -125,8 +152,6 @@ class PatternOp : public PhysicalOp {
 
   /// Projects a complete binding to the output sgt and emits it.
   void Project(const Binding& b, Mode mode);
-
-  void HandleDeletion(int port, const Binding& b);
 
   int num_ports_;
   std::vector<std::pair<int, int>> port_vars_;  ///< (src,trg) var idx

@@ -15,9 +15,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "model/sgt.h"
 #include "runtime/channel.h"
+#include "runtime/shard.h"
 
 namespace sgq {
 
@@ -62,8 +64,39 @@ class PhysicalOp {
     purge_watermark_ = std::max<std::size_t>(1024, 2 * StateSize());
   }
 
+  /// \brief True when the next MaybePurge will run a full Purge scan. The
+  /// sharded executor uses this to skip the worker-pool dispatch on the
+  /// (common) slide boundaries where every shard's watermark check would
+  /// return immediately.
+  bool PurgeDue() const { return StateSize() >= purge_watermark_; }
+
   /// \brief Operator name for plan explanations.
   virtual std::string Name() const = 0;
+
+  /// \brief How tuples arriving on `port` are distributed across this
+  /// operator's shards under sharded execution (num_workers > 1). The
+  /// default hash-partitions by edge value, which is correct for any
+  /// operator whose state (if any) is keyed by the tuple's endpoints —
+  /// stateless operators trivially qualify. Operators whose state can
+  /// grow from tuples with unrelated keys (PATH) override to kBroadcast.
+  /// Ignored when the operator has a single instance.
+  virtual RoutingKey InputRouting(int port) const {
+    (void)port;
+    return RoutingKey::kEdgeValue;
+  }
+
+  /// \brief True when sharded deletion processing must be coordinated
+  /// across shards (two-phase retract/reassert; see DeletionCoordination).
+  /// Such operators must also implement DeletionCoordination.
+  virtual bool NeedsDeletionCoordination() const { return false; }
+
+  /// \brief True when OnTimeAdvance can perform substantial work (Δ-tree
+  /// expiry re-derivation). Time-advance phases fire for *every distinct
+  /// input timestamp*, so the sharded executor dispatches them to the
+  /// worker pool only for operators that declare heavy time-driven work;
+  /// everyone else's (near-)no-op calls run inline on the driver thread,
+  /// skipping a pool wakeup per timestamp.
+  virtual bool HasTimeDrivenWork() const { return false; }
 
   /// \brief Approximate number of state entries held (for diagnostics).
   virtual std::size_t StateSize() const { return 0; }
@@ -90,6 +123,42 @@ class SourceOp : public PhysicalOp {
  public:
   /// \brief Processes one raw stream element.
   virtual void OnSge(const Sge& sge) = 0;
+};
+
+/// \brief Two-phase deletion protocol for sharded operators whose output
+/// values can be derived on several shards (PATTERN: an output pair may
+/// have witness derivations owned by different port-0 bindings, hence
+/// different shards).
+///
+/// A single-shard deletion replay cannot decide whether a retracted value
+/// survives via another shard's derivations, so the Executor drives the
+/// deletion in two barrier-separated phases:
+///
+///  1. RetractForDeletion on the shard(s) the deletion routes to — emits
+///     the negative tuples, scrubs local state, and returns the retracted
+///     output values.
+///  2. ReassertRetracted with the *union* of all shards' retracted values
+///     on every shard — each shard re-emits positives for the values it
+///     can still derive, so a value with a surviving witness anywhere is
+///     re-asserted after the retraction.
+///
+/// The unsharded path composes the two phases back-to-back on the single
+/// instance, which reproduces the original single-threaded deletion
+/// handling exactly.
+class DeletionCoordination {
+ public:
+  virtual ~DeletionCoordination() = default;
+
+  /// \brief Phase 1: replays the deletion of `tuple` (arriving on `port`)
+  /// against local pre-deletion state, emitting negative tuples and
+  /// scrubbing local state. Returns the retracted output values in a
+  /// deterministic (sorted) order.
+  virtual std::vector<EdgeRef> RetractForDeletion(int port,
+                                                  const Sgt& tuple) = 0;
+
+  /// \brief Phase 2: re-derives every value in `retracted` that local
+  /// state still supports and re-emits its positive tuple.
+  virtual void ReassertRetracted(const std::vector<EdgeRef>& retracted) = 0;
 };
 
 /// \brief Physical implementation choices for the PATH logical operator.

@@ -37,6 +37,14 @@ struct EngineOptions {
   /// flushes — on overflow, timestamp change handling, AdvanceTo, or
   /// TakeResults).
   std::size_t batch_size = 1;
+  /// Number of runtime workers (DESIGN.md §2.4). 1 (the default) runs the
+  /// classic single-threaded engine byte-identically. N > 1 compiles every
+  /// operator into N shard instances whose state is hash-partitioned by
+  /// the operator's routing key, and drives waves shard-parallel on a
+  /// persistent worker pool; results are snapshot-equivalent to
+  /// num_workers = 1 and deterministic run-to-run. Best combined with
+  /// batch_size > 1 so each wave carries enough tuples to spread.
+  std::size_t num_workers = 1;
 };
 
 /// \brief A compiled, running persistent query.

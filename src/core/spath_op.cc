@@ -15,8 +15,9 @@ void SPathOp::OnTuple(int port, const Sgt& tuple) {
 
   std::vector<AttachWork> work;
   for (const auto& [s, q] : dfa().TransitionsOnLabel(tuple.label)) {
-    if (s == dfa().start()) {
-      // S-PATH lines 7-8: root a new spanning tree at the source vertex.
+    if (s == dfa().start() && OwnsRoot(tuple.src)) {
+      // S-PATH lines 7-8: root a new spanning tree at the source vertex
+      // (under sharding, only on the shard owning the root).
       EnsureTree(tuple.src);
     }
     const NodeKey parent_key{tuple.src, s};

@@ -1,13 +1,32 @@
 #include "model/vocabulary.h"
 
+#include <mutex>
+#include <tuple>
+
 namespace sgq {
 
 namespace {
 const std::string kInvalidName = "<invalid>";
 }  // namespace
 
+void Vocabulary::CopyFrom(const Vocabulary& other) {
+  // Snapshot the source before locking the destination: holding both
+  // locks at once would deadlock two concurrent opposite-direction
+  // copies (ABBA).
+  auto snapshot = [&] {
+    std::shared_lock<std::shared_mutex> read(other.mu_);
+    return std::make_tuple(other.label_ids_, other.label_names_,
+                           other.label_is_input_, other.vertex_ids_,
+                           other.vertex_names_);
+  }();
+  std::unique_lock<std::shared_mutex> write(mu_);
+  std::tie(label_ids_, label_names_, label_is_input_, vertex_ids_,
+           vertex_names_) = std::move(snapshot);
+}
+
 Result<LabelId> Vocabulary::InternLabel(std::string_view name,
                                         bool is_input) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = label_ids_.find(std::string(name));
   if (it != label_ids_.end()) {
     if (label_is_input_[it->second] != is_input) {
@@ -33,6 +52,7 @@ Result<LabelId> Vocabulary::InternDerivedLabel(std::string_view name) {
 }
 
 Result<LabelId> Vocabulary::FindLabel(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = label_ids_.find(std::string(name));
   if (it == label_ids_.end()) {
     return Status::NotFound("unknown label '" + std::string(name) + "'");
@@ -41,15 +61,18 @@ Result<LabelId> Vocabulary::FindLabel(std::string_view name) const {
 }
 
 bool Vocabulary::IsInputLabel(LabelId label) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return label < label_is_input_.size() && label_is_input_[label];
 }
 
 const std::string& Vocabulary::LabelName(LabelId label) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (label >= label_names_.size()) return kInvalidName;
   return label_names_[label];
 }
 
 VertexId Vocabulary::InternVertex(std::string_view name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = vertex_ids_.find(std::string(name));
   if (it != vertex_ids_.end()) return it->second;
   const VertexId id = static_cast<VertexId>(vertex_names_.size());
@@ -59,6 +82,7 @@ VertexId Vocabulary::InternVertex(std::string_view name) {
 }
 
 Result<VertexId> Vocabulary::FindVertex(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = vertex_ids_.find(std::string(name));
   if (it == vertex_ids_.end()) {
     return Status::NotFound("unknown vertex '" + std::string(name) + "'");
@@ -67,6 +91,7 @@ Result<VertexId> Vocabulary::FindVertex(std::string_view name) const {
 }
 
 const std::string& Vocabulary::VertexName(VertexId v) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (v >= vertex_names_.size()) return kInvalidName;
   return vertex_names_[v];
 }

@@ -8,6 +8,8 @@
 #ifndef SGQ_MODEL_VOCABULARY_H_
 #define SGQ_MODEL_VOCABULARY_H_
 
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,9 +22,22 @@ namespace sgq {
 
 /// \brief Bidirectional string <-> id mapping for labels and vertices.
 ///
-/// Thread-compatible (external synchronization required for concurrent use).
+/// Thread-safe: lookups take a shared lock, interning an exclusive one, so
+/// sharded workers (runtime/executor.h) may resolve names while a driver
+/// thread interns new ones. Name storage is a deque — references returned
+/// by LabelName/VertexName stay valid across concurrent interning (deque
+/// growth never relocates elements, and interning never removes names) —
+/// but NOT across copy-assignment, which replaces the storage wholesale:
+/// do not assign over a vocabulary other threads are reading.
 class Vocabulary {
  public:
+  Vocabulary() = default;
+  Vocabulary(const Vocabulary& other) { CopyFrom(other); }
+  Vocabulary& operator=(const Vocabulary& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
   /// \brief Interns `name` as an *input* (EDB) label, or returns the
   /// existing id. Fails if `name` was already interned as derived.
   Result<LabelId> InternInputLabel(std::string_view name);
@@ -40,7 +55,10 @@ class Vocabulary {
   /// \brief Name of `label`; "<invalid>" when out of range.
   const std::string& LabelName(LabelId label) const;
 
-  std::size_t NumLabels() const { return label_names_.size(); }
+  std::size_t NumLabels() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return label_names_.size();
+  }
 
   /// \brief Interns a vertex name (all vertices share one id space).
   VertexId InternVertex(std::string_view name);
@@ -50,17 +68,22 @@ class Vocabulary {
 
   const std::string& VertexName(VertexId v) const;
 
-  std::size_t NumVertices() const { return vertex_names_.size(); }
+  std::size_t NumVertices() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return vertex_names_.size();
+  }
 
  private:
   Result<LabelId> InternLabel(std::string_view name, bool is_input);
+  void CopyFrom(const Vocabulary& other);
 
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, LabelId> label_ids_;
-  std::vector<std::string> label_names_;
+  std::deque<std::string> label_names_;
   std::vector<bool> label_is_input_;
 
   std::unordered_map<std::string, VertexId> vertex_ids_;
-  std::vector<std::string> vertex_names_;
+  std::deque<std::string> vertex_names_;
 };
 
 }  // namespace sgq

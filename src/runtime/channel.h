@@ -8,8 +8,11 @@
 //
 // A channel may have several destinations (fan-out): this is what lets the
 // runtime share one WSCAN operator between every consumer of the same
-// (label, window) pair, and it is the seam for future sharded execution
-// where destinations live on different workers.
+// (label, window) pair. Sharded execution (num_workers > 1) adds a third
+// mode: *capture* channels buffer each shard instance's emissions locally
+// (no locks on the hot path); after the parallel section the Executor
+// merges the buffers in shard order and re-partitions them through the
+// exchange onto the destination shards (executor.cc, DESIGN.md §2.4).
 
 #ifndef SGQ_RUNTIME_CHANNEL_H_
 #define SGQ_RUNTIME_CHANNEL_H_
@@ -45,6 +48,11 @@ class OutputChannel {
   OutputChannel(PhysicalOp* op, int port)
       : direct_op_(op), direct_port_(port) {}
 
+  /// \brief Capture mode: append every pushed tuple to `buffer`. Used for
+  /// the per-shard emission buffers of sharded execution; the buffer is
+  /// owned by the Executor and drained by the post-wave merge.
+  explicit OutputChannel(std::vector<Sgt>* buffer) : capture_(buffer) {}
+
   /// \brief Pushes one output tuple (called by PhysicalOp::EmitTuple).
   void Push(const Sgt& tuple);
 
@@ -52,7 +60,8 @@ class OutputChannel {
   const std::vector<PortRef>& destinations() const { return dests_; }
 
   bool connected() const {
-    return direct_op_ != nullptr || (exec_ != nullptr && !dests_.empty());
+    return direct_op_ != nullptr || capture_ != nullptr ||
+           (exec_ != nullptr && !dests_.empty());
   }
 
  private:
@@ -66,6 +75,9 @@ class OutputChannel {
   // Direct mode.
   PhysicalOp* direct_op_ = nullptr;
   int direct_port_ = 0;
+
+  // Capture mode (sharded execution).
+  std::vector<Sgt>* capture_ = nullptr;
 };
 
 }  // namespace sgq

@@ -1,6 +1,8 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 
 #include "common/logging.h"
 
@@ -11,6 +13,11 @@ namespace sgq {
 // ---------------------------------------------------------------------------
 
 void OutputChannel::Push(const Sgt& tuple) {
+  if (capture_ != nullptr) {
+    // Sharded mode: buffer locally, merge after the parallel section.
+    capture_->push_back(tuple);
+    return;
+  }
   if (direct_op_ != nullptr) {
     direct_op_->OnTuple(direct_port_, tuple);
     return;
@@ -24,6 +31,7 @@ void OutputChannel::Push(const Sgt& tuple) {
 
 Executor::Executor(ExecutorOptions options) : options_(options) {
   if (options_.batch_size == 0) options_.batch_size = 1;
+  if (options_.num_workers == 0) options_.num_workers = 1;
 }
 
 Executor::~Executor() = default;
@@ -40,6 +48,35 @@ PhysicalOp* Executor::op(OpId id) const {
   SGQ_CHECK_GE(id, 0);
   SGQ_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
   return nodes_[static_cast<std::size_t>(id)].op.get();
+}
+
+std::size_t Executor::NumInstances(OpId id) const {
+  SGQ_CHECK_GE(id, 0);
+  SGQ_CHECK_LT(static_cast<std::size_t>(id), nodes_.size());
+  return 1 + nodes_[static_cast<std::size_t>(id)].replicas.size();
+}
+
+PhysicalOp* Executor::instance(OpId id, std::size_t shard) const {
+  const OpNode& node = nodes_[static_cast<std::size_t>(id)];
+  return shard == 0 ? node.op.get() : node.replicas[shard - 1].get();
+}
+
+Status Executor::AddShardReplica(OpId id, std::unique_ptr<PhysicalOp> shard) {
+  if (finalized_) return Status::Internal("AddShardReplica after Finalize");
+  if (!sharded()) {
+    return Status::InvalidArgument(
+        "AddShardReplica requires num_workers > 1");
+  }
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    return Status::InvalidArgument("AddShardReplica: unknown operator id");
+  }
+  OpNode& node = nodes_[static_cast<std::size_t>(id)];
+  if (1 + node.replicas.size() >= options_.num_workers) {
+    return Status::InvalidArgument(
+        "AddShardReplica: operator already has num_workers shards");
+  }
+  node.replicas.push_back(std::move(shard));
+  return Status::OK();
 }
 
 Status Executor::Connect(OpId from, OpId to, int port) {
@@ -83,12 +120,58 @@ Status Executor::Finalize() {
     OpNode& node = nodes_[i];
     node.out.exec_ = this;
     node.out.from_ = static_cast<OpId>(i);
-    node.op->BindOutput(&node.out);
+    if (!sharded()) node.op->BindOutput(&node.out);
     for (const PortRef& dst : node.out.dests_) {
       if (dst.op <= static_cast<OpId>(i)) {
         return Status::Internal("non-topological channel");
       }
     }
+  }
+  if (sharded()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      OpNode& node = nodes_[i];
+      const std::size_t instances = 1 + node.replicas.size();
+      if (instances != 1 && instances != options_.num_workers) {
+        return Status::Internal(
+            "sharded operator must have 1 or num_workers instances");
+      }
+      // Cache the per-port routing declared by the operator. Sources have
+      // no connected input port; their sges route through port 0.
+      const std::size_t ports = std::max<std::size_t>(node.pending.size(), 1);
+      node.routing.reserve(ports);
+      for (std::size_t p = 0; p < ports; ++p) {
+        node.routing.push_back(node.op->InputRouting(static_cast<int>(p)));
+      }
+      // Every instance emits into its own capture buffer; addresses are
+      // stable because neither vector is resized after this point.
+      node.shard_emit.assign(instances, {});
+      node.shard_out.clear();
+      node.shard_out.reserve(instances);
+      for (std::size_t s = 0; s < instances; ++s) {
+        node.shard_out.emplace_back(&node.shard_emit[s]);
+      }
+      for (std::size_t s = 0; s < instances; ++s) {
+        instance(static_cast<OpId>(i), s)->BindOutput(&node.shard_out[s]);
+      }
+      node.shard_pending.assign(node.pending.size(),
+                                std::vector<std::vector<Sgt>>(instances));
+      node.shard_scratch.assign(node.pending.size(),
+                                std::vector<std::vector<Sgt>>(instances));
+      if (instances > 1 && node.op->NeedsDeletionCoordination()) {
+        node.coordination.reserve(instances);
+        for (std::size_t s = 0; s < instances; ++s) {
+          auto* coordination = dynamic_cast<DeletionCoordination*>(
+              instance(static_cast<OpId>(i), s));
+          if (coordination == nullptr) {
+            return Status::Internal(
+                "operator requests deletion coordination but does not "
+                "implement DeletionCoordination");
+          }
+          node.coordination.push_back(coordination);
+        }
+      }
+    }
+    pool_ = std::make_unique<WorkerPool>(options_.num_workers);
   }
   // The engine's slide granularity is the finest slide of any source.
   slide_ = min_slide_ == kMaxTimestamp ? 1 : min_slide_;
@@ -100,6 +183,9 @@ std::string Executor::DescribeTopology() const {
   std::string out;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     out += "#" + std::to_string(i) + " " + nodes_[i].op->Name();
+    if (!nodes_[i].replicas.empty()) {
+      out += " x" + std::to_string(1 + nodes_[i].replicas.size());
+    }
     const auto& dests = nodes_[i].out.destinations();
     if (!dests.empty()) {
       out += " ->";
@@ -167,6 +253,243 @@ void Executor::RunWave() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Sharded delivery (num_workers > 1)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// \brief Appends `tuple` to the per-shard slot(s) its routing selects.
+void AppendByRouting(RoutingKey routing, const Sgt& tuple,
+                     std::vector<std::vector<Sgt>>* slots) {
+  switch (routing) {
+    case RoutingKey::kBroadcast:
+      for (auto& slot : *slots) slot.push_back(tuple);
+      break;
+    case RoutingKey::kEdgeValue:
+      (*slots)[ShardOfEdge(tuple.src, tuple.trg, slots->size())].push_back(
+          tuple);
+      break;
+  }
+}
+
+}  // namespace
+
+void Executor::RouteToShards(const PortRef& dst, const Sgt& tuple) {
+  OpNode& dn = nodes_[static_cast<std::size_t>(dst.op)];
+  auto& slots = dn.shard_pending[static_cast<std::size_t>(dst.port)];
+  // Single-instance operators and coordination-needing operators receive
+  // the batch in global arrival order on slot 0 (the latter re-partition
+  // at execution time, around deletion barriers).
+  if (slots.size() == 1 || !dn.coordination.empty()) {
+    slots[0].push_back(tuple);
+    return;
+  }
+  AppendByRouting(dn.routing[static_cast<std::size_t>(dst.port)], tuple,
+                  &slots);
+}
+
+void Executor::MergeAndRoute(OpId id) {
+  OpNode& node = nodes_[static_cast<std::size_t>(id)];
+  // Shard-order concatenation: deterministic run-to-run because shard
+  // sub-batches, and therefore per-shard emission sequences, are a pure
+  // function of the input stream.
+  for (std::vector<Sgt>& buffer : node.shard_emit) {
+    for (const Sgt& tuple : buffer) {
+      for (const PortRef& dst : node.out.dests_) RouteToShards(dst, tuple);
+    }
+    buffer.clear();
+  }
+}
+
+template <typename Fn>
+void Executor::RunShardsMaybeParallel(std::size_t instances,
+                                      std::size_t active_shards,
+                                      Fn&& run_shard) {
+  // A wave feeding a single shard (the common case at batch_size = 1
+  // with hash routing) skips the pool dispatch; empty shards are no-ops.
+  if (active_shards <= 1) {
+    for (std::size_t s = 0; s < instances; ++s) run_shard(s);
+  } else {
+    pool_->ParallelFor(instances, run_shard);
+  }
+}
+
+template <typename Fn>
+void Executor::RunInstances(OpId id, bool parallel, Fn&& fn) {
+  const std::size_t instances = NumInstances(id);
+  if (!parallel || instances == 1) {
+    // Inline in shard order: identical per-shard computation and merge
+    // order, minus the pool dispatch.
+    for (std::size_t s = 0; s < instances; ++s) fn(instance(id, s));
+  } else {
+    pool_->ParallelFor(instances,
+                       [&](std::size_t s) { fn(instance(id, s)); });
+  }
+  MergeAndRoute(id);
+}
+
+void Executor::RunCoordinatedBatch(OpId id, int port,
+                                   std::vector<Sgt>& batch) {
+  OpNode& node = nodes_[static_cast<std::size_t>(id)];
+  const std::size_t instances = NumInstances(id);
+  const RoutingKey routing = node.routing[static_cast<std::size_t>(port)];
+  std::vector<std::vector<Sgt>> split(instances);
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (!batch[i].is_deletion) {
+      // Maximal run of positives: partition by the port's routing key and
+      // process shard-parallel.
+      for (auto& slot : split) slot.clear();
+      std::size_t j = i;
+      for (; j < batch.size() && !batch[j].is_deletion; ++j) {
+        AppendByRouting(routing, batch[j], &split);
+      }
+      std::size_t active_shards = 0;
+      for (const auto& slot : split) {
+        if (!slot.empty()) ++active_shards;
+      }
+      RunShardsMaybeParallel(instances, active_shards, [&](std::size_t s) {
+        if (!split[s].empty()) {
+          instance(id, s)->OnBatch(port, split[s].data(), split[s].size());
+        }
+      });
+      MergeAndRoute(id);
+      i = j;
+      continue;
+    }
+    // Two-phase deletion (see DeletionCoordination in core/physical.h).
+    const Sgt deletion = batch[i++];
+    std::vector<std::vector<EdgeRef>> retracted(instances);
+    if (routing == RoutingKey::kBroadcast) {
+      pool_->ParallelFor(instances, [&](std::size_t s) {
+        retracted[s] = node.coordination[s]->RetractForDeletion(port,
+                                                               deletion);
+      });
+    } else {
+      // Hash-routed port: only the owner shard holds derivations of the
+      // deleted binding.
+      const ShardId owner =
+          ShardOfEdge(deletion.src, deletion.trg, instances);
+      retracted[owner] =
+          node.coordination[owner]->RetractForDeletion(port, deletion);
+    }
+    MergeAndRoute(id);  // the negative tuples
+    std::set<EdgeRef> all_retracted;
+    for (const auto& shard_retracted : retracted) {
+      all_retracted.insert(shard_retracted.begin(), shard_retracted.end());
+    }
+    if (!all_retracted.empty()) {
+      const std::vector<EdgeRef> union_vec(all_retracted.begin(),
+                                           all_retracted.end());
+      pool_->ParallelFor(instances, [&](std::size_t s) {
+        node.coordination[s]->ReassertRetracted(union_vec);
+      });
+      MergeAndRoute(id);  // the surviving re-assertions
+    }
+  }
+  batch.clear();
+}
+
+void Executor::RunShardedOpBatches(OpId id) {
+  OpNode& node = nodes_[static_cast<std::size_t>(id)];
+  auto& take = node.shard_scratch;
+  if (!node.coordination.empty()) {
+    for (std::size_t p = 0; p < take.size(); ++p) {
+      if (!take[p][0].empty()) {
+        RunCoordinatedBatch(id, static_cast<int>(p), take[p][0]);
+      }
+    }
+    return;
+  }
+  const std::size_t instances = NumInstances(id);
+  std::size_t active_shards = 0;
+  for (std::size_t s = 0; s < instances && active_shards < 2; ++s) {
+    for (std::size_t p = 0; p < take.size(); ++p) {
+      if (!take[p][s].empty()) {
+        ++active_shards;
+        break;
+      }
+    }
+  }
+  RunShardsMaybeParallel(instances, active_shards, [&](std::size_t s) {
+    PhysicalOp* shard_op = instance(id, s);
+    for (std::size_t p = 0; p < take.size(); ++p) {
+      auto& sub = take[p][s];
+      if (!sub.empty()) {
+        shard_op->OnBatch(static_cast<int>(p), sub.data(), sub.size());
+        sub.clear();  // capacity kept for the next wave
+      }
+    }
+  });
+  MergeAndRoute(id);
+}
+
+void Executor::RunShardedWave() {
+  ++num_waves_;
+  bool any = true;
+  while (any) {  // a tree topology settles in one pass; loop is a safety net
+    any = false;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      OpNode& node = nodes_[i];
+      bool has_input = false;
+      for (const auto& port : node.shard_pending) {
+        for (const auto& slot : port) {
+          if (!slot.empty()) {
+            has_input = true;
+            break;
+          }
+        }
+        if (has_input) break;
+      }
+      if (!has_input) continue;
+      any = true;
+      // Swap pending batches into the scratch (whose slots are empty but
+      // hold the previous wave's capacity) so buffers are reused instead
+      // of reallocated; emissions route into the now-empty pending slots.
+      for (std::size_t p = 0; p < node.shard_pending.size(); ++p) {
+        for (std::size_t s = 0; s < node.shard_pending[p].size(); ++s) {
+          node.shard_scratch[p][s].swap(node.shard_pending[p][s]);
+        }
+      }
+      RunShardedOpBatches(static_cast<OpId>(i));
+    }
+  }
+}
+
+void Executor::DeliverSgesSharded(const Sge* sges, std::size_t n) {
+  // Per-(source, shard) sub-batches, in ascending operator order so the
+  // merge is deterministic.
+  std::map<OpId, std::vector<std::vector<Sge>>> batches;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Sge& sge = sges[k];
+    auto it = sources_.find(sge.label);
+    if (it == sources_.end()) continue;  // label not referenced by the query
+    edges_processed_.Add();
+    for (OpId source : it->second) {
+      auto [entry, inserted] = batches.try_emplace(source);
+      const std::size_t instances = NumInstances(source);
+      if (inserted) entry->second.resize(instances);
+      const std::size_t shard =
+          instances == 1 ? 0 : ShardOfEdge(sge.src, sge.trg, instances);
+      entry->second[shard].push_back(sge);
+    }
+  }
+  if (batches.empty()) return;
+  // Scans are stateless interval maps: running them inline (in shard
+  // order, into per-shard capture buffers) is cheaper than a pool
+  // dispatch; the heavy lifting parallelizes downstream.
+  for (const auto& [source, per_shard] : batches) {
+    for (std::size_t s = 0; s < per_shard.size(); ++s) {
+      if (per_shard[s].empty()) continue;
+      auto* src = static_cast<SourceOp*>(instance(source, s));
+      for (const Sge& sge : per_shard[s]) src->OnSge(sge);
+    }
+    MergeAndRoute(source);
+  }
+  RunShardedWave();
+}
+
 template <typename Fn>
 void Executor::RunOpPhase(Fn&& fn) {
   if (wave_mode()) {
@@ -189,7 +512,7 @@ void Executor::RunOpPhase(Fn&& fn) {
 void Executor::DeliverSge(const Sge& sge) {
   auto it = sources_.find(sge.label);
   if (it == sources_.end()) return;  // label not referenced by the query
-  ++edges_processed_;
+  edges_processed_.Add();
   for (OpId source : it->second) {
     auto* src =
         static_cast<SourceOp*>(nodes_[static_cast<std::size_t>(source)]
@@ -203,6 +526,16 @@ void Executor::DeliverSge(const Sge& sge) {
 // ---------------------------------------------------------------------------
 
 void Executor::TimeAdvanceWave(Timestamp now) {
+  if (sharded()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      // Time advances fire per distinct timestamp; only operators with
+      // heavy time-driven work (Δ-tree expiry) are worth a pool dispatch.
+      RunInstances(static_cast<OpId>(i), nodes_[i].op->HasTimeDrivenWork(),
+                   [now](PhysicalOp* op) { op->OnTimeAdvance(now); });
+    }
+    RunShardedWave();
+    return;
+  }
   // Negative-tuple operators can emit retractions/re-derivations during
   // OnTimeAdvance; RunOpPhase delivers them downstream.
   for (auto& node : nodes_) {
@@ -214,10 +547,26 @@ void Executor::TimeAdvanceWave(Timestamp now) {
 void Executor::ProcessBoundary(Timestamp boundary) {
   Stopwatch timer;
   TimeAdvanceWave(boundary);
-  for (auto& node : nodes_) {
-    RunOpPhase([&] { node.op->MaybePurge(boundary); });
+  if (sharded()) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      // Worth a pool dispatch only when at least two shards will actually
+      // run their O(state) purge scan; watermark checks run inline.
+      const OpId id = static_cast<OpId>(i);
+      const std::size_t instances = NumInstances(id);
+      std::size_t due = 0;
+      for (std::size_t s = 0; s < instances && due < 2; ++s) {
+        if (instance(id, s)->PurgeDue()) ++due;
+      }
+      RunInstances(id, /*parallel=*/due >= 2,
+                   [boundary](PhysicalOp* op) { op->MaybePurge(boundary); });
+    }
+    RunShardedWave();
+  } else {
+    for (auto& node : nodes_) {
+      RunOpPhase([&] { node.op->MaybePurge(boundary); });
+    }
+    if (wave_mode()) RunWave();
   }
-  if (wave_mode()) RunWave();
   slide_accum_seconds_ += timer.ElapsedSeconds();
   // The paper's per-slide latency: all processing attributable to the
   // slide that just closed (arrivals within it plus expiry work).
@@ -257,7 +606,7 @@ void Executor::Ingest(const Sge& sge) {
   if (started_ || !queue_.empty()) {
     SGQ_CHECK_GE(sge.t, floor) << "stream timestamps must be ordered";
   }
-  ++edges_pushed_;
+  edges_pushed_.Add();
   queue_.push_back(sge);
   if (queue_.size() >= options_.batch_size) Flush();
 }
@@ -275,8 +624,12 @@ void Executor::Flush() {
     while (j < batch.size() && batch[j].t == batch[i].t) ++j;
     AdvanceClock(batch[i].t);
     Stopwatch timer;
-    for (std::size_t k = i; k < j; ++k) DeliverSge(batch[k]);
-    if (wave_mode()) RunWave();
+    if (sharded()) {
+      DeliverSgesSharded(batch.data() + i, j - i);
+    } else {
+      for (std::size_t k = i; k < j; ++k) DeliverSge(batch[k]);
+      if (wave_mode()) RunWave();
+    }
     slide_accum_seconds_ += timer.ElapsedSeconds();
     i = j;
   }
@@ -290,7 +643,10 @@ void Executor::AdvanceTo(Timestamp t) {
 
 std::size_t Executor::StateSize() const {
   std::size_t n = 0;
-  for (const auto& node : nodes_) n += node.op->StateSize();
+  for (const auto& node : nodes_) {
+    n += node.op->StateSize();
+    for (const auto& replica : node.replicas) n += replica->StateSize();
+  }
   return n;
 }
 

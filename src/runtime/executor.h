@@ -17,9 +17,23 @@
 //    processed as a topological wave: every operator receives its pending
 //    inputs per port as one OnBatch call. Equivalent result *sets*,
 //    amortized per-tuple overhead.
+//  - num_workers > 1 ("sharded mode"): every operator has num_workers
+//    shard instances, each owning a hash-partition of the operator's
+//    state (runtime/shard.h). A persistent WorkerPool drives each
+//    topological wave shard-parallel: shard s of the current operator
+//    runs on worker s with a lock-free capture channel; the post-wave
+//    merge concatenates the capture buffers in shard order (deterministic
+//    run-to-run) and the exchange re-partitions the merged tuples onto
+//    the destination operators' shards according to their declared
+//    RoutingKey. Results are snapshot-equivalent to num_workers = 1;
+//    num_workers = 1 takes the unsharded code paths untouched and stays
+//    byte-identical to the pre-sharding engine.
 //
 // Window bookkeeping is consolidated in a shared WindowStore
-// (runtime/window_store.h) owned by the executor.
+// (runtime/window_store.h) owned by the executor. Sharded instances
+// acquire shard-suffixed partitions, so a partition is only ever touched
+// by one shard index — the worker-pool barrier between operators orders
+// accesses by co-indexed shards of different operators.
 
 #ifndef SGQ_RUNTIME_EXECUTOR_H_
 #define SGQ_RUNTIME_EXECUTOR_H_
@@ -35,7 +49,9 @@
 #include "core/physical.h"
 #include "model/sgt.h"
 #include "runtime/channel.h"
+#include "runtime/shard.h"
 #include "runtime/window_store.h"
+#include "runtime/worker_pool.h"
 
 namespace sgq {
 
@@ -44,6 +60,10 @@ struct ExecutorOptions {
   /// Micro-batch size: how many sges the ingest queue buffers before a
   /// flush. 1 reproduces tuple-at-a-time semantics exactly.
   std::size_t batch_size = 1;
+  /// Number of workers (= shards per operator). 1 (the default) runs the
+  /// classic single-threaded engine byte-identically; N > 1 partitions
+  /// operator state N ways and drives waves shard-parallel.
+  std::size_t num_workers = 1;
 };
 
 /// \brief Owns and drives the operator topology of one running query.
@@ -62,6 +82,14 @@ class Executor {
   /// children-first: the insertion order doubles as the wave order and is
   /// verified to be topological by Finalize().
   OpId AddOp(std::unique_ptr<PhysicalOp> op);
+
+  /// \brief Attaches one additional shard instance to operator `id`
+  /// (sharded mode only). The compiler calls this num_workers - 1 times
+  /// per sharded operator; an operator left with a single instance (the
+  /// sink) receives every tuple on that instance. Replicas must be
+  /// structurally identical to the primary — they share its channel
+  /// destinations and routing declarations.
+  Status AddShardReplica(OpId id, std::unique_ptr<PhysicalOp> shard);
 
   /// \brief Connects `from`'s output channel to input `port` of `to`.
   /// A channel may have several destinations (fan-out); delivery follows
@@ -102,12 +130,17 @@ class Executor {
   /// @{
   PhysicalOp* op(OpId id) const;
   std::size_t NumOps() const { return nodes_.size(); }
+
+  /// \brief Number of shard instances of operator `id` (1 when unsharded).
+  std::size_t NumInstances(OpId id) const;
+  /// \brief Shard instance `shard` of operator `id` (shard 0 == op(id)).
+  PhysicalOp* instance(OpId id, std::size_t shard) const;
   WindowStore* window_store() { return &window_store_; }
   const ExecutorOptions& options() const { return options_; }
 
   const LatencyRecorder& slide_latencies() const { return slide_latencies_; }
-  std::size_t edges_pushed() const { return edges_pushed_; }
-  std::size_t edges_processed() const { return edges_processed_; }
+  std::size_t edges_pushed() const { return edges_pushed_.value(); }
+  std::size_t edges_processed() const { return edges_processed_.value(); }
   std::size_t num_waves() const { return num_waves_; }
 
   /// \brief Total operator state entries (diagnostics). Shared window
@@ -132,6 +165,25 @@ class Executor {
     OutputChannel out;
     /// Per-port pending input buffers (wave mode).
     std::vector<std::vector<Sgt>> pending;
+
+    // --- sharded mode (num_workers > 1) ---
+    /// Shard instances 1..W-1 (shard 0 is `op`); empty when unsharded.
+    std::vector<std::unique_ptr<PhysicalOp>> replicas;
+    /// One capture channel + emission buffer per instance.
+    std::vector<OutputChannel> shard_out;
+    std::vector<std::vector<Sgt>> shard_emit;
+    /// Pending inputs per [port][shard]. Coordinated-deletion operators
+    /// keep the whole port batch in shard slot 0 (global arrival order)
+    /// and partition at execution time.
+    std::vector<std::vector<std::vector<Sgt>>> shard_pending;
+    /// Same shape as shard_pending; waves swap pending batches in here
+    /// before running them, so buffer capacity is reused across waves.
+    std::vector<std::vector<std::vector<Sgt>>> shard_scratch;
+    /// Input routing per port (cached from InputRouting at Finalize).
+    std::vector<RoutingKey> routing;
+    /// Deletion-coordination handles, one per instance; empty when the
+    /// operator does not require coordination.
+    std::vector<DeletionCoordination*> coordination;
   };
 
   /// \brief Channel entry point: dispatches an emitted tuple according to
@@ -159,6 +211,49 @@ class Executor {
   /// \brief Runs one topological wave over the pending buffers.
   void RunWave();
 
+  /// \name Sharded execution (num_workers > 1)
+  /// @{
+  bool sharded() const { return options_.num_workers > 1; }
+
+  /// \brief Exchange: appends `tuple` to the destination's per-shard
+  /// pending buffers according to the destination's routing key.
+  void RouteToShards(const PortRef& dst, const Sgt& tuple);
+
+  /// \brief Merges operator `id`'s per-shard emission buffers in shard
+  /// order and routes every tuple through the exchange.
+  void MergeAndRoute(OpId id);
+
+  /// \brief Runs `run_shard(s)` for every shard — on the worker pool when
+  /// more than one shard has work, inline in shard order otherwise (same
+  /// result, no dispatch cost).
+  template <typename Fn>
+  void RunShardsMaybeParallel(std::size_t instances,
+                              std::size_t active_shards, Fn&& run_shard);
+
+  /// \brief Runs `fn(instance)` across the operator's instances — on the
+  /// worker pool when `parallel`, inline in shard order otherwise (same
+  /// result, no dispatch cost) — and merges the captured emissions.
+  template <typename Fn>
+  void RunInstances(OpId id, bool parallel, Fn&& fn);
+
+  /// \brief One topological wave over the sharded pending buffers.
+  void RunShardedWave();
+
+  /// \brief Runs the operator's port batches (previously swapped into its
+  /// shard_scratch), shard-parallel; leaves the scratch slots empty with
+  /// their capacity intact.
+  void RunShardedOpBatches(OpId id);
+
+  /// \brief Coordinated-deletion execution of one globally-ordered port
+  /// batch: parallel runs of positive segments, two-phase deletions.
+  /// Clears `batch` (capacity preserved).
+  void RunCoordinatedBatch(OpId id, int port, std::vector<Sgt>& batch);
+
+  /// \brief Routes one timestamp group of sges to the source shards and
+  /// drains the resulting waves.
+  void DeliverSgesSharded(const Sge* sges, std::size_t n);
+  /// @}
+
   /// \brief Advances the clock to `t`: processes every slide boundary
   /// passed on the way and runs a time-advance wave for the new distinct
   /// timestamp. Does not touch the ingest queue.
@@ -171,6 +266,7 @@ class Executor {
   std::vector<OpNode> nodes_;  ///< index == OpId; insertion is wave order
   std::unordered_map<LabelId, std::vector<OpId>> sources_;
   WindowStore window_store_;
+  std::unique_ptr<WorkerPool> pool_;  ///< created by Finalize when sharded
   bool finalized_ = false;
 
   // --- micro-batch ingest queue ---
@@ -191,8 +287,8 @@ class Executor {
   // --- metrics ---
   LatencyRecorder slide_latencies_;
   double slide_accum_seconds_ = 0;
-  std::size_t edges_pushed_ = 0;
-  std::size_t edges_processed_ = 0;
+  Counter edges_pushed_;
+  Counter edges_processed_;
 };
 
 }  // namespace sgq

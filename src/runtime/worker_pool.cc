@@ -1,0 +1,67 @@
+#include "runtime/worker_pool.h"
+
+#include "common/logging.h"
+
+namespace sgq {
+
+WorkerPool::WorkerPool(std::size_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers) {
+  threads_.reserve(num_workers_ - 1);
+  for (std::size_t id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::ParallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (num_workers_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SGQ_CHECK(fn_ == nullptr) << "nested ParallelFor on one pool";
+    fn_ = &fn;
+    n_ = n;
+    outstanding_ = threads_.size();
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  // The caller is worker 0.
+  for (std::size_t i = 0; i < n; i += num_workers_) fn(i);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::WorkerLoop(std::size_t worker_id) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_start_.wait(lock,
+                   [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    const auto* fn = fn_;
+    const std::size_t n = n_;
+    lock.unlock();
+    for (std::size_t i = worker_id; i < n; i += num_workers_) (*fn)(i);
+    lock.lock();
+    if (--outstanding_ == 0) {
+      lock.unlock();
+      cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace sgq

@@ -1,0 +1,64 @@
+// Persistent worker pool driving shard-parallel waves (DESIGN.md §2.4).
+//
+// The Executor creates one pool per query when num_workers > 1 and reuses
+// it for every wave: threads park on a condition variable between waves
+// instead of being respawned, so the per-wave dispatch cost is two lock
+// acquisitions per worker. The calling thread participates as worker 0 —
+// a pool of N workers spawns N-1 threads.
+//
+// ParallelFor is a barrier: it returns only after every index has been
+// processed, and the mutex hand-off publishes all worker writes to the
+// caller (the merge step that follows a wave reads shard emission buffers
+// without any further synchronization).
+
+#ifndef SGQ_RUNTIME_WORKER_POOL_H_
+#define SGQ_RUNTIME_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sgq {
+
+/// \brief Fixed-size pool of persistent workers with barrier dispatch.
+class WorkerPool {
+ public:
+  /// \brief Creates a pool of `num_workers` (>= 1); spawns num_workers - 1
+  /// threads. A pool of 1 never spawns and runs everything inline.
+  explicit WorkerPool(std::size_t num_workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t num_workers() const { return num_workers_; }
+
+  /// \brief Runs fn(0) .. fn(n-1) across the pool and waits for all of
+  /// them. Index i is processed by worker (i % num_workers): with
+  /// n == num_workers (the shard-per-worker case) the assignment is one
+  /// task per worker and deterministic. `fn` must not call ParallelFor
+  /// on the same pool (no nesting).
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(std::size_t worker_id);
+
+  const std::size_t num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // guarded by mu_
+  std::size_t n_ = 0;                                     // guarded by mu_
+  uint64_t epoch_ = 0;            ///< bumps once per ParallelFor
+  std::size_t outstanding_ = 0;   ///< workers still in the current epoch
+  bool shutdown_ = false;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_WORKER_POOL_H_
