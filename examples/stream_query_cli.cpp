@@ -1,13 +1,18 @@
-// Command-line runner: evaluate a persistent query over a CSV edge stream.
+// Command-line runner: evaluate persistent queries over a CSV edge stream.
 //
 // Usage:
 //   stream_query_cli <query-file> <stream.csv> [window] [slide] [--gcore]
 //                    [--delta-path] [--slack N] [--batch N] [--workers N]
+//                    [--query FILE]... [--no-share]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream.csv   lines `src,label,trg,timestamp[,+|-]`, timestamp-ordered
 //                (with --slack N, bounded disorder is tolerated)
 //   window/slide time-based sliding window, default 24 / 1
+//   --query FILE register an additional standing query; all queries run
+//                on one shared multi-query engine (core/engine.h) with
+//                cross-query operator sharing (disable with --no-share),
+//                and every result line is tagged `q<i><TAB>`
 //
 // Prints every result sgt as it is produced, then a metrics summary.
 // Without arguments, runs a built-in demo (the paper's Figure 2 stream).
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
 
   std::string query_text = kDemoQuery;
   std::string stream_text = kDemoStream;
+  std::vector<std::string> extra_query_texts;
   Timestamp window = 24, slide = 1, slack = 0;
   bool use_gcore = false;
   EngineOptions options;
@@ -55,6 +61,15 @@ int main(int argc, char** argv) {
       use_gcore = true;
     } else if (std::strcmp(argv[i], "--delta-path") == 0) {
       options.path_impl = PathImpl::kDeltaPath;
+    } else if (std::strcmp(argv[i], "--no-share") == 0) {
+      options.cross_query_sharing = false;
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      auto text = ReadFile(argv[++i]);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      extra_query_texts.push_back(*text);
     } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
       int64_t n = 0;
       if (!ParseInt64(argv[++i], &n) || n < 0) {
@@ -107,24 +122,32 @@ int main(int argc, char** argv) {
   }
 
   Vocabulary vocab;
-  StreamingGraphQuery query;
-  if (use_gcore) {
-    auto parsed = ParseGCore(query_text, &vocab);
+  auto parse_query = [&](const std::string& text)
+      -> sgq::Result<StreamingGraphQuery> {
+    if (use_gcore) return ParseGCore(text, &vocab);
+    return MakeQuery(text, WindowSpec(window, slide), &vocab);
+  };
+
+  std::vector<StreamingGraphQuery> queries;
+  {
+    auto parsed = parse_query(query_text);
     if (!parsed.ok()) {
       std::fprintf(stderr, "query: %s\n",
                    parsed.status().ToString().c_str());
       return 1;
     }
-    query = *parsed;
-  } else {
-    auto parsed = MakeQuery(query_text, WindowSpec(window, slide), &vocab);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "query: %s\n",
-                   parsed.status().ToString().c_str());
-      return 1;
-    }
-    query = *parsed;
+    queries.push_back(*parsed);
   }
+  for (const std::string& text : extra_query_texts) {
+    auto parsed = parse_query(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "query %zu: %s\n", queries.size(),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*parsed);
+  }
+  const bool multi = queries.size() > 1;
 
   auto stream = ParseStreamCsv(stream_text, &vocab);
   if (!stream.ok() && slack == 0) {
@@ -133,19 +156,46 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto qp = QueryProcessor::FromQuery(query, vocab, options);
-  if (!qp.ok()) {
-    std::fprintf(stderr, "compile: %s\n", qp.status().ToString().c_str());
+  // All queries — one or many — register on a shared multi-query engine;
+  // a single query is exactly the classic QueryProcessor configuration.
+  Engine engine(options);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    auto added = engine.AddQuery(queries[q], vocab);
+    if (!added.ok()) {
+      std::fprintf(stderr, "compile (query %zu): %s\n", q,
+                   added.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (auto finalized = engine.Finalize(); !finalized.ok()) {
+    std::fprintf(stderr, "compile: %s\n", finalized.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "plan:\n%s\n", (*qp)->Explain().c_str());
+  std::fprintf(stderr, "plan:\n%s", engine.Explain().c_str());
+  if (multi) {
+    std::fprintf(stderr,
+                 "%zu queries on %zu operators (%zu shared subtrees)\n",
+                 queries.size(), engine.NumOperators(),
+                 engine.NumSharedSubtrees());
+  }
+  std::fprintf(stderr, "\n");
+
+  auto print_results = [&]() {
+    for (std::size_t q = 0; q < engine.num_queries(); ++q) {
+      for (const Sgt& r : engine.TakeResults(static_cast<QueryId>(q))) {
+        if (multi) {
+          std::printf("q%zu\t%s\n", q, r.ToString(vocab).c_str());
+        } else {
+          std::printf("%s\n", r.ToString(vocab).c_str());
+        }
+      }
+    }
+  };
 
   Stopwatch timer;
   auto deliver = [&](const Sge& sge) {
-    (*qp)->Push(sge);
-    for (const Sgt& r : (*qp)->TakeResults()) {
-      std::printf("%s\n", r.ToString(vocab).c_str());
-    }
+    engine.Push(sge);
+    print_results();
   };
 
   if (slack > 0 && options.batch_size > 1) {
@@ -189,21 +239,29 @@ int main(int argc, char** argv) {
   } else if (options.batch_size > 1) {
     // Micro-batched ingest: results materialize at flush boundaries, so
     // print them once the stream is drained.
-    (*qp)->PushAll(*stream);
-    for (const Sgt& r : (*qp)->TakeResults()) {
-      std::printf("%s\n", r.ToString(vocab).c_str());
-    }
+    engine.PushAll(*stream);
+    print_results();
   } else {
     for (const Sge& sge : *stream) deliver(sge);
   }
 
+  std::size_t total_results = 0;
+  for (std::size_t q = 0; q < engine.num_queries(); ++q) {
+    total_results += engine.results_emitted(static_cast<QueryId>(q));
+  }
   std::fprintf(stderr,
                "\n%zu edges processed in %.3fs (%.0f edges/s), "
                "%zu results, p99 slide latency %.3f ms\n",
-               (*qp)->edges_processed(), timer.ElapsedSeconds(),
-               static_cast<double>((*qp)->edges_processed()) /
+               engine.edges_processed(), timer.ElapsedSeconds(),
+               static_cast<double>(engine.edges_processed()) /
                    std::max(timer.ElapsedSeconds(), 1e-9),
-               (*qp)->results_emitted(),
-               (*qp)->slide_latencies().Percentile(0.99) * 1e3);
+               total_results,
+               engine.slide_latencies().Percentile(0.99) * 1e3);
+  if (multi) {
+    for (std::size_t q = 0; q < engine.num_queries(); ++q) {
+      std::fprintf(stderr, "  q%zu: %zu results\n", q,
+                   engine.results_emitted(static_cast<QueryId>(q)));
+    }
+  }
   return 0;
 }

@@ -170,11 +170,27 @@ std::string PlanSignature(const LogicalOp& plan) {
       out = "U(" + std::to_string(plan.output_label) + ")";
       break;
     case LogicalOpKind::kPattern: {
+      // Variables are alpha-renamed by first occurrence so that patterns
+      // differing only in variable names canonicalize to the same
+      // signature: the join pipeline depends on the equality structure of
+      // the variables, never on their spelling.
+      std::unordered_map<std::string, int> canon;
+      auto rename = [&canon](const std::string& v) {
+        auto [it, inserted] = canon.emplace(v, static_cast<int>(canon.size()));
+        (void)inserted;
+        return "v" + std::to_string(it->second);
+      };
       out = "P(" + std::to_string(plan.output_label) + ";";
       for (const auto& [src, trg] : plan.child_vars) {
-        out += src + ">" + trg + ";";
+        out += rename(src);
+        out += ">";
+        out += rename(trg);
+        out += ";";
       }
-      out += plan.out_src_var + ">" + plan.out_trg_var + ")";
+      out += rename(plan.out_src_var);
+      out += ">";
+      out += rename(plan.out_trg_var);
+      out += ")";
       break;
     }
     case LogicalOpKind::kPath:

@@ -21,10 +21,13 @@ Result<LogicalPlan> TranslateToCanonicalPlan(const StreamingGraphQuery& query,
 
 /// \brief Canonical structural signature of a (sub)plan: equal signatures
 /// imply the two subplans produce the same output stream for every input
-/// stream. The runtime keys shared WindowStore partitions and deduplicated
-/// WSCAN operators on it. FILTER conjuncts are order-normalized (a
-/// conjunction commutes); UNION children are not (emission order matters
-/// for shared state).
+/// stream. The runtime keys shared WindowStore partitions on it, and the
+/// multi-query Engine dedupes whole operator subtrees across registered
+/// queries by it (core/engine.h). FILTER conjuncts are order-normalized (a
+/// conjunction commutes) and PATTERN variables are alpha-renamed by first
+/// occurrence (the join depends on their equality structure, not their
+/// spelling); UNION children are not reordered (emission order matters for
+/// shared state).
 std::string PlanSignature(const LogicalOp& plan);
 
 }  // namespace sgq

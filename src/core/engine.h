@@ -1,0 +1,246 @@
+// Multi-query engine: hosts N persistent queries on one shared Executor
+// with cross-query operator sharing.
+//
+// The paper evaluates one standing query per engine; a production service
+// evaluates many against the same stream, and real workloads overlap
+// heavily (Zervakis et al., "Efficient Continuous Multi-Query Processing
+// over Graph Streams"). The Engine exploits that: every registered logical
+// plan is compiled onto the *same* dataflow topology, and any subtree whose
+// canonical PlanSignature (algebra/translate.h) matches an already-compiled
+// subtree resolves to the existing physical operator — its output channel
+// simply fans out to the new consumer. A WSCAN, FILTER chain, PATH (equal
+// regex + window + input) or whole PATTERN prefix referenced by K queries
+// therefore runs ONCE per stream element, regardless of K; only the
+// disjoint suffixes and the per-query SinkOps multiply.
+//
+// Sharing rules (what is shareable and why — see DESIGN.md §3):
+//  - signature equality is the *sole* criterion: PlanSignature equality
+//    implies output-stream equality for every input, so fanning one
+//    operator out to every consumer is behaviorally invisible;
+//  - PATTERN variables are alpha-renamed inside the signature, so patterns
+//    differing only in variable spelling share;
+//  - operators with signature-distinct inputs are never merged, which
+//    keeps the per-operator WindowStore partition discipline (PATTERN
+//    deletion replay) intact — distinct operators keep distinct `atom:`
+//    partitions exactly as before;
+//  - the physical PATH implementation is engine-wide (EngineOptions::
+//    path_impl), so a signature never aliases two different operator
+//    implementations.
+//
+// Output demultiplexing: every query gets its own SinkOp appended after
+// its (possibly shared) root, so per-query results accumulate
+// independently. With num_workers = 1 and batch_size = 1 each query's
+// result stream is byte-identical to compiling it alone: a shared
+// operator's emissions are a pure function of the input stream, and the
+// depth-first tuple-mode drain preserves each query's relative delivery
+// order under fan-out. Larger batches and sharded execution keep the
+// established runtime contract (snapshot-equivalent, run-to-run
+// deterministic). tests/multi_query_test.cc verifies all three.
+
+#ifndef SGQ_CORE_ENGINE_H_
+#define SGQ_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algebra/logical_plan.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "core/basic_ops.h"
+#include "core/physical.h"
+#include "query/rq.h"
+#include "runtime/executor.h"
+
+namespace sgq {
+
+/// \brief Identifier of one registered query inside an Engine.
+using QueryId = int32_t;
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  /// Physical implementation chosen for PATH operators (§6.2.3/§6.2.4).
+  /// Engine-wide: a shared subtree must resolve to one implementation.
+  PathImpl path_impl = PathImpl::kSPath;
+  /// Coalesce value-equivalent results at each query's sink (Def. 11).
+  bool coalesce_output = true;
+  /// Micro-batch size of the runtime's ingest queue. 1 (the default)
+  /// reproduces tuple-at-a-time semantics exactly; larger values trade
+  /// result latency for throughput (results materialize when the batch
+  /// flushes — on overflow, timestamp change handling, AdvanceTo, or
+  /// TakeResults).
+  std::size_t batch_size = 1;
+  /// Number of runtime workers (DESIGN.md §2.4). 1 (the default) runs the
+  /// classic single-threaded engine byte-identically. N > 1 compiles every
+  /// operator into N shard instances whose state is hash-partitioned by
+  /// the operator's routing key, and drives waves shard-parallel on a
+  /// persistent worker pool; results are snapshot-equivalent to
+  /// num_workers = 1 and deterministic run-to-run. Best combined with
+  /// batch_size > 1 so each wave carries enough tuples to spread.
+  std::size_t num_workers = 1;
+  /// Share signature-identical operator subtrees across registered
+  /// queries (DESIGN.md §3). When false, sharing is scoped to one query
+  /// (each AddPlan compiles a private topology) — the ablation baseline
+  /// bench_multi_query measures against.
+  bool cross_query_sharing = true;
+  /// Sharded execution: dispatch an operator's time-advance wave to the
+  /// worker pool once any one of its shards holds at least this much
+  /// state, in addition to the operators that declare HasTimeDrivenWork()
+  /// (DESIGN.md §2.4). 0 disables the state heuristic. Forwarded to
+  /// ExecutorOptions under the same name.
+  std::size_t time_advance_parallel_state_bar =
+      kDefaultTimeAdvanceParallelStateBar;
+};
+
+/// \brief N persistent queries compiled onto one shared dataflow.
+///
+/// Typical use:
+/// \code
+///   Engine engine(options);
+///   QueryId q0 = *engine.AddQuery(query0, vocab);
+///   QueryId q1 = *engine.AddQuery(query1, vocab);
+///   engine.Finalize().IgnoreError();  // check in real code
+///   for (const Sge& e : stream) engine.Push(e);
+///   for (const Sgt& r : engine.results(q0)) ...
+/// \endcode
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// \name Registration (before Finalize)
+  /// @{
+
+  /// \brief Compiles `plan` onto the shared topology, reusing every
+  /// already-compiled subtree with an equal canonical signature, and
+  /// appends a per-query sink. Fails on malformed plans; a failed
+  /// registration leaves the Engine unusable (discard it).
+  Result<QueryId> AddPlan(const LogicalOp& plan, const Vocabulary& vocab);
+
+  /// \brief Translates the SGQ to its canonical plan and registers it.
+  Result<QueryId> AddQuery(const StreamingGraphQuery& query,
+                           const Vocabulary& vocab);
+
+  /// \brief Freezes registration and finalizes the runtime topology.
+  /// Must be called once before ingesting.
+  Status Finalize();
+  /// @}
+
+  /// \name Streaming (after Finalize)
+  /// @{
+
+  /// \brief Feeds one stream element to every registered query;
+  /// timestamps must be non-decreasing. Elements whose label no query
+  /// consumes are discarded (§7.2.1).
+  void Push(const Sge& sge) { executor_.Ingest(sge); }
+
+  /// \brief Feeds a whole stream in order and flushes the ingest queue.
+  void PushAll(const InputStream& stream);
+
+  /// \brief Advances time (processing slide boundaries and expirations)
+  /// without new input, e.g. to drain final window movements.
+  void AdvanceTo(Timestamp t) { executor_.AdvanceTo(t); }
+
+  /// \brief Drains any buffered micro-batch (no-op at batch_size 1).
+  void Flush() { executor_.Flush(); }
+  /// @}
+
+  /// \name Per-query results (demux)
+  /// @{
+  std::size_t num_queries() const { return sinks_.size(); }
+
+  /// \brief All results query `q` emitted so far (coalesced if
+  /// configured). With batch_size > 1, reflects the input flushed so far.
+  const std::vector<Sgt>& results(QueryId q) const {
+    return sink(q)->results();
+  }
+
+  /// \brief Moves query `q`'s accumulated results out (resets its result
+  /// buffer, not any operator state). Flushes buffered input first.
+  std::vector<Sgt> TakeResults(QueryId q) {
+    executor_.Flush();
+    return sink(q)->TakeResults();
+  }
+
+  std::size_t results_emitted(QueryId q) const {
+    return sink(q)->total_emitted();
+  }
+
+  /// \brief The (possibly shared) physical root operator of query `q`.
+  OpId QueryRoot(QueryId q) const;
+  /// @}
+
+  /// \name Sharing introspection
+  /// @{
+
+  /// \brief Physical operators instantiated, per-query sinks included.
+  /// Registering the same plan K times yields NumOperators(1 plan) + K - 1
+  /// (each extra registration adds only its sink).
+  std::size_t NumOperators() const { return executor_.NumOps(); }
+
+  /// \brief Subtree compilations that resolved to an existing operator —
+  /// how much per-edge work the sharing removed. Counts reuse *within* a
+  /// registration too (duplicate subtrees of one plan compile once, like
+  /// the classic WSCAN dedup), so it is nonzero even with
+  /// cross_query_sharing off.
+  std::size_t NumSharedSubtrees() const { return shared_subtree_hits_; }
+
+  /// \brief The subset of NumSharedSubtrees() that resolved to an
+  /// operator compiled by an *earlier* registration — the cross-query
+  /// sharing proper. Always 0 with cross_query_sharing off.
+  std::size_t NumCrossQuerySharedSubtrees() const {
+    return cross_query_shared_hits_;
+  }
+  /// @}
+
+  /// \name Metrics (§7.1.1; engine-global, the stream is shared)
+  /// @{
+  const LatencyRecorder& slide_latencies() const {
+    return executor_.slide_latencies();
+  }
+  std::size_t edges_pushed() const { return executor_.edges_pushed(); }
+  std::size_t edges_processed() const { return executor_.edges_processed(); }
+  /// @}
+
+  /// \brief Total operator state entries (diagnostics).
+  std::size_t StateSize() const { return executor_.StateSize(); }
+
+  /// \brief The runtime executing the registered queries.
+  Executor& executor() { return executor_; }
+  const Executor& executor() const { return executor_; }
+
+  const EngineOptions& options() const { return options_; }
+
+  /// \brief Human-readable logical plans and shared runtime topology.
+  std::string Explain() const;
+
+ private:
+  SinkOp* sink(QueryId q) const;
+
+  /// \brief Compiles `node` children-first, consulting the signature
+  /// dedup map before instantiating anything.
+  Result<OpId> Build(const LogicalOp& node, const Vocabulary& vocab);
+
+  EngineOptions options_;
+  Executor executor_;
+  /// Canonical-signature dedup of compiled subtrees: one physical
+  /// operator per distinct signature, fanned out to every consumer.
+  /// Cleared between registrations when cross_query_sharing is off.
+  std::unordered_map<std::string, OpId> subtree_dedup_;
+  std::vector<SinkOp*> sinks_;   ///< index == QueryId
+  std::vector<OpId> roots_;      ///< index == QueryId
+  std::vector<std::string> plan_texts_;  ///< for Explain
+  std::size_t shared_subtree_hits_ = 0;
+  std::size_t cross_query_shared_hits_ = 0;
+  /// Operator count at the start of the in-flight AddPlan: dedup hits on
+  /// lower ids are cross-registration hits.
+  std::size_t ops_before_current_plan_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_CORE_ENGINE_H_

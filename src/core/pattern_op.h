@@ -77,6 +77,13 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   /// patterns are value-partitioned pass-throughs and need none.
   bool NeedsDeletionCoordination() const override { return num_ports_ > 1; }
 
+  /// \brief For the same reason, a value-equivalent output can be emitted
+  /// by several shards (each shard's out_coalescer_ is blind to its
+  /// siblings); the exchange's merge-side coalescer restores
+  /// single-instance emission volume. Single-atom patterns partition
+  /// output by value and are already duplicate-free.
+  bool CoalesceAtMerge() const override { return num_ports_ > 1; }
+
   /// \name DeletionCoordination (sharded two-phase deletions)
   /// @{
   std::vector<EdgeRef> RetractForDeletion(int port,

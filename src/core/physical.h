@@ -90,6 +90,17 @@ class PhysicalOp {
   /// Such operators must also implement DeletionCoordination.
   virtual bool NeedsDeletionCoordination() const { return false; }
 
+  /// \brief True when the operator's per-shard output coalescers cannot
+  /// see each other's emissions: a value-equivalent result derived on two
+  /// shards is emitted twice even though a single instance would have
+  /// suppressed the repeat. The executor then runs the deterministic
+  /// post-merge stream through a merge-side coalescer at the exchange,
+  /// restoring single-worker emission volume (DESIGN.md §2.4). Only
+  /// meaningful for operators whose output values can be derived on more
+  /// than one shard (multi-atom PATTERN); PATH partitions its output
+  /// values by tree root, so its merged stream is already duplicate-free.
+  virtual bool CoalesceAtMerge() const { return false; }
+
   /// \brief True when OnTimeAdvance can perform substantial work (Δ-tree
   /// expiry re-derivation). Time-advance phases fire for *every distinct
   /// input timestamp*, so the sharded executor dispatches them to the

@@ -1,41 +1,15 @@
 #include "core/query_processor.h"
 
-#include <algorithm>
-#include <functional>
-
 #include "algebra/translate.h"
-#include "common/logging.h"
-#include "core/delta_path_op.h"
-#include "core/pattern_op.h"
-#include "core/spath_op.h"
 
 namespace sgq {
 
 Result<std::unique_ptr<QueryProcessor>> QueryProcessor::Compile(
     const LogicalOp& plan, const Vocabulary& vocab, EngineOptions options) {
-  SGQ_RETURN_NOT_OK(ValidatePlan(plan, vocab));
-  if (options.num_workers == 0) options.num_workers = 1;
-  ExecutorOptions exec_options;
-  exec_options.batch_size = options.batch_size;
-  exec_options.num_workers = options.num_workers;
-  std::unique_ptr<QueryProcessor> qp(new QueryProcessor(exec_options));
-
-  SGQ_ASSIGN_OR_RETURN(OpId root, qp->Build(plan, vocab, options));
-
-  // PATTERN and PATH coalesce their own output (Def. 11); re-coalescing at
-  // the sink would only repeat the work. UNION/FILTER/WSCAN roots can still
-  // emit snapshot-redundant tuples, so the sink coalesces for them.
-  const bool root_coalesces = plan.kind == LogicalOpKind::kPattern ||
-                              plan.kind == LogicalOpKind::kPath;
-  auto sink = std::make_unique<SinkOp>(options.coalesce_output &&
-                                       !root_coalesces);
-  qp->sink_ = sink.get();
-  const OpId sink_id = qp->executor_.AddOp(std::move(sink));
-  SGQ_RETURN_NOT_OK(qp->executor_.Connect(root, sink_id, 0));
-
-  SGQ_RETURN_NOT_OK(qp->executor_.Finalize());
-  qp->explain_ = plan.ToString(vocab) + "-- runtime topology --\n" +
-                 qp->executor_.DescribeTopology();
+  std::unique_ptr<QueryProcessor> qp(
+      new QueryProcessor(std::move(options)));
+  SGQ_RETURN_NOT_OK(qp->engine_.AddPlan(plan, vocab).status());
+  SGQ_RETURN_NOT_OK(qp->engine_.Finalize());
   return qp;
 }
 
@@ -44,137 +18,7 @@ Result<std::unique_ptr<QueryProcessor>> QueryProcessor::FromQuery(
     EngineOptions options) {
   SGQ_ASSIGN_OR_RETURN(LogicalPlan plan,
                        TranslateToCanonicalPlan(query, vocab));
-  return Compile(*plan, vocab, options);
-}
-
-Result<OpId> QueryProcessor::Build(const LogicalOp& node,
-                                   const Vocabulary& vocab,
-                                   const EngineOptions& options) {
-  // Children first: the executor's insertion order doubles as its wave
-  // order, and channels must point from children to parents.
-  std::vector<OpId> children;
-  for (const auto& c : node.children) {
-    SGQ_ASSIGN_OR_RETURN(OpId child, Build(*c, vocab, options));
-    children.push_back(child);
-  }
-
-  // With num_workers > 1 every operator compiles to `workers` shard
-  // instances (shard 0 is the primary; `make_shard` builds the replicas).
-  // Shard-suffixed WindowStore partitions keep runtime state sharing
-  // within one shard index: a partition is only ever touched by one shard,
-  // so parallel waves need no locking (DESIGN.md §2.4).
-  const std::size_t workers = options.num_workers;
-  std::unique_ptr<PhysicalOp> op;
-  std::function<std::unique_ptr<PhysicalOp>(std::size_t)> make_shard;
-  switch (node.kind) {
-    case LogicalOpKind::kWScan: {
-      // Structurally identical scans compile to one operator whose channel
-      // fans out to every consumer (shared scan state, §6.1).
-      const std::string sig = PlanSignature(node);
-      auto it = scan_dedup_.find(sig);
-      if (it != scan_dedup_.end()) return it->second;
-      auto scan = std::make_unique<WScanOp>(node.input_label, node.window);
-      const OpId id = executor_.AddOp(std::move(scan));
-      SGQ_RETURN_NOT_OK(
-          executor_.RegisterSource(node.input_label, id, node.window.slide));
-      for (std::size_t s = 1; s < workers; ++s) {
-        SGQ_RETURN_NOT_OK(executor_.AddShardReplica(
-            id,
-            std::make_unique<WScanOp>(node.input_label, node.window)));
-      }
-      scan_dedup_.emplace(sig, id);
-      return id;
-    }
-    case LogicalOpKind::kFilter:
-      make_shard = [&node](std::size_t) {
-        return std::make_unique<FilterOp>(node.predicates);
-      };
-      op = make_shard(0);
-      break;
-    case LogicalOpKind::kUnion:
-      make_shard = [&node](std::size_t) {
-        return std::make_unique<UnionOp>(node.output_label);
-      };
-      op = make_shard(0);
-      break;
-    case LogicalOpKind::kPattern: {
-      // Single-atom join state lives in the runtime WindowStore. The
-      // partitions are per-operator (keyed by the operator's position):
-      // deletion retraction replays the join against pre-deletion state,
-      // which cross-operator aliasing would make order-dependent. Under
-      // sharding they are additionally per-shard: broadcast ports >= 1
-      // give every shard its own full replica of the right-side state.
-      const std::string op_key = std::to_string(executor_.NumOps());
-      make_shard = [this, &node, op_key,
-                    workers](std::size_t shard) {
-        std::vector<PatternPortState> port_state(node.children.size());
-        for (std::size_t i = 1; i < node.children.size(); ++i) {
-          const LabelId label = node.children[i]->OutputLabel();
-          if (label == kInvalidLabel) continue;  // mixed-label: private
-          port_state[i].label = label;
-          std::string key = "atom:" + op_key + ":" + std::to_string(i) +
-                            ":" + PlanSignature(*node.children[i]);
-          if (workers > 1) key += "#shard" + std::to_string(shard);
-          port_state[i].store = executor_.window_store()->Acquire(key);
-        }
-        return std::make_unique<PatternOp>(node, std::move(port_state));
-      };
-      op = make_shard(0);
-      break;
-    }
-    case LogicalOpKind::kPath: {
-      // PATH operators over structurally identical inputs share one
-      // window partition: the adjacency depends only on the input stream,
-      // not on the regex, and maintenance is idempotent. Under sharding
-      // the partition is per shard index (inputs are broadcast, so every
-      // shard maintains the full adjacency), and sharing across PATH
-      // operators still applies shard-by-shard.
-      std::string in_sig = "path-in:";
-      for (std::size_t i = 0; i < node.children.size(); ++i) {
-        if (i > 0) in_sig += ",";
-        in_sig += PlanSignature(*node.children[i]);
-      }
-      make_shard = [this, &node, &options, in_sig,
-                    workers](std::size_t shard) -> std::unique_ptr<PhysicalOp> {
-        Dfa dfa = Dfa::FromRegex(node.regex);
-        std::unique_ptr<PathOpBase> path;
-        if (options.path_impl == PathImpl::kSPath) {
-          path =
-              std::make_unique<SPathOp>(std::move(dfa), node.output_label);
-        } else {
-          path = std::make_unique<DeltaPathOp>(std::move(dfa),
-                                               node.output_label);
-        }
-        std::string key = in_sig;
-        if (workers > 1) {
-          path->ConfigureShard(static_cast<ShardId>(shard), workers);
-          key += "#shard" + std::to_string(shard);
-        }
-        path->BindSharedWindow(executor_.window_store()->Acquire(key));
-        return path;
-      };
-      op = make_shard(0);
-      break;
-    }
-  }
-  const OpId id = executor_.AddOp(std::move(op));
-  if (workers > 1 && make_shard) {
-    for (std::size_t s = 1; s < workers; ++s) {
-      SGQ_RETURN_NOT_OK(executor_.AddShardReplica(id, make_shard(s)));
-    }
-  }
-  for (std::size_t i = 0; i < children.size(); ++i) {
-    // PATTERN distinguishes ports; single-input operators merge on port 0.
-    const int port =
-        node.kind == LogicalOpKind::kPattern ? static_cast<int>(i) : 0;
-    SGQ_RETURN_NOT_OK(executor_.Connect(children[i], id, port));
-  }
-  return id;
-}
-
-void QueryProcessor::PushAll(const InputStream& stream) {
-  for (const Sge& sge : stream) Push(sge);
-  executor_.Flush();
+  return Compile(*plan, vocab, std::move(options));
 }
 
 }  // namespace sgq

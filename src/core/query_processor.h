@@ -1,51 +1,29 @@
 // End-to-end streaming graph query processor (§6.1).
 //
-// Compiles a logical SGA plan into a physical operator topology owned by
+// A single-query facade over the multi-query Engine (core/engine.h): it
+// compiles one logical SGA plan into a physical operator topology owned by
 // the dataflow runtime (runtime/executor.h) and executes the persistent
 // query in a data-driven fashion: every pushed sge flows through the
-// topology and new results accumulate at the sink. The QueryProcessor is
-// the compiler and facade; scheduling, micro-batching, window-slide
-// tracking and the shared WindowStore all live in the Executor.
+// topology and new results accumulate at the sink. Compilation, subtree
+// sharing, and output demultiplexing live in the Engine; scheduling,
+// micro-batching, window-slide tracking and the shared WindowStore all
+// live in the Executor.
 
 #ifndef SGQ_CORE_QUERY_PROCESSOR_H_
 #define SGQ_CORE_QUERY_PROCESSOR_H_
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "algebra/logical_plan.h"
 #include "common/metrics.h"
 #include "common/result.h"
-#include "core/basic_ops.h"
-#include "core/physical.h"
+#include "core/engine.h"
 #include "query/rq.h"
 #include "runtime/executor.h"
 
 namespace sgq {
-
-/// \brief Engine configuration.
-struct EngineOptions {
-  /// Physical implementation chosen for PATH operators (§6.2.3/§6.2.4).
-  PathImpl path_impl = PathImpl::kSPath;
-  /// Coalesce value-equivalent results at the sink (Def. 11).
-  bool coalesce_output = true;
-  /// Micro-batch size of the runtime's ingest queue. 1 (the default)
-  /// reproduces tuple-at-a-time semantics exactly; larger values trade
-  /// result latency for throughput (results materialize when the batch
-  /// flushes — on overflow, timestamp change handling, AdvanceTo, or
-  /// TakeResults).
-  std::size_t batch_size = 1;
-  /// Number of runtime workers (DESIGN.md §2.4). 1 (the default) runs the
-  /// classic single-threaded engine byte-identically. N > 1 compiles every
-  /// operator into N shard instances whose state is hash-partitioned by
-  /// the operator's routing key, and drives waves shard-parallel on a
-  /// persistent worker pool; results are snapshot-equivalent to
-  /// num_workers = 1 and deterministic run-to-run. Best combined with
-  /// batch_size > 1 so each wave carries enough tuples to spread.
-  std::size_t num_workers = 1;
-};
 
 /// \brief A compiled, running persistent query.
 ///
@@ -69,63 +47,54 @@ class QueryProcessor {
 
   /// \brief Feeds one stream element; timestamps must be non-decreasing.
   /// Elements whose label no SGA scan consumes are discarded (§7.2.1).
-  void Push(const Sge& sge) { executor_.Ingest(sge); }
+  void Push(const Sge& sge) { engine_.Push(sge); }
 
   /// \brief Feeds a whole stream in order and flushes the ingest queue.
-  void PushAll(const InputStream& stream);
+  void PushAll(const InputStream& stream) { engine_.PushAll(stream); }
 
   /// \brief Advances time (processing slide boundaries and expirations)
   /// without new input, e.g. to drain final window movements.
-  void AdvanceTo(Timestamp t) { executor_.AdvanceTo(t); }
+  void AdvanceTo(Timestamp t) { engine_.AdvanceTo(t); }
 
   /// \brief Drains any buffered micro-batch (no-op at batch_size 1).
-  void Flush() { executor_.Flush(); }
+  void Flush() { engine_.Flush(); }
 
   /// \brief All results emitted so far (coalesced if configured). With
   /// batch_size > 1, reflects the input flushed so far.
-  const std::vector<Sgt>& results() const { return sink_->results(); }
+  const std::vector<Sgt>& results() const { return engine_.results(0); }
 
   /// \brief Moves the accumulated results out (resets the result buffer,
   /// not the operator state). Flushes buffered input first.
-  std::vector<Sgt> TakeResults() {
-    executor_.Flush();
-    return sink_->TakeResults();
-  }
+  std::vector<Sgt> TakeResults() { return engine_.TakeResults(0); }
 
   /// \name Metrics (§7.1.1)
   /// @{
   const LatencyRecorder& slide_latencies() const {
-    return executor_.slide_latencies();
+    return engine_.slide_latencies();
   }
-  std::size_t edges_pushed() const { return executor_.edges_pushed(); }
-  std::size_t edges_processed() const {
-    return executor_.edges_processed();
-  }
-  std::size_t results_emitted() const { return sink_->total_emitted(); }
+  std::size_t edges_pushed() const { return engine_.edges_pushed(); }
+  std::size_t edges_processed() const { return engine_.edges_processed(); }
+  std::size_t results_emitted() const { return engine_.results_emitted(0); }
   /// @}
 
   /// \brief Total operator state entries (diagnostics).
-  std::size_t StateSize() const { return executor_.StateSize(); }
+  std::size_t StateSize() const { return engine_.StateSize(); }
 
   /// \brief The runtime executing this query.
-  Executor& executor() { return executor_; }
-  const Executor& executor() const { return executor_; }
+  Executor& executor() { return engine_.executor(); }
+  const Executor& executor() const { return engine_.executor(); }
+
+  /// \brief The underlying (single-query) engine.
+  Engine& engine() { return engine_; }
 
   /// \brief Human-readable physical plan and runtime topology.
-  std::string Explain() const { return explain_; }
+  std::string Explain() const { return engine_.Explain(); }
 
  private:
-  explicit QueryProcessor(ExecutorOptions options) : executor_(options) {}
+  explicit QueryProcessor(EngineOptions options)
+      : engine_(std::move(options)) {}
 
-  Result<OpId> Build(const LogicalOp& node, const Vocabulary& vocab,
-                     const EngineOptions& options);
-
-  Executor executor_;
-  /// Structural-signature dedup of WSCAN operators: one scan per distinct
-  /// (label, window), fanned out to every consumer.
-  std::unordered_map<std::string, OpId> scan_dedup_;
-  SinkOp* sink_ = nullptr;
-  std::string explain_;
+  Engine engine_;
 };
 
 }  // namespace sgq

@@ -157,6 +157,7 @@ Status Executor::Finalize() {
                                 std::vector<std::vector<Sgt>>(instances));
       node.shard_scratch.assign(node.pending.size(),
                                 std::vector<std::vector<Sgt>>(instances));
+      node.merge_coalesce = instances > 1 && node.op->CoalesceAtMerge();
       if (instances > 1 && node.op->NeedsDeletionCoordination()) {
         node.coordination.reserve(instances);
         for (std::size_t s = 0; s < instances; ++s) {
@@ -289,6 +290,18 @@ void Executor::RouteToShards(const PortRef& dst, const Sgt& tuple) {
                   &slots);
 }
 
+bool Executor::OfferAtMerge(OpNode& node, const Sgt& tuple) {
+  if (tuple.is_deletion) {
+    // One coordinated deletion can retract the same output value on
+    // several shards; a single instance emits that retraction once.
+    if (!node.merge_retracted.insert(tuple.edge()).second) return false;
+    node.merge_coalescer.Forget(tuple.edge());
+    return true;
+  }
+  node.merge_retracted.erase(tuple.edge());
+  return node.merge_coalescer.Offer(tuple);
+}
+
 void Executor::MergeAndRoute(OpId id) {
   OpNode& node = nodes_[static_cast<std::size_t>(id)];
   // Shard-order concatenation: deterministic run-to-run because shard
@@ -296,6 +309,12 @@ void Executor::MergeAndRoute(OpId id) {
   // function of the input stream.
   for (std::vector<Sgt>& buffer : node.shard_emit) {
     for (const Sgt& tuple : buffer) {
+      if (node.merge_coalesce && !OfferAtMerge(node, tuple)) {
+        // A sibling shard already covered this emission; a single
+        // instance's output coalescer would have suppressed it too.
+        ++merge_suppressed_;
+        continue;
+      }
       for (const PortRef& dst : node.out.dests_) RouteToShards(dst, tuple);
     }
     buffer.clear();
@@ -387,6 +406,11 @@ void Executor::RunCoordinatedBatch(OpId id, int port,
       });
       MergeAndRoute(id);  // the surviving re-assertions
     }
+    // The retraction-dedup scope is exactly one deletion's two phases: a
+    // later deletion of the same value only produces negatives if the
+    // value was re-derived in between, which a single instance would also
+    // re-retract.
+    node.merge_retracted.clear();
   }
   batch.clear();
 }
@@ -525,12 +549,40 @@ void Executor::DeliverSge(const Sge& sge) {
 // Clock
 // ---------------------------------------------------------------------------
 
+void Executor::UpdateTimeAdvanceHints() {
+  // Finer dispatch heuristic (ROADMAP): beyond operators that declare
+  // time-driven work, an operator whose shards have grown past the state
+  // bar is worth the pool wakeup — its expiry/purge-adjacent work scales
+  // with state. Evaluated at slide boundaries, not per distinct
+  // timestamp: StateSize() walks operator tables.
+  const std::size_t bar = options_.time_advance_parallel_state_bar;
+  if (bar == 0) return;
+  for (OpNode& node : nodes_) {
+    if (node.replicas.empty() || node.op->HasTimeDrivenWork()) continue;
+    bool hit = false;
+    for (std::size_t s = 0; s < 1 + node.replicas.size() && !hit; ++s) {
+      const PhysicalOp* op =
+          s == 0 ? node.op.get() : node.replicas[s - 1].get();
+      hit = op->StateSize() >= bar;
+    }
+    node.time_advance_parallel = hit;
+  }
+}
+
 void Executor::TimeAdvanceWave(Timestamp now) {
   if (sharded()) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      // Time advances fire per distinct timestamp; only operators with
-      // heavy time-driven work (Δ-tree expiry) are worth a pool dispatch.
-      RunInstances(static_cast<OpId>(i), nodes_[i].op->HasTimeDrivenWork(),
+      // Time advances fire per distinct timestamp; operators with heavy
+      // time-driven work (Δ-tree expiry) are always worth a pool
+      // dispatch, and so are operators whose shard state passed the
+      // boundary-evaluated bar (UpdateTimeAdvanceHints).
+      OpNode& node = nodes_[i];
+      const bool declared = node.op->HasTimeDrivenWork();
+      const bool parallel = declared || node.time_advance_parallel;
+      if (parallel && !declared && !node.replicas.empty()) {
+        ++state_bar_dispatches_;
+      }
+      RunInstances(static_cast<OpId>(i), parallel,
                    [now](PhysicalOp* op) { op->OnTimeAdvance(now); });
     }
     RunShardedWave();
@@ -561,6 +613,17 @@ void Executor::ProcessBoundary(Timestamp boundary) {
                    [boundary](PhysicalOp* op) { op->MaybePurge(boundary); });
     }
     RunShardedWave();
+    for (OpNode& node : nodes_) {
+      // Amortized merge-coalescer purge (memory only, like MaybePurge).
+      if (!node.merge_coalesce ||
+          node.merge_coalescer.NumKeys() < node.merge_purge_watermark) {
+        continue;
+      }
+      node.merge_coalescer.PurgeBefore(boundary);
+      node.merge_purge_watermark =
+          std::max<std::size_t>(1024, 2 * node.merge_coalescer.NumKeys());
+    }
+    UpdateTimeAdvanceHints();
   } else {
     for (auto& node : nodes_) {
       RunOpPhase([&] { node.op->MaybePurge(boundary); });

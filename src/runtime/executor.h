@@ -41,12 +41,14 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/physical.h"
+#include "model/coalesce.h"
 #include "model/sgt.h"
 #include "runtime/channel.h"
 #include "runtime/shard.h"
@@ -54,6 +56,10 @@
 #include "runtime/worker_pool.h"
 
 namespace sgq {
+
+/// \brief Default state bar for the time-advance dispatch heuristic —
+/// defined once; EngineOptions forwards the same knob (core/engine.h).
+inline constexpr std::size_t kDefaultTimeAdvanceParallelStateBar = 8192;
 
 /// \brief Runtime configuration.
 struct ExecutorOptions {
@@ -64,6 +70,14 @@ struct ExecutorOptions {
   /// classic single-threaded engine byte-identically; N > 1 partitions
   /// operator state N ways and drives waves shard-parallel.
   std::size_t num_workers = 1;
+  /// Sharded mode: dispatch an operator's time-advance wave to the worker
+  /// pool once any single shard instance holds at least this much state —
+  /// in addition to operators declaring HasTimeDrivenWork(), whose expiry
+  /// work is always worth the dispatch. The bar is re-evaluated at slide
+  /// boundaries (amortized: StateSize() is not free, and time advances
+  /// fire per distinct input timestamp). 0 disables the heuristic.
+  std::size_t time_advance_parallel_state_bar =
+      kDefaultTimeAdvanceParallelStateBar;
 };
 
 /// \brief Owns and drives the operator topology of one running query.
@@ -143,6 +157,14 @@ class Executor {
   std::size_t edges_processed() const { return edges_processed_.value(); }
   std::size_t num_waves() const { return num_waves_; }
 
+  /// \brief Time-advance pool dispatches credited to the state-bar
+  /// heuristic (i.e. for operators without declared time-driven work).
+  std::size_t state_bar_dispatches() const { return state_bar_dispatches_; }
+
+  /// \brief Tuples the merge-side coalescer suppressed as cross-shard
+  /// duplicates (diagnostics; 0 when unsharded).
+  std::size_t merge_suppressed() const { return merge_suppressed_; }
+
   /// \brief Total operator state entries (diagnostics). Shared window
   /// partitions are counted once per consumer (each consumer's watermark
   /// must see them).
@@ -184,6 +206,26 @@ class Executor {
     /// Deletion-coordination handles, one per instance; empty when the
     /// operator does not require coordination.
     std::vector<DeletionCoordination*> coordination;
+
+    /// Merge-side coalescer (set at Finalize when the operator is
+    /// multi-instance and declares CoalesceAtMerge): the deterministic
+    /// shard-order merged stream passes through it before the exchange,
+    /// suppressing positives a sibling shard already covered and
+    /// duplicate cross-shard retractions of one deletion.
+    bool merge_coalesce = false;
+    StreamingCoalescer merge_coalescer;
+    /// Output values retracted by the in-flight coordinated deletion;
+    /// dedupes the negative each retracting shard emits for the same
+    /// value. Cleared after the deletion's reassert phase.
+    std::unordered_set<EdgeRef, EdgeRefHash> merge_retracted;
+    /// Amortized purge watermark for merge_coalescer (doubling, like
+    /// PhysicalOp::MaybePurge).
+    std::size_t merge_purge_watermark = 1024;
+
+    /// Time-advance dispatch hint (sharded mode): true when some shard's
+    /// StateSize() met options_.time_advance_parallel_state_bar at the
+    /// last slide boundary. OR-ed with the operator's HasTimeDrivenWork().
+    bool time_advance_parallel = false;
   };
 
   /// \brief Channel entry point: dispatches an emitted tuple according to
@@ -220,8 +262,19 @@ class Executor {
   void RouteToShards(const PortRef& dst, const Sgt& tuple);
 
   /// \brief Merges operator `id`'s per-shard emission buffers in shard
-  /// order and routes every tuple through the exchange.
+  /// order and routes every tuple through the exchange (through the
+  /// merge-side coalescer first when the node enables it).
   void MergeAndRoute(OpId id);
+
+  /// \brief Merge-side coalescer admission: returns false when `tuple` is
+  /// a cross-shard duplicate (covered positive, or repeated retraction of
+  /// the in-flight deletion) that a single instance would not have
+  /// emitted.
+  bool OfferAtMerge(OpNode& node, const Sgt& tuple);
+
+  /// \brief Re-evaluates every node's time-advance dispatch hint against
+  /// the state bar (called at slide boundaries).
+  void UpdateTimeAdvanceHints();
 
   /// \brief Runs `run_shard(s)` for every shard — on the worker pool when
   /// more than one shard has work, inline in shard order otherwise (same
@@ -289,6 +342,8 @@ class Executor {
   double slide_accum_seconds_ = 0;
   Counter edges_pushed_;
   Counter edges_processed_;
+  std::size_t state_bar_dispatches_ = 0;
+  std::size_t merge_suppressed_ = 0;
 };
 
 }  // namespace sgq

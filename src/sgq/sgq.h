@@ -22,6 +22,7 @@
 #include "common/metrics.h"           // IWYU pragma: export
 #include "common/result.h"            // IWYU pragma: export
 #include "common/status.h"            // IWYU pragma: export
+#include "core/engine.h"              // IWYU pragma: export
 #include "core/optimizer.h"           // IWYU pragma: export
 #include "core/query_processor.h"     // IWYU pragma: export
 #include "core/reorder_buffer.h"      // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "algebra/translate.h"
 #include "baseline/engine.h"
 
 namespace sgq {
@@ -37,6 +38,52 @@ Result<RunMetrics> RunSgaPlan(const InputStream& stream,
   m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
   m.results_emitted = qp->results_emitted();
   return m;
+}
+
+Result<MultiQueryMetrics> RunMultiSgaPlans(
+    const InputStream& stream, const std::vector<const LogicalOp*>& plans,
+    const Vocabulary& vocab, EngineOptions options, std::string name) {
+  Engine engine(options);
+  for (const LogicalOp* plan : plans) {
+    SGQ_RETURN_NOT_OK(engine.AddPlan(*plan, vocab).status());
+  }
+  SGQ_RETURN_NOT_OK(engine.Finalize());
+  Stopwatch timer;
+  engine.PushAll(stream);
+  MultiQueryMetrics m;
+  m.totals.name = std::move(name);
+  m.totals.elapsed_seconds = timer.ElapsedSeconds();
+  m.totals.edges_processed = engine.edges_processed();
+  m.totals.tail_latency_seconds = engine.slide_latencies().Percentile(0.99);
+  m.per_query_results.reserve(engine.num_queries());
+  for (std::size_t q = 0; q < engine.num_queries(); ++q) {
+    const std::size_t emitted =
+        engine.results_emitted(static_cast<QueryId>(q));
+    m.per_query_results.push_back(emitted);
+    m.totals.results_emitted += emitted;
+  }
+  m.num_operators = engine.NumOperators();
+  m.shared_subtrees = engine.NumSharedSubtrees();
+  m.cross_query_shared = engine.NumCrossQuerySharedSubtrees();
+  return m;
+}
+
+Result<MultiQueryMetrics> RunMultiSga(
+    const InputStream& stream,
+    const std::vector<StreamingGraphQuery>& queries, const Vocabulary& vocab,
+    EngineOptions options, std::string name) {
+  std::vector<LogicalPlan> plans;
+  std::vector<const LogicalOp*> plan_ptrs;
+  plans.reserve(queries.size());
+  plan_ptrs.reserve(queries.size());
+  for (const StreamingGraphQuery& query : queries) {
+    SGQ_ASSIGN_OR_RETURN(LogicalPlan plan,
+                         TranslateToCanonicalPlan(query, vocab));
+    plan_ptrs.push_back(plan.get());
+    plans.push_back(std::move(plan));
+  }
+  return RunMultiSgaPlans(stream, plan_ptrs, vocab, std::move(options),
+                          std::move(name));
 }
 
 Result<RunMetrics> RunDd(const InputStream& stream,

@@ -7,10 +7,12 @@
 #define SGQ_WORKLOAD_HARNESS_H_
 
 #include <string>
+#include <vector>
 
 #include "algebra/logical_plan.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "core/engine.h"
 #include "core/query_processor.h"
 #include "model/sgt.h"
 #include "query/rq.h"
@@ -35,6 +37,35 @@ Result<RunMetrics> RunSgaPlan(const InputStream& stream,
 Result<RunMetrics> RunDd(const InputStream& stream,
                          const StreamingGraphQuery& query,
                          const Vocabulary& vocab, std::string name);
+
+/// \brief Metrics of a multi-query Engine run: the aggregate stream-side
+/// metrics plus the per-query result demux and sharing counters.
+struct MultiQueryMetrics {
+  RunMetrics totals;  ///< results_emitted sums every query's sink
+  std::vector<std::size_t> per_query_results;  ///< index == QueryId
+  std::size_t num_operators = 0;  ///< physical ops, sinks included
+  /// Subtree dedup hits, within-registration reuse included (nonzero
+  /// even with cross_query_sharing off — one plan's duplicate subtrees
+  /// still compile once).
+  std::size_t shared_subtrees = 0;
+  /// Dedup hits against an earlier registration's operators — the
+  /// cross-query sharing proper; 0 with cross_query_sharing off.
+  std::size_t cross_query_shared = 0;
+};
+
+/// \brief Registers every plan on one multi-query Engine (core/engine.h),
+/// runs `stream` through the shared dataflow once, and reports aggregate
+/// plus per-query metrics. `options.cross_query_sharing` selects shared
+/// vs per-query-private compilation (the bench_multi_query ablation).
+Result<MultiQueryMetrics> RunMultiSgaPlans(
+    const InputStream& stream, const std::vector<const LogicalOp*>& plans,
+    const Vocabulary& vocab, EngineOptions options, std::string name);
+
+/// \brief RunMultiSgaPlans over parsed SGQs (canonical plans).
+Result<MultiQueryMetrics> RunMultiSga(
+    const InputStream& stream,
+    const std::vector<StreamingGraphQuery>& queries, const Vocabulary& vocab,
+    EngineOptions options, std::string name);
 
 /// \brief Prints a fixed-width metrics row:
 /// name, throughput (edges/s), p99 slide latency (ms), #results.

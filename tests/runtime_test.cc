@@ -294,22 +294,66 @@ TEST(SharedStateTest, DuplicateScansCompileToOneOperator) {
   EXPECT_EQ(ResultPairsAt((*qp)->results(), 1).size(), 1u);
 }
 
-TEST(SharedStateTest, PathOpsShareWindowPartitions) {
+TEST(SharedStateTest, IdenticalClosuresCompileToOnePathOp) {
   Vocabulary vocab;
-  // Two closures over the same base label: both PATH operators resolve to
-  // the same "path-in" partition.
+  // Two closures over the same base label canonicalize to the same PATH
+  // subtree signature: the compiler instantiates one operator whose
+  // channel fans out to both PATTERN branches (operator-level sharing,
+  // core/engine.h — it subsumes the window-partition sharing this case
+  // previously exercised).
   auto query = MakeQuery(
       "Answer(x,y) <- a+(x,y)\nAnswer(x,y) <- a+(y,x)",
       WindowSpec(10, 1), &vocab);
   ASSERT_TRUE(query.ok());
   auto qp = QueryProcessor::FromQuery(*query, vocab, {});
   ASSERT_TRUE(qp.ok()) << qp.status().ToString();
-  EXPECT_GE((*qp)->executor().window_store()->NumSharedAcquires(), 1u);
+  std::size_t path_ops = 0;
+  const Executor& exec = (*qp)->executor();
+  for (std::size_t i = 0; i < exec.NumOps(); ++i) {
+    if (exec.op(static_cast<OpId>(i))->Name().find("PATH") !=
+        std::string::npos) {
+      ++path_ops;
+    }
+  }
+  EXPECT_EQ(path_ops, 1u);
+  EXPECT_GE((*qp)->engine().NumSharedSubtrees(), 1u);
   LabelId a = *vocab.FindLabel("a");
   (*qp)->Push(Sge(1, 2, a, 0));
   (*qp)->Push(Sge(2, 3, a, 1));
   // a+ paths: (1,2),(2,3),(1,3) and the reversed head (2,1),(3,2),(3,1).
   EXPECT_EQ(ResultPairsAt((*qp)->results(), 1).size(), 6u);
+}
+
+TEST(SharedStateTest, PathOpsShareWindowPartitions) {
+  Vocabulary vocab;
+  // Two PATH operators with *different* regexes over the same scanned
+  // input cannot merge into one operator, but still resolve to the same
+  // "path-in" adjacency partition.
+  const LabelId a = *vocab.InternInputLabel("a");
+  const LabelId p1 = *vocab.InternDerivedLabel("p1");
+  const LabelId p2 = *vocab.InternDerivedLabel("p2");
+  const LabelId ans = *vocab.InternDerivedLabel("Answer");
+  const WindowSpec window(10, 1);
+  std::vector<LogicalPlan> kids1;
+  kids1.push_back(MakeWScan(a, window));
+  auto plus = MakePath(p1, Regex::Plus(Regex::Label(a)), std::move(kids1));
+  std::vector<LogicalPlan> kids2;
+  kids2.push_back(MakeWScan(a, window));
+  auto star = MakePath(
+      p2, Regex::Concat({Regex::Label(a), Regex::Star(Regex::Label(a))}),
+      std::move(kids2));
+  std::vector<LogicalPlan> branches;
+  branches.push_back(std::move(plus));
+  branches.push_back(std::move(star));
+  auto plan = MakeUnion(ans, std::move(branches));
+  auto qp = QueryProcessor::Compile(*plan, vocab, {});
+  ASSERT_TRUE(qp.ok()) << qp.status().ToString();
+  EXPECT_GE((*qp)->executor().window_store()->NumSharedAcquires(), 1u);
+  (*qp)->Push(Sge(1, 2, a, 0));
+  (*qp)->Push(Sge(2, 3, a, 1));
+  // Both regexes derive the same closure pairs; the relabeling UNION's
+  // sink coalesces them.
+  EXPECT_EQ(ResultPairsAt((*qp)->results(), 1).size(), 3u);
 }
 
 // ---------------------------------------------------------------------------
