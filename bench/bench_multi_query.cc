@@ -131,12 +131,14 @@ int main() {
           "\"ops\":%zu,\"shared_subtrees\":%zu,"
           "\"cross_query_shared\":%zu,\"edges\":%zu,"
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
-          "\"results_total\":%zu,\"speedup_vs_unshared\":%.3f}\n",
+          "\"results_total\":%zu,\"speedup_vs_unshared\":%.3f,"
+          "\"state_bytes\":%zu}\n",
           num_queries, sharing ? "true" : "false", metrics->num_operators,
           metrics->shared_subtrees, metrics->cross_query_shared,
           metrics->totals.edges_processed,
           metrics->totals.elapsed_seconds, tput,
-          metrics->totals.results_emitted, speedup);
+          metrics->totals.results_emitted, speedup,
+          metrics->totals.state_bytes);
       std::fprintf(stderr,
                    "  %-9s %10.0f tuples/s  %4zu ops  %5zu results"
                    "  (%.2fx vs unshared)\n",

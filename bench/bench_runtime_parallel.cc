@@ -109,10 +109,10 @@ int main() {
           "\"workers\":%zu,\"batch\":%zu,\"edges\":%zu,"
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results\":%zu,\"emission_ratio\":%.4f,"
-          "\"speedup_vs_1\":%.3f}\n",
+          "\"speedup_vs_1\":%.3f,\"state_bytes\":%zu}\n",
           w.name, workers, kBatch, metrics->edges_processed,
           metrics->elapsed_seconds, tput, metrics->results_emitted,
-          emission_ratio, speedup);
+          emission_ratio, speedup, metrics->state_bytes);
       std::fprintf(stderr,
                    "  workers=%zu  %10.0f tuples/s  (%.2fx vs 1)  "
                    "%zu results (%.3fx emission)\n",

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare bench JSON artifacts against committed baselines.
+
+Each bench binary emits one JSON object per line on stdout (see
+bench/bench_*.cc); committed reference numbers live in bench/baselines/.
+This script matches rows by their identity keys (bench, workload, workers,
+batch, queries, sharing) and reports throughput / tail-latency ratios.
+
+Intended as a *non-blocking* CI step: machine-to-machine variance makes a
+hard gate meaningless, so regressions beyond the soft threshold are
+reported (and exit nonzero only under --strict) but do not fail the build.
+Closes the ROADMAP item "Track bench JSON across PRs" — the comparison
+that used to be manual artifact-diffing is now one command:
+
+    python3 scripts/bench_diff.py BENCH_state_hot.json \
+        --baseline bench/baselines/BENCH_state_hot.json
+
+Baselines are refreshed deliberately (copy the run output over the
+baseline file in the same PR that changes the performance), so the diff
+always reads "this PR vs the last recorded decision".
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_KEYS = ("bench", "workload", "workers", "batch", "queries",
+                 "sharing")
+# Higher is better / lower is better metrics, with their soft thresholds.
+HIGHER_BETTER = {"tuples_per_sec": 0.8}
+LOWER_BETTER = {"p99_slide_seconds": 1.5, "state_bytes": 1.5}
+
+
+def load_rows(path):
+    rows = {}
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"{path}:{line_no}: skipping non-JSON line ({e})",
+                      file=sys.stderr)
+                continue
+            key = tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+            rows[key] = row
+    return rows
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def compare(current, baseline):
+    regressions = []
+    for key, row in sorted(current.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"  NEW      {fmt_key(key)} (no baseline row)")
+            continue
+        parts = []
+        for metric, floor in HIGHER_BETTER.items():
+            cur, old = row.get(metric), base.get(metric)
+            if not cur or not old:
+                continue
+            ratio = cur / old
+            parts.append(f"{metric} {ratio:.2f}x")
+            if ratio < floor:
+                regressions.append((key, metric, ratio))
+        for metric, ceil in LOWER_BETTER.items():
+            cur, old = row.get(metric), base.get(metric)
+            if not cur or not old:
+                continue  # 0 baseline (e.g. pre-state_bytes): informational
+            ratio = cur / old
+            parts.append(f"{metric} {ratio:.2f}x")
+            if ratio > ceil:
+                regressions.append((key, metric, ratio))
+        print(f"  {'OK' if not any(r[0] == key for r in regressions) else 'REGR':8s}"
+              f" {fmt_key(key)}: {', '.join(parts) if parts else 'no shared metrics'}")
+    for key in sorted(baseline.keys() - current.keys()):
+        print(f"  GONE     {fmt_key(key)} (baseline row not produced)")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="+",
+                        help="bench JSON file(s) produced by this run")
+    parser.add_argument("--baseline", action="append", required=True,
+                        help="committed baseline JSON (repeatable)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on soft-threshold regressions")
+    args = parser.parse_args()
+
+    baseline = {}
+    for path in args.baseline:
+        baseline.update(load_rows(path))
+    current = {}
+    for path in args.current:
+        current.update(load_rows(path))
+
+    print(f"bench_diff: {len(current)} current rows vs "
+          f"{len(baseline)} baseline rows")
+    regressions = compare(current, baseline)
+    if regressions:
+        print("soft-threshold regressions:")
+        for key, metric, ratio in regressions:
+            print(f"  {fmt_key(key)}: {metric} {ratio:.2f}x")
+        if args.strict:
+            return 1
+        print("(non-blocking: single-core CI runners are noisy; "
+              "investigate before trusting)")
+    else:
+        print("no regressions beyond soft thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

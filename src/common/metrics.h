@@ -126,6 +126,8 @@ struct RunMetrics {
   double elapsed_seconds = 0;
   double tail_latency_seconds = 0;  ///< p99 of per-slide processing time
   std::size_t results_emitted = 0;
+  std::size_t state_entries = 0;  ///< operator state entries at end of run
+  std::size_t state_bytes = 0;    ///< resident operator-state bytes at end
 
   /// \brief Sustained input rate in edges per second.
   double Throughput() const {

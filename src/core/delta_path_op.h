@@ -11,11 +11,16 @@
 //    alternative valid paths (Dijkstra on maximal expiry), re-inserting
 //    survivors. On cyclic graphs this re-derivation dominates the cost —
 //    which is precisely the overhead the direct approach avoids.
+//
+// Expired nodes are found through the base node-expiry calendar (a
+// slide-aligned bucket index), so a time advance that expires nothing is
+// O(1) and one that expires k nodes costs O(k + re-derivation), never a
+// scan of the whole forest.
 
 #ifndef SGQ_CORE_DELTA_PATH_OP_H_
 #define SGQ_CORE_DELTA_PATH_OP_H_
 
-#include <queue>
+#include <vector>
 
 #include "core/path_base.h"
 
@@ -56,10 +61,8 @@ class DeltaPathOp : public PathOpBase {
 
   void DrainWorklist(std::vector<AttachWork> work);
 
-  /// Min-heap of pending expiry instants (lazy; duplicates allowed).
-  std::priority_queue<Timestamp, std::vector<Timestamp>,
-                      std::greater<Timestamp>>
-      expiry_heap_;
+  /// Scratch for the calendar drain (capacity reused across waves).
+  std::vector<std::pair<VertexId, NodeKey>> expired_scratch_;
   std::size_t rederivation_rounds_ = 0;
 };
 

@@ -10,8 +10,10 @@ namespace sgq {
 PathOpBase::PathOpBase(Dfa dfa, LabelId out_label)
     : dfa_(std::move(dfa)), out_label_(out_label) {
   out_transitions_.resize(dfa_.NumStates());
+  in_transitions_.resize(dfa_.NumStates());
   for (const auto& [from, label, to] : dfa_.Transitions()) {
     out_transitions_[from].emplace_back(label, to);
+    in_transitions_[to].emplace_back(label, from);
   }
 }
 
@@ -24,47 +26,110 @@ PathOpBase::SpanningTree& PathOpBase::EnsureTree(VertexId x) {
     root_node.iv = Interval::All();
     root_node.is_root = true;
     const NodeKey key{x, dfa_.start()};
-    tree.nodes.emplace(key, root_node);
-    inverted_[key].push_back(x);
+    tree.nodes.emplace(key, std::move(root_node));
+    ++num_tree_nodes_;
+    inverted_[key].push_back(&inverted_pool_, x);
+    // Until a child attaches this tree is root-only; a later Purge drops
+    // it again unless it grew (root intervals never expire, so the node
+    // calendar cannot find it).
+    empty_tree_candidates_.push_back(x);
   }
   return tree;
 }
 
-void PathOpBase::SetNode(SpanningTree& tree, const NodeKey& child,
-                         TreeNode node) {
-  auto [it, inserted] = tree.nodes.insert_or_assign(child, std::move(node));
-  (void)it;
-  if (inserted) {
-    auto& roots = inverted_[child];
-    if (std::find(roots.begin(), roots.end(), tree.root) == roots.end()) {
-      roots.push_back(tree.root);
+void PathOpBase::AddChildLink(SpanningTree& tree, const NodeKey& parent,
+                              const NodeKey& child) {
+  auto it = tree.nodes.find(parent);
+  if (it == tree.nodes.end()) return;
+  it->second.children.push_back(&children_pool_, child);
+}
+
+void PathOpBase::RemoveChildLink(SpanningTree& tree, const NodeKey& parent,
+                                 const NodeKey& child) {
+  auto it = tree.nodes.find(parent);
+  if (it == tree.nodes.end()) return;
+  auto& children = it->second.children;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (children[i] == child) {
+      children.swap_pop(i);
+      return;
     }
   }
 }
 
+void PathOpBase::SetNode(SpanningTree& tree, const NodeKey& child,
+                         TreeNode node) {
+  const Timestamp exp = node.iv.exp;
+  auto it = tree.nodes.find(child);
+  if (it == tree.nodes.end()) {
+    const NodeKey parent = node.parent;
+    const bool link = !node.is_root;
+    tree.nodes.emplace(child, std::move(node));
+    ++num_tree_nodes_;
+    if (link) AddChildLink(tree, parent, child);
+    auto& roots = inverted_[child];
+    bool present = false;
+    for (const VertexId r : roots) {
+      if (r == tree.root) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) roots.push_back(&inverted_pool_, tree.root);
+    node_expiry_.Add(exp, {tree.root, child});
+  } else {
+    TreeNode& slot = it->second;
+    const Timestamp old_exp = slot.iv.exp;
+    const NodeKey old_parent = slot.parent;
+    // The node keeps its subtree across an overwrite; only its own
+    // parent link may move.
+    node.children = std::move(slot.children);
+    slot = std::move(node);
+    ReparentNode(tree, child, old_parent, slot.parent);
+    // The node already has a hint at old_exp; a changed expiry needs a
+    // fresh registration (the stale hint is verified away on drain).
+    if (exp != old_exp) node_expiry_.Add(exp, {tree.root, child});
+  }
+}
+
 void PathOpBase::RemoveNode(SpanningTree& tree, const NodeKey& key) {
-  tree.nodes.erase(key);
+  auto node_it = tree.nodes.find(key);
+  if (node_it != tree.nodes.end()) {
+    TreeNode& node = node_it->second;
+    if (!node.is_root) RemoveChildLink(tree, node.parent, key);
+    // RemoveChildLink mutates a sibling slot's run in place — the map
+    // itself does not shift, so node_it stays valid.
+    node_it->second.children.Release(&children_pool_);
+    tree.nodes.erase(node_it);
+    --num_tree_nodes_;
+  }
   auto it = inverted_.find(key);
   if (it != inverted_.end()) {
     auto& roots = it->second;
-    auto pos = std::find(roots.begin(), roots.end(), tree.root);
-    if (pos != roots.end()) {
-      *pos = roots.back();
-      roots.pop_back();
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      if (roots[i] == tree.root) {
+        roots.swap_pop(i);
+        break;
+      }
     }
-    if (roots.empty()) inverted_.erase(it);
+    if (roots.empty()) {
+      roots.Release(&inverted_pool_);
+      inverted_.erase(it);
+    }
   }
+  if (tree.nodes.size() == 1) empty_tree_candidates_.push_back(tree.root);
 }
 
 std::vector<VertexId> PathOpBase::TreesContaining(const NodeKey& key) const {
   auto it = inverted_.find(key);
   if (it == inverted_.end()) return {};
-  return it->second;
+  return std::vector<VertexId>(it->second.begin(), it->second.end());
 }
 
 Payload PathOpBase::RecoverPath(const SpanningTree& tree,
                                 const NodeKey& key) const {
   Payload path;
+  path.reserve(8);  // most witness paths are short; avoids realloc churn
   NodeKey current = key;
   while (true) {
     auto it = tree.nodes.find(current);
@@ -94,46 +159,37 @@ void PathOpBase::RetractAndReassert(SpanningTree& tree, VertexId v,
   out_coalescer_.Forget(negative.edge());
   EmitTuple(negative);
   // Another accepting (v, s) witness may survive; re-assert the pair so
-  // downstream state reflects the remaining derivation.
-  for (const auto& [key, node] : tree.nodes) {
-    if (key.first == v && !node.is_root && dfa_.IsAccepting(key.second) &&
-        node.iv.exp > t) {
-      EmitResult(tree, key, node.iv);
+  // downstream state reflects the remaining derivation. The candidate
+  // keys (v, s) are enumerated by automaton state — O(|Q|) point lookups
+  // instead of a scan of the whole tree — which is also an ascending,
+  // hash-order-independent emission order.
+  for (StateId s = 0; s < static_cast<StateId>(dfa_.NumStates()); ++s) {
+    if (!dfa_.IsAccepting(s)) continue;
+    auto it = tree.nodes.find(NodeKey{v, s});
+    if (it == tree.nodes.end()) continue;
+    const TreeNode& node = it->second;
+    if (!node.is_root && node.iv.exp > t) {
+      EmitResult(tree, NodeKey{v, s}, node.iv);
     }
   }
 }
 
 std::vector<NodeKey> PathOpBase::CollectSubtree(const SpanningTree& tree,
                                                 const NodeKey& key) const {
-  // Walk each node's parent chain with memoization on membership.
-  std::unordered_map<NodeKey, bool, PairHash> in_subtree;
-  in_subtree[key] = true;
-  std::vector<NodeKey> chain;
-  for (const auto& [node_key, node] : tree.nodes) {
-    (void)node;
-    chain.clear();
-    NodeKey current = node_key;
-    bool member = false;
-    while (true) {
-      auto memo = in_subtree.find(current);
-      if (memo != in_subtree.end()) {
-        member = memo->second;
-        break;
-      }
-      const auto it = tree.nodes.find(current);
-      if (it == tree.nodes.end() || it->second.is_root) {
-        member = false;
-        break;
-      }
-      chain.push_back(current);
-      current = it->second.parent;
-    }
-    for (const NodeKey& k : chain) in_subtree[k] = member;
-  }
+  // BFS over the maintained child links: O(subtree), not O(tree).
   std::vector<NodeKey> out;
-  for (const auto& [k, m] : in_subtree) {
-    if (m && tree.nodes.count(k) > 0) out.push_back(k);
+  if (tree.nodes.count(key) == 0) return out;
+  out.push_back(key);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto it = tree.nodes.find(out[i]);
+    if (it == tree.nodes.end()) continue;
+    for (const NodeKey& child : it->second.children) {
+      out.push_back(child);
+    }
   }
+  // Canonical order: detach/re-derive processing must not depend on the
+  // discovery order.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -141,11 +197,14 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
                                  const std::vector<NodeKey>& subtree,
                                  Timestamp now, bool emit_negatives) {
   if (subtree.empty()) return;
-  std::set<NodeKey> detached(subtree.begin(), subtree.end());
+  FlatSet<NodeKey, PairHash> detached;
+  detached.reserve(subtree.size());
+  for (const NodeKey& k : subtree) detached.insert(k);
 
   // Remember the accepting vertices whose previously reported validity may
-  // shrink: every one of them is retracted and re-asserted below.
-  std::set<VertexId> affected_vertices;
+  // shrink: every one of them is retracted and re-asserted below (sorted
+  // drain at the end).
+  FlatSet<VertexId> affected_vertices;
   if (emit_negatives) {
     for (const NodeKey& k : subtree) {
       if (dfa_.IsAccepting(k.second)) affected_vertices.insert(k.first);
@@ -156,13 +215,22 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
   for (const NodeKey& k : subtree) RemoveNode(tree, k);
 
   // Dijkstra on maximal expiry (§6.2.5): candidates ordered by descending
-  // exp so the first reattachment of a node is its best alternative.
+  // exp so the first reattachment of a node is its best alternative. The
+  // remaining fields give a canonical total order (widest interval, then
+  // smallest child/parent/label), so the result is independent of the
+  // seeding order.
   struct Candidate {
     Interval iv;
     NodeKey child;
     NodeKey parent;
     EdgeRef via;
-    bool operator<(const Candidate& o) const { return iv.exp < o.iv.exp; }
+    bool operator<(const Candidate& o) const {
+      if (iv.exp != o.iv.exp) return iv.exp < o.iv.exp;
+      if (iv.ts != o.iv.ts) return iv.ts > o.iv.ts;
+      if (child != o.child) return child > o.child;
+      if (parent != o.parent) return parent > o.parent;
+      return via.label > o.via.label;
+    }
   };
   std::priority_queue<Candidate> pq;
 
@@ -171,7 +239,7 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
       for (const StoredEdge& e :
            window_->OutEdges(parent_key.first, label)) {
         const NodeKey child{e.trg, q};
-        if (detached.count(child) == 0) continue;
+        if (!detached.contains(child)) continue;
         const Interval iv = piv.Intersect(e.validity);
         if (iv.Empty() || iv.exp <= now) continue;
         pq.push(Candidate{iv, child, parent_key,
@@ -179,23 +247,45 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
       }
     }
   };
-  // Seed from every surviving tree node.
-  for (const auto& [key, node] : tree.nodes) {
-    if (node.iv.exp <= now && !node.is_root) continue;
-    relax_from(key, node.iv);
+  // Seed candidates by walking the detached nodes' *in-edges* against the
+  // surviving tree — O(subtree x in-degree) instead of a scan of every
+  // surviving node's out-edges. The candidate set is identical: a seed
+  // (p -> c) pairs a surviving node with a detached child over a window
+  // edge either way, and the queue's canonical order fixes the processing
+  // order regardless of how candidates were found. The reverse index is
+  // enabled lazily: the first delete/re-derive pays one re-index of the
+  // partition, every later one is a point probe.
+  window_->EnableInIndex();
+  for (const NodeKey& child : subtree) {
+    for (const auto& [label, s] : in_transitions_[child.second]) {
+      // Reverse-index entries store the *source* vertex in `trg`.
+      for (const StoredEdge& e : window_->InEdges(child.first, label)) {
+        const NodeKey parent_key{e.trg, s};
+        auto pit = tree.nodes.find(parent_key);
+        if (pit == tree.nodes.end()) continue;  // detached or absent
+        const TreeNode& pnode = pit->second;
+        if (pnode.iv.exp <= now && !pnode.is_root) continue;
+        const Interval iv = pnode.iv.Intersect(e.validity);
+        if (iv.Empty() || iv.exp <= now) continue;
+        pq.push(Candidate{iv, child, parent_key,
+                          EdgeRef(e.trg, child.first, label)});
+      }
+    }
   }
 
-  std::set<NodeKey> reattached;
+  FlatSet<NodeKey, PairHash> reattached;
+  std::vector<NodeKey> reattached_order;
   while (!pq.empty()) {
     Candidate c = pq.top();
     pq.pop();
-    if (reattached.count(c.child) > 0) continue;
+    if (reattached.contains(c.child)) continue;
     TreeNode node;
     node.iv = c.iv;
     node.parent = c.parent;
     node.via = c.via;
-    SetNode(tree, c.child, node);
+    SetNode(tree, c.child, std::move(node));
     reattached.insert(c.child);
+    reattached_order.push_back(c.child);
     // Under expiry-driven re-derivation the old result intervals ended
     // naturally, so a fresh positive suffices. Under explicit deletions
     // the affected vertices are retracted-and-reasserted wholesale below.
@@ -208,15 +298,20 @@ void PathOpBase::RederiveSubtree(SpanningTree& tree,
   if (emit_negatives) {
     // An explicit deletion may shrink previously reported validity even
     // for surviving results; retract every affected (root, v) pair and
-    // re-assert it from the witnesses that remain in the tree.
-    for (VertexId v : affected_vertices) {
+    // re-assert it from the witnesses that remain in the tree. Sorted
+    // drains keep the emission order canonical.
+    std::vector<VertexId> affected(affected_vertices.begin(),
+                                   affected_vertices.end());
+    std::sort(affected.begin(), affected.end());
+    for (VertexId v : affected) {
       RetractAndReassert(tree, v, now);
     }
     // Re-derived nodes for vertices that were not previously reported
     // still need their positives.
-    for (const NodeKey& k : reattached) {
+    std::sort(reattached_order.begin(), reattached_order.end());
+    for (const NodeKey& k : reattached_order) {
       if (dfa_.IsAccepting(k.second) &&
-          affected_vertices.count(k.first) == 0) {
+          !affected_vertices.contains(k.first)) {
         auto it = tree.nodes.find(k);
         if (it != tree.nodes.end()) EmitResult(tree, k, it->second.iv);
       }
@@ -257,28 +352,52 @@ void PathOpBase::HandleExplicitDeletion(const Sgt& t) {
 
 void PathOpBase::Purge(Timestamp now) {
   window_->PurgeExpired(now);
-  for (auto tree_it = trees_.begin(); tree_it != trees_.end();) {
+  // Calendar drain: remove exactly the nodes whose derivation expired.
+  node_expiry_.DrainDue(now, [&](const std::pair<VertexId, NodeKey>& hint) {
+    auto tree_it = trees_.find(hint.first);
+    if (tree_it == trees_.end()) return;  // tree already dropped
     SpanningTree& tree = tree_it->second;
-    std::vector<NodeKey> dead;
-    for (const auto& [key, node] : tree.nodes) {
-      if (!node.is_root && node.iv.exp <= now) dead.push_back(key);
+    auto node_it = tree.nodes.find(hint.second);
+    if (node_it == tree.nodes.end()) return;  // stale hint: node is gone
+    const TreeNode& node = node_it->second;
+    if (node.is_root) return;
+    if (node.iv.exp <= now) {
+      RemoveNode(tree, hint.second);
+    } else if (node_expiry_.NeedsReAdd(node.iv.exp, now)) {
+      node_expiry_.Add(node.iv.exp, hint);
     }
-    for (const NodeKey& key : dead) RemoveNode(tree, key);
-    if (tree.nodes.size() <= 1) {
-      // Only the root remains: drop the whole tree (it is recreated on
-      // demand by EnsureTree).
-      RemoveNode(tree, NodeKey{tree.root, dfa_.start()});
-      tree_it = trees_.erase(tree_it);
-    } else {
-      ++tree_it;
-    }
+  });
+  // Drop trees reduced to just their root (recreated on demand by
+  // EnsureTree). Candidates were recorded when the trees shrank. Indexed
+  // loop: RemoveNode may append candidates (not for root removals today,
+  // but the loop must not depend on that).
+  for (std::size_t c = 0; c < empty_tree_candidates_.size(); ++c) {
+    const VertexId root = empty_tree_candidates_[c];
+    auto tree_it = trees_.find(root);
+    if (tree_it == trees_.end()) continue;
+    SpanningTree& tree = tree_it->second;
+    if (tree.nodes.size() > 1) continue;  // grew again: keep
+    RemoveNode(tree, NodeKey{tree.root, dfa_.start()});
+    trees_.erase(tree_it);
   }
+  empty_tree_candidates_.clear();
   out_coalescer_.PurgeBefore(now);
 }
 
 std::size_t PathOpBase::StateSize() const {
-  std::size_t n = window_->NumEntries() + out_coalescer_.NumKeys();
-  for (const auto& [_, tree] : trees_) n += tree.nodes.size();
+  return window_->NumEntries() + out_coalescer_.NumKeys() + num_tree_nodes_;
+}
+
+std::size_t PathOpBase::StateBytes() const {
+  std::size_t n = window_->StateBytes() + trees_.capacity_bytes() +
+                  inverted_.capacity_bytes() +
+                  inverted_pool_.reserved_bytes() +
+                  children_pool_.reserved_bytes() +
+                  node_expiry_.ApproxBytes() + out_coalescer_.ApproxBytes();
+  for (const auto& [root, tree] : trees_) {
+    (void)root;
+    n += tree.nodes.capacity_bytes();
+  }
   return n;
 }
 

@@ -3,15 +3,27 @@
 // index, witness-path recovery, result emission, and the Dijkstra-style
 // delete/re-derive procedure used for explicit deletions (and, by the
 // negative-tuple variant, for window expirations).
+//
+// State layout (DESIGN.md §"State layout"): forests and the inverted
+// index live on flat hash maps; inverted-index root lists are
+// small-size-inlined runs backed by the operator's slab pool. Node expiry
+// is indexed by a slide-aligned calendar — every finite-expiry tree node
+// registers a (root, key) hint at its expiry bucket, so Purge and the
+// Δ-tree's expiry re-derivation touch only the expiring bucket instead of
+// re-scanning the whole forest. Where hash iteration order would be
+// observable in emissions (re-derivation, retract/re-assert), the drains
+// are sorted, keeping output deterministic across runs and builds.
 
 #ifndef SGQ_CORE_PATH_BASE_H_
 #define SGQ_CORE_PATH_BASE_H_
 
-#include <set>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/expiry_calendar.h"
+#include "common/flat_map.h"
 #include "core/physical.h"
 #include "core/window_store.h"
 #include "model/coalesce.h"
@@ -29,6 +41,7 @@ class PathOpBase : public PhysicalOp {
 
   std::string Name() const override { return "PATH"; }
   std::size_t StateSize() const override;
+  std::size_t StateBytes() const override;
 
   /// \brief Sharded execution: every input tuple is broadcast to every
   /// shard — spanning trees are keyed by *root* vertex, but any edge can
@@ -65,37 +78,66 @@ class PathOpBase : public PhysicalOp {
 
   bool shares_window() const { return window_ != &owned_window_; }
 
+  /// \brief Aligns the node-expiry calendar (and the owned window's) to
+  /// the engine slide.
+  void ConfigureExpirySlide(Timestamp slide) override {
+    node_expiry_.ConfigureSlide(slide);
+    owned_window_.ConfigureExpirySlide(slide);
+  }
+
   /// \brief Frees window edges, tree nodes and coalescer state that
   /// expired before `now` (memory only; results are unaffected because
-  /// probes intersect intervals).
+  /// probes intersect intervals). Calendar-driven: cost is proportional
+  /// to what actually expired, not to the forest size.
   void Purge(Timestamp now) override;
 
  protected:
   /// \brief Tree-node bookkeeping (Def. 21). The path from the root to a
   /// node is recovered by following parent pointers; `via` is the edge that
-  /// connects the parent to this node.
+  /// connects the parent to this node. `children` is the inverse of
+  /// `parent`, maintained by SetNode/RemoveNode/ReparentNode, so
+  /// CollectSubtree is a BFS over the subtree instead of a scan of the
+  /// whole tree.
   struct TreeNode {
     Interval iv;
     NodeKey parent{kInvalidVertex, 0};
     EdgeRef via;
     bool is_root = false;
+    SmallRun<NodeKey, 1> children;
   };
 
   /// \brief Spanning tree T_x (Def. 21), rooted at (x, s0).
   struct SpanningTree {
     VertexId root = kInvalidVertex;
-    std::unordered_map<NodeKey, TreeNode, PairHash> nodes;
+    FlatMap<NodeKey, TreeNode, PairHash> nodes;
   };
 
   /// \brief Creates T_x with root (x, s0) if absent (S-PATH lines 7-8).
   SpanningTree& EnsureTree(VertexId x);
 
-  /// \brief Writes/overwrites `child` in `tree` and maintains the inverted
-  /// index from node keys to tree roots.
+  /// \brief Writes/overwrites `child` in `tree`, maintains the inverted
+  /// index from node keys to tree roots, and registers the node's expiry
+  /// in the calendar.
   void SetNode(SpanningTree& tree, const NodeKey& child, TreeNode node);
 
   /// \brief Removes `key` from `tree` and the inverted index.
   void RemoveNode(SpanningTree& tree, const NodeKey& key);
+
+  /// \brief Re-registers `key`'s expiry after an in-place interval update
+  /// (S-PATH's Propagate extends node intervals without going through
+  /// SetNode).
+  void RegisterNodeExpiry(VertexId root, const NodeKey& key, Timestamp exp) {
+    node_expiry_.Add(exp, {root, key});
+  }
+
+  /// \brief Moves `child`'s child-link from `old_parent` to `new_parent`
+  /// (S-PATH's Propagate adopts a new parent in place).
+  void ReparentNode(SpanningTree& tree, const NodeKey& child,
+                    const NodeKey& old_parent, const NodeKey& new_parent) {
+    if (old_parent == new_parent) return;
+    RemoveChildLink(tree, old_parent, child);
+    AddChildLink(tree, new_parent, child);
+  }
 
   /// \brief Roots of the trees currently containing `key` (copy: callers
   /// mutate the index while iterating).
@@ -111,11 +153,12 @@ class PathOpBase : public PhysicalOp {
 
   /// \brief Emits a negative result tuple for value (root -> v) at `t`,
   /// then re-asserts the pair if another accepting witness for v survives
-  /// in the tree.
+  /// in the tree (sorted drain: emission order is key order, not hash
+  /// order).
   void RetractAndReassert(SpanningTree& tree, VertexId v, Timestamp t);
 
   /// \brief All keys in the subtree rooted at `key` (inclusive), found by
-  /// walking parent chains of every node.
+  /// walking parent chains of every node. Sorted (canonical order).
   std::vector<NodeKey> CollectSubtree(const SpanningTree& tree,
                                       const NodeKey& key) const;
 
@@ -145,9 +188,14 @@ class PathOpBase : public PhysicalOp {
   /// Window adjacency: points at the operator's own store, or at a shared
   /// WindowStore partition after BindSharedWindow(). Shared maintenance is
   /// safe without coordination: inserts coalesce idempotently and repeated
-  /// purges are cheap (the store tracks its earliest expiry).
+  /// purges are cheap (calendar-driven).
   WindowEdgeStore* window_ = &owned_window_;
-  std::unordered_map<VertexId, SpanningTree> trees_;
+  FlatMap<VertexId, SpanningTree> trees_;
+
+  /// Node-expiry calendar: (root, key) hints at the node's expiry bucket.
+  /// The Δ-tree operator drains it to find the nodes to re-derive;
+  /// Purge() drains it to reclaim memory.
+  ExpiryCalendar<std::pair<VertexId, NodeKey>> node_expiry_;
 
  private:
   WindowEdgeStore owned_window_;
@@ -156,12 +204,29 @@ class PathOpBase : public PhysicalOp {
   ShardId shard_ = 0;
   std::size_t num_shards_ = 1;
   /// Inverted index (Def. 22): node key -> roots of trees containing it.
-  /// Flat vectors (deduplicated on insert): root sets are small and the
-  /// index is probed on every arriving sgt.
-  std::unordered_map<NodeKey, std::vector<VertexId>, PairHash> inverted_;
+  /// Small inlined runs, deduplicated on insert and erased by
+  /// swap-and-pop: root sets are small and the index is probed on every
+  /// arriving sgt.
+  FlatMap<NodeKey, SmallRun<VertexId, 2>, PairHash> inverted_;
+  SlabPool inverted_pool_;  ///< overflow storage of inverted_ runs
+  SlabPool children_pool_;  ///< overflow storage of child-link runs
+
+  void AddChildLink(SpanningTree& tree, const NodeKey& parent,
+                    const NodeKey& child);
+  void RemoveChildLink(SpanningTree& tree, const NodeKey& parent,
+                       const NodeKey& child);
   /// Per-state outgoing transitions, precomputed from the DFA.
   std::vector<std::vector<std::pair<LabelId, StateId>>> out_transitions_;
+  /// Per-state *incoming* transitions (label, source state): used by
+  /// delete/re-derive to seed candidates from the detached nodes' in-edges
+  /// instead of scanning every surviving node's out-edges.
+  std::vector<std::vector<std::pair<LabelId, StateId>>> in_transitions_;
   StreamingCoalescer out_coalescer_;
+  /// Total nodes across trees_ (roots included): O(1) StateSize.
+  std::size_t num_tree_nodes_ = 0;
+  /// Roots whose tree shrank to (or was created with) just the root node;
+  /// Purge verifies and drops them instead of scanning every tree.
+  std::vector<VertexId> empty_tree_candidates_;
 };
 
 }  // namespace sgq

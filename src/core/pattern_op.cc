@@ -1,7 +1,6 @@
 #include "core/pattern_op.h"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 #include "common/logging.h"
@@ -15,10 +14,10 @@ PatternOp::PatternOp(const LogicalOp& pattern,
   out_label_ = pattern.output_label;
 
   // Assign dense indexes to variables in order of first appearance.
-  std::map<std::string, int> var_index;
+  FlatMap<std::string, int> var_index;
   auto index_of = [&](const std::string& name) {
     auto [it, inserted] =
-        var_index.emplace(name, static_cast<int>(var_index.size()));
+        var_index.try_emplace(name, static_cast<int>(var_index.size()));
     (void)inserted;
     return it->second;
   };
@@ -86,7 +85,6 @@ bool PatternOp::BindPort(int port, const Sgt& tuple, Binding* out) const {
 PatternOp::Key PatternOp::ExtractKey(const Level& level,
                                      const Binding& b) const {
   Key key;
-  key.reserve(level.key_vars.size());
   for (int v : level.key_vars) {
     key.push_back(b.vals[static_cast<std::size_t>(v)]);
   }
@@ -143,29 +141,55 @@ void PatternOp::ForEachRightMatch(std::size_t level_idx, const Key& key,
   }
 }
 
-void PatternOp::InsertCoalesced(Table* table, const Key& key, Binding b) {
-  auto& bucket = (*table)[key];
+void PatternOp::InsertCoalesced(int level, bool left, const Key& key,
+                                Binding b) {
+  Level& lv = levels_[static_cast<std::size_t>(level)];
+  Table& table = left ? lv.left : lv.right;
+  std::size_t& entries = left ? lv.left_entries : lv.right_entries;
+  auto [it, inserted] = table.try_emplace(key);
+  std::vector<Binding>& bucket = it->second;
+  if (inserted) bucket.reserve(4);  // skip the 1->2->4 realloc ladder
   for (Binding& existing : bucket) {
     if (existing.vals == b.vals && existing.iv.OverlapsOrAdjacent(b.iv)) {
+      const Timestamp old_exp = existing.iv.exp;
       existing.iv = existing.iv.Span(b.iv);
+      if (existing.iv.exp > old_exp) {
+        binding_expiry_.Add(existing.iv.exp, BucketRef{level, left, key});
+      }
       return;
     }
   }
+  binding_expiry_.Add(b.iv.exp, BucketRef{level, left, key});
   bucket.push_back(std::move(b));
+  ++entries;
 }
 
 PatternOp::Binding PatternOp::Merge(const Binding& a, const Binding& b) {
   Binding out;
-  out.vals.resize(a.vals.size());
-  for (std::size_t i = 0; i < a.vals.size(); ++i) {
-    out.vals[i] = a.vals[i] != kInvalidVertex ? a.vals[i] : b.vals[i];
+  out.vals = a.vals;
+  for (std::size_t i = 0; i < out.vals.size(); ++i) {
+    if (out.vals[i] == kInvalidVertex) out.vals[i] = b.vals[i];
   }
   out.iv = a.iv.Intersect(b.iv);
   return out;
 }
 
+bool PatternOp::MayReassert(const Binding& b) const {
+  const VertexId s = b.vals[static_cast<std::size_t>(out_src_var_)];
+  const VertexId t = b.vals[static_cast<std::size_t>(out_trg_var_)];
+  if (s != kInvalidVertex && t != kInvalidVertex) {
+    return retracted_values_.contains(EdgeRef(s, t, out_label_));
+  }
+  if (s != kInvalidVertex) return retracted_srcs_.contains(s);
+  if (t != kInvalidVertex) return retracted_trgs_.contains(t);
+  return true;
+}
+
 void PatternOp::Cascade(std::size_t level, const Binding& acc, Mode mode) {
   if (acc.iv.Empty()) return;
+  // Reassert replay prune: state writes below are idempotent, so only
+  // bindings that can reach a retracted output value matter.
+  if (mode == Mode::kReassert && !MayReassert(acc)) return;
   if (level >= levels_.size()) {
     Project(acc, mode);
     return;
@@ -174,7 +198,9 @@ void PatternOp::Cascade(std::size_t level, const Binding& acc, Mode mode) {
   const Key key = ExtractKey(lv, acc);
   // kRetract must not touch state; kReassert re-inserts idempotently
   // (identical bindings coalesce away).
-  if (mode != Mode::kRetract) InsertCoalesced(&lv.left, key, acc);
+  if (mode != Mode::kRetract) {
+    InsertCoalesced(static_cast<int>(level), /*left=*/true, key, acc);
+  }
   ForEachRightMatch(level, key, [&](const Binding& other) {
     Binding merged = Merge(acc, other);
     Cascade(level + 1, merged, mode);
@@ -200,7 +226,7 @@ void PatternOp::Project(const Binding& b, Mode mode) {
       break;
     }
     case Mode::kReassert: {
-      if (retracted_values_.count(derived) == 0) break;
+      if (!retracted_values_.contains(derived)) break;
       Sgt out(src, trg, out_label_, b.iv, {derived});
       if (out_coalescer_.Offer(out)) EmitTuple(out);
       break;
@@ -249,13 +275,29 @@ void PatternOp::OnTuple(int port, const Sgt& tuple) {
     SGQ_DCHECK(tuple.label == lv.store_label);
     lv.store->Insert(tuple.src, tuple.trg, lv.store_label, b.iv);
   } else {
-    InsertCoalesced(&lv.right, key, b);
+    InsertCoalesced(port - 1, /*left=*/false, key, b);
   }
   auto it = lv.left.find(key);
   if (it == lv.left.end()) return;
   for (const Binding& acc : it->second) {
     Binding merged = Merge(acc, b);
     Cascade(static_cast<std::size_t>(port), merged, Mode::kInsert);
+  }
+}
+
+template <typename Pred>
+void PatternOp::ScrubTable(Table* table, std::size_t* entries, Pred&& pred) {
+  for (auto it = table->begin(); it != table->end();) {
+    auto& bucket = it->second;
+    const std::size_t before = bucket.size();
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(), pred),
+                 bucket.end());
+    *entries -= before - bucket.size();
+    if (bucket.empty()) {
+      it = table->erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -291,20 +333,10 @@ std::vector<EdgeRef> PatternOp::RetractForDeletion(int port,
     }
     return true;
   };
-  auto scrub = [&](Table* table) {
-    for (auto it = table->begin(); it != table->end();) {
-      auto& bucket = it->second;
-      bucket.erase(std::remove_if(bucket.begin(), bucket.end(), matches),
-                   bucket.end());
-      if (bucket.empty()) {
-        it = table->erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
   if (port == 0) {
-    if (!levels_.empty()) scrub(&levels_[0].left);
+    if (!levels_.empty()) {
+      ScrubTable(&levels_[0].left, &levels_[0].left_entries, matches);
+    }
   } else {
     Level& lv = levels_[static_cast<std::size_t>(port - 1)];
     if (lv.store != nullptr) {
@@ -314,19 +346,20 @@ std::vector<EdgeRef> PatternOp::RetractForDeletion(int port,
                             b.vals[static_cast<std::size_t>(trg_var)],
                             lv.store_label);
     } else {
-      scrub(&lv.right);
+      ScrubTable(&lv.right, &lv.right_entries, matches);
     }
   }
   // Accumulated bindings at levels >= port embed port tuples.
   for (std::size_t j = static_cast<std::size_t>(std::max(1, port));
        j < levels_.size(); ++j) {
-    scrub(&levels_[j].left);
+    ScrubTable(&levels_[j].left, &levels_[j].left_entries, matches);
   }
 
-  // std::set iteration is sorted: the returned order is deterministic, so
-  // the sharded executor's cross-shard union is reproducible.
+  // Sorted drain: the returned order is deterministic, so the sharded
+  // executor's cross-shard union is reproducible.
   std::vector<EdgeRef> out(retracted_values_.begin(),
                            retracted_values_.end());
+  std::sort(out.begin(), out.end());
   retracted_values_.clear();
   return out;
 }
@@ -339,17 +372,35 @@ void PatternOp::ReassertRetracted(const std::vector<EdgeRef>& retracted) {
   // Deletions are rare (§6.2.5), so the full replay is acceptable.
   if (retracted.empty() || levels_.empty()) return;
   retracted_values_.clear();
+  retracted_srcs_.clear();
+  retracted_trgs_.clear();
   for (const EdgeRef& value : retracted) {
     // A sibling shard's retraction must not leave this shard's coalescer
     // suppressing the re-assertion (no-op for values this shard
     // retracted itself — the retract cascade already forgot them).
     out_coalescer_.Forget(value);
     retracted_values_.insert(value);
+    retracted_srcs_.insert(value.src);
+    retracted_trgs_.insert(value.trg);
   }
-  // Copy: kReassert re-inserts (idempotently) while iterating.
+  // Copy (kReassert re-inserts, idempotently, while iterating), sorted by
+  // join key so the replay order — and with it the emission order — does
+  // not depend on hash-iteration order.
+  std::vector<std::pair<Key, const std::vector<Binding>*>> buckets;
+  buckets.reserve(levels_[0].left.size());
+  for (const auto& [key, bucket] : levels_[0].left) {
+    buckets.emplace_back(key, &bucket);
+  }
+  std::sort(buckets.begin(), buckets.end(),
+            [](const auto& a, const auto& b) {
+              return std::lexicographical_compare(
+                  a.first.begin(), a.first.end(), b.first.begin(),
+                  b.first.end());
+            });
   std::vector<Binding> port0;
-  for (const auto& [_, bucket] : levels_[0].left) {
-    port0.insert(port0.end(), bucket.begin(), bucket.end());
+  for (const auto& [key, bucket] : buckets) {
+    (void)key;
+    port0.insert(port0.end(), bucket->begin(), bucket->end());
   }
   for (const Binding& acc : port0) {
     Cascade(0, acc, Mode::kReassert);
@@ -358,28 +409,29 @@ void PatternOp::ReassertRetracted(const std::vector<EdgeRef>& retracted) {
 }
 
 void PatternOp::Purge(Timestamp now) {
-  auto purge_table = [now](Table* table) {
-    for (auto it = table->begin(); it != table->end();) {
-      auto& bucket = it->second;
-      bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
-                                  [now](const Binding& b) {
-                                    return b.iv.exp <= now;
-                                  }),
-                   bucket.end());
-      if (bucket.empty()) {
-        it = table->erase(it);
-      } else {
-        ++it;
+  binding_expiry_.DrainDue(now, [&](const BucketRef& ref) {
+    Level& lv = levels_[static_cast<std::size_t>(ref.level)];
+    Table& table = ref.left ? lv.left : lv.right;
+    std::size_t& entries = ref.left ? lv.left_entries : lv.right_entries;
+    auto it = table.find(ref.key);
+    if (it == table.end()) return;  // stale hint: bucket is gone
+    auto& bucket = it->second;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      Binding& b = bucket[i];
+      if (b.iv.exp <= now) continue;  // expired: drop
+      if (binding_expiry_.NeedsReAdd(b.iv.exp, now)) {
+        binding_expiry_.Add(b.iv.exp, ref);
       }
+      if (keep != i) bucket[keep] = std::move(b);
+      ++keep;
     }
-  };
+    entries -= bucket.size() - keep;
+    bucket.resize(keep);
+    if (bucket.empty()) table.erase(it);
+  });
   for (Level& lv : levels_) {
-    purge_table(&lv.left);
-    if (lv.store != nullptr) {
-      lv.store->PurgeExpired(now);
-    } else {
-      purge_table(&lv.right);
-    }
+    if (lv.store != nullptr) lv.store->PurgeExpired(now);
   }
   out_coalescer_.PurgeBefore(now);
 }
@@ -387,12 +439,24 @@ void PatternOp::Purge(Timestamp now) {
 std::size_t PatternOp::StateSize() const {
   std::size_t n = out_coalescer_.NumKeys();
   for (const Level& lv : levels_) {
-    for (const auto& [_, bucket] : lv.left) n += bucket.size();
-    if (lv.store != nullptr) {
-      n += lv.store->NumEntries();
-    } else {
-      for (const auto& [_, bucket] : lv.right) n += bucket.size();
+    n += lv.left_entries;
+    n += lv.store != nullptr ? lv.store->NumEntries() : lv.right_entries;
+  }
+  return n;
+}
+
+std::size_t PatternOp::StateBytes() const {
+  std::size_t n = out_coalescer_.ApproxBytes() + binding_expiry_.ApproxBytes();
+  auto table_bytes = [](const Table& table) {
+    std::size_t bytes = table.capacity_bytes();
+    for (const auto& [key, bucket] : table) {
+      bytes += key.overflow_bytes() + bucket.capacity() * sizeof(Binding);
     }
+    return bytes;
+  };
+  for (const Level& lv : levels_) {
+    n += table_bytes(lv.left);
+    n += lv.store != nullptr ? lv.store->StateBytes() : table_bytes(lv.right);
   }
   return n;
 }

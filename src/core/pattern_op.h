@@ -19,16 +19,24 @@
 // would make retraction order-dependent (see DESIGN.md). Ports without a
 // single static label (label-preserving UNION inputs) and cross-product
 // levels (no shared variables) fall back to the private table.
+//
+// State layout (DESIGN.md §"State layout"): join tables are flat hash
+// maps keyed by small-inlined key vectors; bindings inline their variable
+// values (no per-binding heap allocation at the typical arity). Expired
+// bindings are reclaimed through a slide-aligned expiry calendar —
+// Purge() touches only buckets whose expiry range passed, not the whole
+// table.
 
 #ifndef SGQ_CORE_PATTERN_OP_H_
 #define SGQ_CORE_PATTERN_OP_H_
 
-#include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "algebra/logical_plan.h"
+#include "common/expiry_calendar.h"
+#include "common/flat_map.h"
+#include "common/small_vec.h"
 #include "core/physical.h"
 #include "core/window_store.h"
 #include "model/coalesce.h"
@@ -65,6 +73,11 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   void Purge(Timestamp now) override;
   std::string Name() const override { return "PATTERN"; }
   std::size_t StateSize() const override;
+  std::size_t StateBytes() const override;
+
+  void ConfigureExpirySlide(Timestamp slide) override {
+    binding_expiry_.ConfigureSlide(slide);
+  }
 
   /// \brief Port 0 (the driving atom) hash-partitions by edge value;
   /// every other port broadcasts (replicated right-side state).
@@ -97,14 +110,23 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
 
  private:
   /// A (partial) variable binding: one value per pattern variable, with
-  /// kInvalidVertex marking unbound positions.
+  /// kInvalidVertex marking unbound positions. Values are inline for the
+  /// typical arity — no heap allocation per binding.
   struct Binding {
-    std::vector<VertexId> vals;
+    SmallVec<VertexId, 6> vals;
     Interval iv;
   };
 
-  using Key = std::vector<uint64_t>;
-  using Table = std::unordered_map<Key, std::vector<Binding>, VecHash>;
+  /// Join keys hold the shared variables of a level: 1-3 values inline.
+  using Key = SmallVec<uint64_t, 3>;
+  using Table = FlatMap<Key, std::vector<Binding>, SmallVecHash>;
+
+  /// Locator of one join-table bucket for the expiry calendar.
+  struct BucketRef {
+    int level;
+    bool left;
+    Key key;
+  };
 
   /// How a store-backed right side is probed, derived from which of the
   /// port's variables appear in the level's join key.
@@ -121,6 +143,8 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
     std::vector<int> key_vars;  ///< shared variable indexes (sorted)
     Table left;
     Table right;
+    std::size_t left_entries = 0;   ///< bindings in left (O(1) StateSize)
+    std::size_t right_entries = 0;  ///< bindings in right
     WindowEdgeStore* store = nullptr;
     LabelId store_label = kInvalidLabel;
     ProbeKind probe = ProbeKind::kOut;
@@ -139,9 +163,10 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   void ForEachRightMatch(std::size_t level_idx, const Key& key,
                          Fn&& fn) const;
 
-  /// Inserts `b` into `table[key]`, coalescing with a value-equivalent
-  /// entry whose interval overlaps or is adjacent.
-  static void InsertCoalesced(Table* table, const Key& key, Binding b);
+  /// Inserts `b` into the level's left or right table under `key`,
+  /// coalescing with a value-equivalent entry whose interval overlaps or
+  /// is adjacent; maintains the entry counters and the expiry calendar.
+  void InsertCoalesced(int level, bool left, const Key& key, Binding b);
 
   /// Merges two bindings (caller guarantees agreement on shared vars).
   static Binding Merge(const Binding& a, const Binding& b);
@@ -160,6 +185,11 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   /// Projects a complete binding to the output sgt and emits it.
   void Project(const Binding& b, Mode mode);
 
+  /// Scrubs every binding matching `pred` from `table`, maintaining the
+  /// entry counter.
+  template <typename Pred>
+  static void ScrubTable(Table* table, std::size_t* entries, Pred&& pred);
+
   int num_ports_;
   std::vector<std::pair<int, int>> port_vars_;  ///< (src,trg) var idx
   int out_src_var_;
@@ -168,8 +198,23 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   std::size_t num_vars_;
   std::vector<Level> levels_;  ///< size num_ports_ - 1
   StreamingCoalescer out_coalescer_;
-  /// Output values retracted by the in-flight deletion (guides kReassert).
-  std::set<EdgeRef> retracted_values_;
+  /// Output values retracted by the in-flight deletion (guides kReassert;
+  /// drained sorted so the cross-shard union stays reproducible).
+  FlatSet<EdgeRef, EdgeRefHash> retracted_values_;
+  /// Projections of retracted_values_ onto the output endpoints, used to
+  /// prune the kReassert replay: a binding whose bound output variables
+  /// cannot produce a retracted value emits nothing (Project filters on
+  /// retracted_values_) and its cascade inserts are idempotent — the
+  /// deleted value was scrubbed before the replay — so skipping it is
+  /// observationally equivalent to replaying it.
+  FlatSet<VertexId> retracted_srcs_;
+  FlatSet<VertexId> retracted_trgs_;
+
+  /// \brief True when `b` could still derive a retracted output value.
+  bool MayReassert(const Binding& b) const;
+  /// Expiry calendar over the private join tables (store-backed sides
+  /// purge through their partition's own calendar).
+  ExpiryCalendar<BucketRef> binding_expiry_;
 };
 
 }  // namespace sgq

@@ -70,6 +70,12 @@ class PhysicalOp {
   /// return immediately.
   bool PurgeDue() const { return StateSize() >= purge_watermark_; }
 
+  /// \brief Sets the expiry-calendar bucket granularity of stateful
+  /// operators to the engine's window slide. Called by the executor at
+  /// Finalize, before any tuple; the default (slide 1) is always correct,
+  /// just finer-bucketed, so standalone operator tests need not call it.
+  virtual void ConfigureExpirySlide(Timestamp slide) { (void)slide; }
+
   /// \brief Operator name for plan explanations.
   virtual std::string Name() const = 0;
 
@@ -111,6 +117,11 @@ class PhysicalOp {
 
   /// \brief Approximate number of state entries held (for diagnostics).
   virtual std::size_t StateSize() const { return 0; }
+
+  /// \brief Approximate resident bytes of operator state (containers at
+  /// capacity plus arena slabs). Tracks memory wins alongside StateSize's
+  /// entry counts; 0 for stateless operators.
+  virtual std::size_t StateBytes() const { return 0; }
 
   /// \brief Binds the output channel tuples are emitted into. The channel
   /// is owned by the Executor (engine mode) or by the caller (direct mode).

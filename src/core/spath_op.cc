@@ -55,18 +55,23 @@ void SPathOp::DrainWorklist(std::vector<AttachWork> work) {
       node.iv = w.iv;
       node.parent = w.parent;
       node.via = w.via;
-      SetNode(tree, w.child, node);
+      SetNode(tree, w.child, std::move(node));
       result_iv = w.iv;
     } else if (!node_it->second.is_root &&
                node_it->second.iv.exp < w.iv.exp) {
       // Propagate: the new derivation expires later; adopt it (S-PATH
       // line 18). Old and new intervals overlap here (the old one has not
-      // expired), so the span introduces no validity gap.
+      // expired), so the span introduces no validity gap. The in-place
+      // interval extension bypasses SetNode, so the expiry calendar is
+      // told directly.
       TreeNode& node = node_it->second;
+      const NodeKey old_parent = node.parent;
       node.parent = w.parent;
       node.via = w.via;
       node.iv = node.iv.Span(w.iv);
       result_iv = node.iv;
+      RegisterNodeExpiry(w.root, w.child, node.iv.exp);
+      ReparentNode(tree, w.child, old_parent, w.parent);
     } else {
       // Existing derivation is at least as durable (or target is the
       // root): nothing to do.

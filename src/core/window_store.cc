@@ -1,43 +1,51 @@
 #include "core/window_store.h"
 
-#include <algorithm>
-
 namespace sgq {
 
 namespace {
-const std::vector<StoredEdge> kNoEdges;
+const WindowEdgeStore::EdgeRun kNoEdges;
 }  // namespace
 
-void WindowEdgeStore::InsertInto(Adjacency* adj, VertexId key_vertex,
-                                 VertexId other, LabelId label, Interval iv) {
-  auto& edges = (*adj)[{key_vertex, label}];
+void WindowEdgeStore::InsertInto(Adjacency* adj, SlabPool* pool,
+                                 VertexId key_vertex, VertexId other,
+                                 LabelId label, Interval iv) {
+  EdgeRun& edges = (*adj)[{key_vertex, label}];
   for (StoredEdge& e : edges) {
     if (e.trg == other && e.validity.OverlapsOrAdjacent(iv)) {
       e.validity = e.validity.Span(iv);
       return;
     }
   }
-  edges.push_back(StoredEdge{other, iv});
+  edges.push_back(pool, StoredEdge{other, iv});
 }
 
 void WindowEdgeStore::Insert(VertexId src, VertexId trg, LabelId label,
                              Interval iv) {
   if (iv.Empty()) return;
-  auto& edges = adjacency_[{src, label}];
+  EdgeRun& edges = adjacency_[{src, label}];
+  Timestamp entry_exp = iv.exp;
+  bool register_hint = true;
   bool coalesced = false;
   for (StoredEdge& e : edges) {
     if (e.trg == trg && e.validity.OverlapsOrAdjacent(iv)) {
+      const Timestamp old_exp = e.validity.exp;
       e.validity = e.validity.Span(iv);
+      entry_exp = e.validity.exp;
+      // The entry already has a hint at old_exp; only an extended expiry
+      // needs a fresh registration.
+      register_hint = entry_exp > old_exp;
       coalesced = true;
       break;
     }
   }
   if (!coalesced) {
-    edges.push_back(StoredEdge{trg, iv});
+    edges.push_back(&pool_, StoredEdge{trg, iv});
     ++num_entries_;
   }
-  if (in_index_enabled_) InsertInto(&in_adjacency_, trg, src, label, iv);
-  min_exp_ = std::min(min_exp_, iv.exp);
+  if (in_index_enabled_) {
+    InsertInto(&in_adjacency_, &in_pool_, trg, src, label, iv);
+  }
+  if (register_hint) calendar_.Add(entry_exp, {src, label});
 }
 
 bool WindowEdgeStore::DeleteAt(VertexId src, VertexId trg, LabelId label,
@@ -45,35 +53,45 @@ bool WindowEdgeStore::DeleteAt(VertexId src, VertexId trg, LabelId label,
   auto it = adjacency_.find({src, label});
   if (it == adjacency_.end()) return false;
   bool affected = false;
-  auto& edges = it->second;
-  for (auto e = edges.begin(); e != edges.end();) {
-    if (e->trg == trg && e->validity.exp > t) {
+  EdgeRun& edges = it->second;
+  for (std::size_t i = 0; i < edges.size();) {
+    StoredEdge& e = edges[i];
+    if (e.trg == trg && e.validity.exp > t) {
       affected = true;
-      e->validity.exp = t;
-      min_exp_ = std::min(min_exp_, t);
-      if (e->validity.Empty()) {
-        e = edges.erase(e);
+      e.validity.exp = t;
+      if (e.validity.Empty()) {
+        edges.erase_at(i);
         --num_entries_;
         continue;
       }
+      // Truncated but alive: its old hint is late; register the new exp.
+      calendar_.Add(t, {src, label});
     }
-    ++e;
+    ++i;
+  }
+  if (edges.empty()) {
+    edges.Release(&pool_);
+    adjacency_.erase(it);
   }
   if (affected && in_index_enabled_) {
     auto rit = in_adjacency_.find({trg, label});
     if (rit != in_adjacency_.end()) {
-      auto& redges = rit->second;
-      for (auto e = redges.begin(); e != redges.end();) {
-        if (e->trg == src && e->validity.exp > t) {
-          e->validity.exp = t;
-          if (e->validity.Empty()) {
-            e = redges.erase(e);
+      EdgeRun& redges = rit->second;
+      for (std::size_t i = 0; i < redges.size();) {
+        StoredEdge& e = redges[i];
+        if (e.trg == src && e.validity.exp > t) {
+          e.validity.exp = t;
+          if (e.validity.Empty()) {
+            redges.erase_at(i);
             continue;
           }
         }
-        ++e;
+        ++i;
       }
-      if (redges.empty()) in_adjacency_.erase(rit);
+      if (redges.empty()) {
+        redges.Release(&in_pool_);
+        in_adjacency_.erase(rit);
+      }
     }
   }
   return affected;
@@ -83,41 +101,49 @@ std::size_t WindowEdgeStore::RemoveValue(VertexId src, VertexId trg,
                                          LabelId label) {
   auto it = adjacency_.find({src, label});
   if (it == adjacency_.end()) return 0;
-  auto& edges = it->second;
+  EdgeRun& edges = it->second;
   std::size_t removed = 0;
-  for (auto e = edges.begin(); e != edges.end();) {
-    if (e->trg == trg) {
-      e = edges.erase(e);
+  for (std::size_t i = 0; i < edges.size();) {
+    if (edges[i].trg == trg) {
+      edges.erase_at(i);
       --num_entries_;
       ++removed;
     } else {
-      ++e;
+      ++i;
     }
   }
-  if (edges.empty()) adjacency_.erase(it);
+  if (edges.empty()) {
+    edges.Release(&pool_);
+    adjacency_.erase(it);
+  }
   if (removed > 0 && in_index_enabled_) {
     auto rit = in_adjacency_.find({trg, label});
     if (rit != in_adjacency_.end()) {
-      auto& redges = rit->second;
-      redges.erase(std::remove_if(redges.begin(), redges.end(),
-                                  [src](const StoredEdge& e) {
-                                    return e.trg == src;
-                                  }),
-                   redges.end());
-      if (redges.empty()) in_adjacency_.erase(rit);
+      EdgeRun& redges = rit->second;
+      for (std::size_t i = 0; i < redges.size();) {
+        if (redges[i].trg == src) {
+          redges.erase_at(i);
+        } else {
+          ++i;
+        }
+      }
+      if (redges.empty()) {
+        redges.Release(&in_pool_);
+        in_adjacency_.erase(rit);
+      }
     }
   }
   return removed;
 }
 
-const std::vector<StoredEdge>& WindowEdgeStore::OutEdges(
+const WindowEdgeStore::EdgeRun& WindowEdgeStore::OutEdges(
     VertexId src, LabelId label) const {
   auto it = adjacency_.find({src, label});
   return it == adjacency_.end() ? kNoEdges : it->second;
 }
 
-const std::vector<StoredEdge>& WindowEdgeStore::InEdges(VertexId trg,
-                                                        LabelId label) const {
+const WindowEdgeStore::EdgeRun& WindowEdgeStore::InEdges(
+    VertexId trg, LabelId label) const {
   auto it = in_adjacency_.find({trg, label});
   return it == in_adjacency_.end() ? kNoEdges : it->second;
 }
@@ -128,50 +154,58 @@ void WindowEdgeStore::EnableInIndex() {
   in_adjacency_.clear();
   for (const auto& [key, edges] : adjacency_) {
     for (const StoredEdge& e : edges) {
-      InsertInto(&in_adjacency_, e.trg, key.first, key.second, e.validity);
+      InsertInto(&in_adjacency_, &in_pool_, e.trg, key.first, key.second,
+                 e.validity);
     }
   }
 }
 
+void WindowEdgeStore::RemoveFromInIndex(VertexId key_vertex, VertexId other,
+                                        LabelId label, const Interval& iv) {
+  auto rit = in_adjacency_.find({key_vertex, label});
+  if (rit == in_adjacency_.end()) return;
+  EdgeRun& redges = rit->second;
+  for (std::size_t i = 0; i < redges.size(); ++i) {
+    if (redges[i].trg == other && redges[i].validity == iv) {
+      redges.erase_at(i);
+      break;
+    }
+  }
+  if (redges.empty()) {
+    redges.Release(&in_pool_);
+    in_adjacency_.erase(rit);
+  }
+}
+
 std::vector<Sgt> WindowEdgeStore::PurgeExpired(Timestamp now) {
-  if (min_exp_ > now) return {};  // nothing can have expired
   std::vector<Sgt> dropped;
-  Timestamp next_min = kMaxTimestamp;
-  for (auto it = adjacency_.begin(); it != adjacency_.end();) {
-    auto& edges = it->second;
-    for (auto e = edges.begin(); e != edges.end();) {
-      if (e->validity.exp <= now) {
-        dropped.emplace_back(it->first.first, e->trg, it->first.second,
-                             e->validity);
-        e = edges.erase(e);
+  calendar_.DrainDue(now, [&](const Key& key) {
+    auto it = adjacency_.find(key);
+    if (it == adjacency_.end()) return;  // stale hint: entries are gone
+    EdgeRun& edges = it->second;
+    for (std::size_t i = 0; i < edges.size();) {
+      const StoredEdge& e = edges[i];
+      if (e.validity.exp <= now) {
+        dropped.emplace_back(key.first, e.trg, key.second, e.validity);
+        if (in_index_enabled_) {
+          RemoveFromInIndex(e.trg, key.first, key.second, e.validity);
+        }
+        edges.erase_at(i);
         --num_entries_;
       } else {
-        next_min = std::min(next_min, e->validity.exp);
-        ++e;
+        // The hint for a survivor expiring within the drained bucket was
+        // just popped; re-register it (calendar invariant).
+        if (calendar_.NeedsReAdd(e.validity.exp, now)) {
+          calendar_.Add(e.validity.exp, key);
+        }
+        ++i;
       }
     }
     if (edges.empty()) {
-      it = adjacency_.erase(it);
-    } else {
-      ++it;
+      edges.Release(&pool_);
+      adjacency_.erase(it);
     }
-  }
-  if (in_index_enabled_) {
-    for (auto it = in_adjacency_.begin(); it != in_adjacency_.end();) {
-      auto& edges = it->second;
-      edges.erase(std::remove_if(edges.begin(), edges.end(),
-                                 [now](const StoredEdge& e) {
-                                   return e.validity.exp <= now;
-                                 }),
-                  edges.end());
-      if (edges.empty()) {
-        it = in_adjacency_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  min_exp_ = next_min;
+  });
   return dropped;
 }
 

@@ -4,13 +4,25 @@
 // PATTERN operators probe it as the shared single-atom side of their
 // symmetric hash joins. Partitions of the shared runtime WindowStore
 // (runtime/window_store.h) are WindowEdgeStores.
+//
+// State layout (DESIGN.md §"State layout"): the adjacency is a flat hash
+// map from (vertex, label) to a SmallRun of StoredEdges — runs of up to
+// two edges live inline in the map slot, larger runs overflow into the
+// store's slab pool, so probing a key touches one slot plus at most one
+// pooled block. Window expiry is driven by a slide-aligned expiry
+// calendar: every entry registers a hint at its expiry bucket, and
+// PurgeExpired drains only the due buckets — O(expiring bucket), not
+// O(total state), when nothing or little expired.
 
 #ifndef SGQ_CORE_WINDOW_STORE_H_
 #define SGQ_CORE_WINDOW_STORE_H_
 
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/expiry_calendar.h"
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "model/interval.h"
 #include "model/sgt.h"
@@ -29,6 +41,21 @@ struct StoredEdge {
 /// adjacent intervals are coalesced on insert (Def. 11).
 class WindowEdgeStore {
  public:
+  /// Two edges inline: most (vertex, label) keys of the evaluation's
+  /// streams have degree 1-2; hubs overflow into the pool.
+  using EdgeRun = SmallRun<StoredEdge, 2>;
+
+  WindowEdgeStore() = default;
+  WindowEdgeStore(const WindowEdgeStore&) = delete;
+  WindowEdgeStore& operator=(const WindowEdgeStore&) = delete;
+
+  /// \brief Sets the expiry-calendar bucket granularity to the engine's
+  /// window slide (called by the executor at Finalize; the default of 1
+  /// is always correct, just finer-bucketed).
+  void ConfigureExpirySlide(Timestamp slide) {
+    calendar_.ConfigureSlide(slide);
+  }
+
   /// \brief Inserts an edge valid over `iv`; coalesces with an existing
   /// entry for the same (src, trg, label) when intervals touch.
   void Insert(VertexId src, VertexId trg, LabelId label, Interval iv);
@@ -46,11 +73,11 @@ class WindowEdgeStore {
 
   /// \brief Out-edges of `src` with `label` (may contain expired entries;
   /// callers intersect intervals).
-  const std::vector<StoredEdge>& OutEdges(VertexId src, LabelId label) const;
+  const EdgeRun& OutEdges(VertexId src, LabelId label) const;
 
   /// \brief In-edges of `trg` with `label`; each entry's `trg` field holds
   /// the *source* vertex. Requires EnableInIndex().
-  const std::vector<StoredEdge>& InEdges(VertexId trg, LabelId label) const;
+  const EdgeRun& InEdges(VertexId trg, LabelId label) const;
 
   /// \brief Maintains the reverse (target-indexed) adjacency from now on;
   /// existing content is re-indexed. Consumers that probe by target
@@ -60,30 +87,50 @@ class WindowEdgeStore {
   bool in_index_enabled() const { return in_index_enabled_; }
 
   /// \brief Drops entries with exp <= now and returns them (diagnostics
-  /// and tests). Cheap when nothing expired since the last purge: the
-  /// store tracks a lower bound on the earliest expiry, so shared
-  /// partitions can be purged by every consumer without repeated
-  /// O(state) scans — which also means only the *first* purge at a given
+  /// and tests). Calendar-driven: touches only the buckets whose expiry
+  /// range passed, so repeated purges of a shared partition are O(1) when
+  /// nothing expired — which also means only the *first* purge at a given
   /// instant sees the dropped edges; do not build re-derivation logic on
   /// the return value of a shared partition.
   std::vector<Sgt> PurgeExpired(Timestamp now);
 
   std::size_t NumEntries() const { return num_entries_; }
 
+  /// \brief Resident bytes: map capacities, pooled runs, calendar.
+  std::size_t StateBytes() const {
+    return adjacency_.capacity_bytes() + in_adjacency_.capacity_bytes() +
+           pool_.reserved_bytes() + in_pool_.reserved_bytes() +
+           calendar_.ApproxBytes();
+  }
+
+  /// \brief Total expiry hints verified by purges (diagnostics; the
+  /// O(expiring bucket) tests assert this stays 0 while nothing expires).
+  std::size_t expiry_hints_drained() const {
+    return calendar_.hints_drained();
+  }
+
  private:
   using Key = std::pair<VertexId, LabelId>;
-  using Adjacency = std::unordered_map<Key, std::vector<StoredEdge>, PairHash>;
+  using Adjacency = FlatMap<Key, EdgeRun, PairHash>;
 
-  static void InsertInto(Adjacency* adj, VertexId key_vertex, VertexId other,
-                         LabelId label, Interval iv);
+  void InsertInto(Adjacency* adj, SlabPool* pool, VertexId key_vertex,
+                  VertexId other, LabelId label, Interval iv);
 
+  /// \brief Removes one entry (trg == `other`, validity == `iv`) from the
+  /// reverse index of `key_vertex` (mirrors a drop from the adjacency).
+  void RemoveFromInIndex(VertexId key_vertex, VertexId other, LabelId label,
+                         const Interval& iv);
+
+  SlabPool pool_;     ///< overflow runs of adjacency_
+  SlabPool in_pool_;  ///< overflow runs of in_adjacency_
   Adjacency adjacency_;
   Adjacency in_adjacency_;  ///< reverse index; maintained when enabled
   bool in_index_enabled_ = false;
   std::size_t num_entries_ = 0;
-  /// Lower bound on the earliest expiry among stored entries; entries can
-  /// only disappear earlier than this via PurgeExpired itself.
-  Timestamp min_exp_ = kMaxTimestamp;
+  /// Expiry hints: every live adjacency entry registers its (vertex,
+  /// label) key at its expiry bucket; the reverse index is maintained in
+  /// lockstep when an entry drops, so it needs no calendar of its own.
+  ExpiryCalendar<Key> calendar_;
 };
 
 }  // namespace sgq

@@ -80,35 +80,37 @@ bool StreamingCoalescer::Offer(const Sgt& t) {
   }
 
   // General case: binary search for the insertion point, then splice.
-  auto lo = std::lower_bound(
-      ivs.begin(), ivs.end(), t.validity,
-      [](const Interval& a, const Interval& b) { return a.ts < b.ts; });
-  if (lo != ivs.begin() && std::prev(lo)->exp >= t.validity.ts) {
-    lo = std::prev(lo);
-  }
-  if (lo != ivs.end() && lo->ts <= t.validity.ts &&
-      t.validity.exp <= lo->exp) {
+  std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(
+          ivs.begin(), ivs.end(), t.validity,
+          [](const Interval& a, const Interval& b) { return a.ts < b.ts; }) -
+      ivs.begin());
+  if (lo > 0 && ivs[lo - 1].exp >= t.validity.ts) --lo;
+  if (lo < ivs.size() && ivs[lo].ts <= t.validity.ts &&
+      t.validity.exp <= ivs[lo].exp) {
     return false;  // fully covered
   }
   Timestamp ts = t.validity.ts;
   Timestamp exp = t.validity.exp;
-  auto hi = lo;
-  while (hi != ivs.end() && hi->ts <= exp) {
-    ts = std::min(ts, hi->ts);
-    exp = std::max(exp, hi->exp);
+  std::size_t hi = lo;
+  while (hi < ivs.size() && ivs[hi].ts <= exp) {
+    ts = std::min(ts, ivs[hi].ts);
+    exp = std::max(exp, ivs[hi].exp);
     ++hi;
   }
-  lo = ivs.erase(lo, hi);
-  ivs.insert(lo, Interval(ts, exp));
+  ivs.erase_range(lo, hi);
+  ivs.insert_at(lo, Interval(ts, exp));
   return true;
 }
 
 void StreamingCoalescer::PurgeBefore(Timestamp t) {
   for (auto it = covered_.begin(); it != covered_.end();) {
     auto& ivs = it->second;
-    ivs.erase(std::remove_if(ivs.begin(), ivs.end(),
-                             [t](const Interval& iv) { return iv.exp <= t; }),
-              ivs.end());
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+      if (ivs[i].exp > t) ivs[keep++] = ivs[i];
+    }
+    ivs.erase_range(keep, ivs.size());
     if (ivs.empty()) {
       it = covered_.erase(it);
     } else {

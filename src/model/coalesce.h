@@ -8,10 +8,10 @@
 #define SGQ_MODEL_COALESCE_H_
 
 #include <functional>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/small_vec.h"
 #include "model/sgt.h"
 
 namespace sgq {
@@ -54,11 +54,22 @@ class StreamingCoalescer {
   /// \brief Number of distinct keys currently tracked.
   std::size_t NumKeys() const { return covered_.size(); }
 
+  /// \brief Approximate resident bytes (map capacity + overflow runs).
+  std::size_t ApproxBytes() const {
+    std::size_t n = covered_.capacity_bytes();
+    for (const auto& [key, ivs] : covered_) {
+      (void)key;
+      n += ivs.overflow_bytes();
+    }
+    return n;
+  }
+
  private:
-  // Per key: disjoint covered intervals, sorted by ts. Flat vectors: most
-  // keys hold one or two intervals, so binary search + vector splicing
-  // beats node-based maps (hot path: one Offer per candidate result).
-  std::unordered_map<EdgeRef, std::vector<Interval>, EdgeRefHash> covered_;
+  // Per key: disjoint covered intervals, sorted by ts, in a small inlined
+  // vector — most keys hold one or two intervals, so the whole entry
+  // (key + coverage) lives in one flat-map slot and one Offer touches one
+  // cache line (hot path: one Offer per candidate result).
+  FlatMap<EdgeRef, SmallVec<Interval, 2>, EdgeRefHash> covered_;
 };
 
 /// \brief Restricts a stream to the tuples valid at instant `t` and returns

@@ -176,6 +176,15 @@ Status Executor::Finalize() {
   }
   // The engine's slide granularity is the finest slide of any source.
   slide_ = min_slide_ == kMaxTimestamp ? 1 : min_slide_;
+  // Expiry calendars bucket by the slide: align every stateful operator's
+  // calendar and every shared window partition (slide 1 until now, which
+  // is correct but finer-bucketed than necessary).
+  window_store_.ConfigureExpirySlide(slide_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t s = 0; s < NumInstances(static_cast<OpId>(i)); ++s) {
+      instance(static_cast<OpId>(i), s)->ConfigureExpirySlide(slide_);
+    }
+  }
   finalized_ = true;
   return Status::OK();
 }
@@ -709,6 +718,15 @@ std::size_t Executor::StateSize() const {
   for (const auto& node : nodes_) {
     n += node.op->StateSize();
     for (const auto& replica : node.replicas) n += replica->StateSize();
+  }
+  return n;
+}
+
+std::size_t Executor::StateBytes() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    n += node.op->StateBytes();
+    for (const auto& replica : node.replicas) n += replica->StateBytes();
   }
   return n;
 }

@@ -41,10 +41,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "core/physical.h"
@@ -170,6 +170,11 @@ class Executor {
   /// must see them).
   std::size_t StateSize() const;
 
+  /// \brief Resident operator-state bytes (diagnostics; approximate —
+  /// container capacities plus arena slabs, shared window partitions
+  /// counted once per consumer like StateSize).
+  std::size_t StateBytes() const;
+
   /// \brief Timestamps every operator has been advanced to so far.
   Timestamp now() const { return current_time_; }
   Timestamp slide() const { return slide_; }
@@ -217,7 +222,7 @@ class Executor {
     /// Output values retracted by the in-flight coordinated deletion;
     /// dedupes the negative each retracting shard emits for the same
     /// value. Cleared after the deletion's reassert phase.
-    std::unordered_set<EdgeRef, EdgeRefHash> merge_retracted;
+    FlatSet<EdgeRef, EdgeRefHash> merge_retracted;
     /// Amortized purge watermark for merge_coalescer (doubling, like
     /// PhysicalOp::MaybePurge).
     std::size_t merge_purge_watermark = 1024;

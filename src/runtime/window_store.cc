@@ -6,15 +6,28 @@ WindowEdgeStore* WindowStore::Acquire(const std::string& signature) {
   auto [it, inserted] = partitions_.try_emplace(signature);
   if (inserted) {
     it->second = std::make_unique<WindowEdgeStore>();
+    it->second->ConfigureExpirySlide(slide_);
   } else {
     ++shared_acquires_;
   }
   return it->second.get();
 }
 
+void WindowStore::ConfigureExpirySlide(Timestamp slide) {
+  if (slide <= 0) return;
+  slide_ = slide;
+  for (auto& [_, store] : partitions_) store->ConfigureExpirySlide(slide);
+}
+
 std::size_t WindowStore::NumEntries() const {
   std::size_t n = 0;
   for (const auto& [_, store] : partitions_) n += store->NumEntries();
+  return n;
+}
+
+std::size_t WindowStore::StateBytes() const {
+  std::size_t n = 0;
+  for (const auto& [_, store] : partitions_) n += store->StateBytes();
   return n;
 }
 

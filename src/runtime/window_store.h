@@ -34,6 +34,11 @@ class WindowStore {
   /// partition (that is the sharing).
   WindowEdgeStore* Acquire(const std::string& signature);
 
+  /// \brief Sets the expiry-calendar granularity of every partition
+  /// (existing and future) to the engine's slide. Called by the executor
+  /// once the slide is fixed at Finalize.
+  void ConfigureExpirySlide(Timestamp slide);
+
   std::size_t NumPartitions() const { return partitions_.size(); }
 
   /// \brief Number of Acquire() calls that hit an existing partition —
@@ -43,6 +48,9 @@ class WindowStore {
   /// \brief Total entries across partitions (diagnostics).
   std::size_t NumEntries() const;
 
+  /// \brief Resident bytes across partitions (diagnostics).
+  std::size_t StateBytes() const;
+
   /// \brief Purges every partition (memory only; results unaffected).
   void PurgeExpired(Timestamp now);
 
@@ -50,6 +58,7 @@ class WindowStore {
   std::unordered_map<std::string, std::unique_ptr<WindowEdgeStore>>
       partitions_;
   std::size_t shared_acquires_ = 0;
+  Timestamp slide_ = 1;
 };
 
 }  // namespace sgq

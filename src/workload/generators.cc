@@ -54,8 +54,23 @@ Result<InputStream> GenerateSoStream(const SoOptions& options,
 
   InputStream stream;
   stream.reserve(options.num_edges);
+  std::uniform_real_distribution<double> del_coin(0.0, 1.0);
+  std::vector<Sge> recent;  // ring buffer of deletion candidates
+  std::size_t recent_head = 0;
   Timestamp t = 0;
   for (std::size_t i = 0; i < options.num_edges; ++i) {
+    // Short-circuit keeps the RNG stream untouched when deletions are off,
+    // so existing deletion-free streams stay bit-identical.
+    if (options.deletion_probability > 0 && !recent.empty() &&
+        del_coin(rng) < options.deletion_probability) {
+      std::uniform_int_distribution<std::size_t> pick(0, recent.size() - 1);
+      Sge victim = recent[pick(rng)];
+      victim.t = t;
+      victim.is_deletion = true;
+      stream.push_back(victim);
+      t = NextTimestamp(t, options.edges_per_hour, &rng);
+      continue;
+    }
     VertexId src = draw_vertex();
     VertexId trg = draw_vertex();
     if (src == trg) trg = users[uniform_user(rng)];
@@ -63,6 +78,15 @@ Result<InputStream> GenerateSoStream(const SoOptions& options,
     stream.emplace_back(src, trg, label, t);
     endpoint_pool.push_back(src);
     endpoint_pool.push_back(trg);
+    if (options.deletion_probability > 0) {
+      const Sge& inserted = stream.back();
+      if (recent.size() < options.deletion_horizon) {
+        recent.push_back(inserted);
+      } else if (!recent.empty()) {
+        recent[recent_head] = inserted;
+        recent_head = (recent_head + 1) % recent.size();
+      }
+    }
     t = NextTimestamp(t, options.edges_per_hour, &rng);
   }
   return stream;

@@ -36,6 +36,14 @@ struct SoOptions {
   double preferential_fraction = 0.7;
   /// Average number of edges arriving per hour.
   double edges_per_hour = 4.0;
+  /// Probability that an event explicitly deletes a recently inserted edge
+  /// (negative sge) instead of inserting a new one. 0 (the default) keeps
+  /// the generated stream bit-identical to the pre-option generator: the
+  /// deletion coin is only drawn when the probability is positive.
+  double deletion_probability = 0.0;
+  /// Deletion victims are drawn from the most recent `deletion_horizon`
+  /// insertions, so deletions hit live window state.
+  std::size_t deletion_horizon = 4096;
 };
 
 /// \brief Generates an SO-like input stream; labels a2q/c2q/c2a are

@@ -21,6 +21,8 @@ Result<RunMetrics> RunSga(const InputStream& stream,
   m.edges_processed = qp->edges_processed();
   m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
   m.results_emitted = qp->results_emitted();
+  m.state_entries = qp->executor().StateSize();
+  m.state_bytes = qp->executor().StateBytes();
   return m;
 }
 
@@ -37,6 +39,8 @@ Result<RunMetrics> RunSgaPlan(const InputStream& stream,
   m.edges_processed = qp->edges_processed();
   m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
   m.results_emitted = qp->results_emitted();
+  m.state_entries = qp->executor().StateSize();
+  m.state_bytes = qp->executor().StateBytes();
   return m;
 }
 
@@ -55,6 +59,8 @@ Result<MultiQueryMetrics> RunMultiSgaPlans(
   m.totals.elapsed_seconds = timer.ElapsedSeconds();
   m.totals.edges_processed = engine.edges_processed();
   m.totals.tail_latency_seconds = engine.slide_latencies().Percentile(0.99);
+  m.totals.state_entries = engine.executor().StateSize();
+  m.totals.state_bytes = engine.executor().StateBytes();
   m.per_query_results.reserve(engine.num_queries());
   for (std::size_t q = 0; q < engine.num_queries(); ++q) {
     const std::size_t emitted =

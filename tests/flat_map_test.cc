@@ -1,0 +1,428 @@
+// Property tests of the flat state layer (common/flat_map.h,
+// common/arena.h, common/small_vec.h, common/expiry_calendar.h):
+// randomized insert/erase/find sequences mirrored against the std
+// containers, rehash and erase-during-scan exercised under ASan, arena
+// block reuse, and the expiry-calendar drain contract (every hint whose
+// bucket passed is drained exactly when due; nothing is touched while
+// nothing is due).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/expiry_calendar.h"
+#include "common/flat_map.h"
+#include "common/small_vec.h"
+
+namespace sgq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlatMap vs std::unordered_map
+// ---------------------------------------------------------------------------
+
+TEST(FlatMapTest, BasicOperations) {
+  FlatMap<uint64_t, std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(7), map.end());
+
+  map[7] = "seven";
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.find(7)->second, "seven");
+  EXPECT_TRUE(map.contains(7));
+  EXPECT_EQ(map.count(7), 1u);
+  EXPECT_EQ(map.count(8), 0u);
+
+  auto [it, inserted] = map.try_emplace(7, "again");
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(it->second, "seven");
+
+  auto [it2, inserted2] = map.insert_or_assign(7, "SEVEN");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(it2->second, "SEVEN");
+
+  EXPECT_EQ(map.erase(7), 1u);
+  EXPECT_EQ(map.erase(7), 0u);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMapTest, RandomizedMirrorsUnorderedMap) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    std::mt19937_64 rng(seed);
+    FlatMap<uint64_t, uint64_t> flat;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    // Small key domain forces frequent hits, overwrites and erases.
+    std::uniform_int_distribution<uint64_t> key_dist(0, 500);
+    std::uniform_int_distribution<int> op_dist(0, 9);
+    for (int step = 0; step < 20000; ++step) {
+      const uint64_t k = key_dist(rng);
+      switch (op_dist(rng)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+          flat[k] = step;
+          ref[k] = static_cast<uint64_t>(step);
+          break;
+        case 4: {
+          auto [it, ins] = flat.try_emplace(k, step);
+          auto [rit, rins] = ref.try_emplace(k, step);
+          ASSERT_EQ(ins, rins);
+          ASSERT_EQ(it->second, rit->second);
+          break;
+        }
+        case 5:
+        case 6:
+          ASSERT_EQ(flat.erase(k), ref.erase(k));
+          break;
+        default: {
+          auto it = flat.find(k);
+          auto rit = ref.find(k);
+          ASSERT_EQ(it == flat.end(), rit == ref.end());
+          if (rit != ref.end()) {
+            ASSERT_EQ(it->second, rit->second);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Full-content comparison, both directions.
+    for (const auto& [k, v] : flat) {
+      auto rit = ref.find(k);
+      ASSERT_NE(rit, ref.end());
+      ASSERT_EQ(v, rit->second);
+    }
+    for (const auto& [k, v] : ref) {
+      auto it = flat.find(k);
+      ASSERT_NE(it, flat.end());
+      ASSERT_EQ(it->second, v);
+    }
+  }
+}
+
+TEST(FlatMapTest, GrowsThroughManyRehashes) {
+  FlatMap<uint64_t, uint64_t> flat;
+  const uint64_t n = 100000;
+  for (uint64_t i = 0; i < n; ++i) flat[i * 2654435761u] = i;
+  EXPECT_EQ(flat.size(), n);
+  for (uint64_t i = 0; i < n; ++i) {
+    auto it = flat.find(i * 2654435761u);
+    ASSERT_NE(it, flat.end());
+    ASSERT_EQ(it->second, i);
+  }
+}
+
+TEST(FlatMapTest, EraseDuringScanVisitsEveryElement) {
+  // erase(it) during a forward scan: every element must be visited (a
+  // wrap-around revisit is allowed, a skip is not), and exactly the
+  // elements matching the predicate must be gone afterwards.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng(seed * 977 + 13);
+    FlatMap<uint64_t, uint64_t> flat;
+    std::uniform_int_distribution<uint64_t> key_dist(0, 4000);
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t k = key_dist(rng);
+      flat[k] = k % 7;
+    }
+    std::unordered_map<uint64_t, uint64_t> expect;
+    for (const auto& [k, v] : flat) {
+      if (v != 0) expect.emplace(k, v);
+    }
+    for (auto it = flat.begin(); it != flat.end();) {
+      if (it->second == 0) {
+        it = flat.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ASSERT_EQ(flat.size(), expect.size());
+    for (const auto& [k, v] : expect) {
+      auto it = flat.find(k);
+      ASSERT_NE(it, flat.end());
+      ASSERT_EQ(it->second, v);
+    }
+  }
+}
+
+TEST(FlatMapTest, ClearKeepsCapacityAndWorksAgain) {
+  FlatMap<uint64_t, uint64_t> flat;
+  for (uint64_t i = 0; i < 1000; ++i) flat[i] = i;
+  const std::size_t bytes = flat.capacity_bytes();
+  flat.clear();
+  EXPECT_TRUE(flat.empty());
+  EXPECT_EQ(flat.capacity_bytes(), bytes);
+  for (uint64_t i = 0; i < 1000; ++i) flat[i] = i + 1;
+  EXPECT_EQ(flat.size(), 1000u);
+  EXPECT_EQ(flat.find(999)->second, 1000u);
+}
+
+TEST(FlatMapTest, CopyAndMoveSemantics) {
+  FlatMap<uint64_t, std::string> a;
+  for (uint64_t i = 0; i < 100; ++i) a[i] = std::to_string(i);
+  FlatMap<uint64_t, std::string> b = a;  // copy
+  EXPECT_EQ(b.size(), 100u);
+  a.clear();
+  EXPECT_EQ(b.find(42)->second, "42");  // copy is independent
+  FlatMap<uint64_t, std::string> c = std::move(b);  // move
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(c.find(42)->second, "42");
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST(FlatMapTest, StringKeys) {
+  FlatMap<std::string, int> map;
+  std::unordered_map<std::string, int> ref;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string k = "key_" + std::to_string(i % 257);
+    map[k] = i;
+    ref[k] = i;
+  }
+  ASSERT_EQ(map.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto it = map.find(k);
+    ASSERT_NE(it, map.end());
+    ASSERT_EQ(it->second, v);
+  }
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<uint64_t, uint64_t> flat;
+  flat.reserve(1000);
+  const std::size_t bytes = flat.capacity_bytes();
+  for (uint64_t i = 0; i < 1000; ++i) flat[i] = i;
+  EXPECT_EQ(flat.capacity_bytes(), bytes);
+}
+
+// ---------------------------------------------------------------------------
+// FlatSet vs std::unordered_set
+// ---------------------------------------------------------------------------
+
+TEST(FlatSetTest, RandomizedMirrorsUnorderedSet) {
+  std::mt19937_64 rng(99);
+  FlatSet<uint64_t> flat;
+  std::unordered_set<uint64_t> ref;
+  std::uniform_int_distribution<uint64_t> key_dist(0, 300);
+  for (int step = 0; step < 10000; ++step) {
+    const uint64_t k = key_dist(rng);
+    if (step % 3 == 0) {
+      ASSERT_EQ(flat.erase(k), ref.erase(k));
+    } else {
+      ASSERT_EQ(flat.insert(k).second, ref.insert(k).second);
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+    ASSERT_EQ(flat.contains(k), ref.count(k) > 0);
+  }
+  std::vector<uint64_t> drained(flat.begin(), flat.end());
+  std::sort(drained.begin(), drained.end());
+  std::vector<uint64_t> expected(ref.begin(), ref.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(drained, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Arena / SlabPool / SmallRun
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTest, AllocatesAlignedAndTracksBytes) {
+  Arena arena(1024);
+  void* a = arena.Allocate(10);
+  void* b = arena.Allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % Arena::kAlign, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % Arena::kAlign, 0u);
+  EXPECT_GE(arena.used_bytes(), 110u);
+  // Oversized request gets a dedicated slab; bump slab keeps filling.
+  void* big = arena.Allocate(4096);
+  std::memset(big, 0xab, 4096);
+  void* c = arena.Allocate(16);
+  std::memset(c, 0xcd, 16);
+  EXPECT_GE(arena.reserved_bytes(), 4096u + 1024u);
+}
+
+TEST(SlabPoolTest, ReusesFreedBlocks) {
+  SlabPool pool(1 << 12);
+  void* a = pool.Alloc(100);  // class 128
+  pool.Free(a, 100);
+  void* b = pool.Alloc(120);  // same class: must reuse the freed block
+  EXPECT_EQ(a, b);
+  const std::size_t reserved = pool.reserved_bytes();
+  for (int i = 0; i < 100; ++i) {
+    void* p = pool.Alloc(100);
+    pool.Free(p, 100);
+  }
+  EXPECT_EQ(pool.reserved_bytes(), reserved);  // steady state: no growth
+}
+
+TEST(SmallRunTest, InlineThenOverflow) {
+  SlabPool pool;
+  SmallRun<uint64_t, 2> run;
+  run.push_back(&pool, 1);
+  run.push_back(&pool, 2);
+  EXPECT_EQ(run.overflow_bytes(), 0u);  // still inline
+  run.push_back(&pool, 3);
+  EXPECT_GT(run.overflow_bytes(), 0u);
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(run[0], 1u);
+  EXPECT_EQ(run[1], 2u);
+  EXPECT_EQ(run[2], 3u);
+  run.erase_at(1);  // ordered erase
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0], 1u);
+  EXPECT_EQ(run[1], 3u);
+  run.push_back(&pool, 4);
+  run.swap_pop(0);  // unordered erase
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0], 4u);
+  run.Release(&pool);
+  EXPECT_TRUE(run.empty());
+  EXPECT_EQ(run.overflow_bytes(), 0u);
+}
+
+TEST(SmallRunTest, GrowsLargeAndMoves) {
+  SlabPool pool;
+  SmallRun<uint64_t, 2> run;
+  for (uint64_t i = 0; i < 1000; ++i) run.push_back(&pool, i);
+  ASSERT_EQ(run.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; ++i) ASSERT_EQ(run[i], i);
+  SmallRun<uint64_t, 2> moved = std::move(run);
+  ASSERT_EQ(moved.size(), 1000u);
+  EXPECT_EQ(moved[999], 999u);
+  EXPECT_TRUE(run.empty());  // NOLINT(bugprone-use-after-move)
+  moved.Release(&pool);
+}
+
+// ---------------------------------------------------------------------------
+// SmallVec
+// ---------------------------------------------------------------------------
+
+TEST(SmallVecTest, ValueSemanticsAndComparison) {
+  SmallVec<uint64_t, 4> a;
+  a.assign(3, 7);
+  SmallVec<uint64_t, 4> b = a;
+  EXPECT_TRUE(a == b);
+  b[1] = 8;
+  EXPECT_TRUE(a != b);
+  // Overflow past the inline capacity.
+  SmallVec<uint64_t, 4> c;
+  for (uint64_t i = 0; i < 100; ++i) c.push_back(i);
+  ASSERT_EQ(c.size(), 100u);
+  SmallVec<uint64_t, 4> d = c;
+  EXPECT_TRUE(c == d);
+  SmallVec<uint64_t, 4> e = std::move(c);
+  EXPECT_TRUE(e == d);
+  EXPECT_EQ(e[99], 99u);
+  // Hash equals on equal content regardless of storage mode.
+  SmallVec<uint64_t, 2> small_storage;
+  SmallVec<uint64_t, 64> big_storage;
+  for (uint64_t i = 0; i < 10; ++i) {
+    small_storage.push_back(i);
+    big_storage.push_back(i);
+  }
+  EXPECT_EQ(SmallVecHash{}(small_storage), SmallVecHash{}(big_storage));
+}
+
+// ---------------------------------------------------------------------------
+// ExpiryCalendar
+// ---------------------------------------------------------------------------
+
+TEST(ExpiryCalendarTest, DrainsExactlyDueBucketsAcrossBoundaries) {
+  ExpiryCalendar<uint64_t> cal;
+  cal.ConfigureSlide(10);
+  // Hints expiring at every instant in [5, 35).
+  for (uint64_t id = 5; id < 35; ++id) {
+    cal.Add(static_cast<Timestamp>(id), id);
+  }
+  EXPECT_EQ(cal.num_hints(), 30u);
+
+  std::set<uint64_t> live;
+  for (uint64_t id = 5; id < 35; ++id) live.insert(id);
+
+  // Advance to 17: buckets 0 [0,10) and 1 [10,20) are due. The callback
+  // expires hints <= now and re-registers in-bucket survivors (18, 19).
+  const Timestamp now1 = 17;
+  std::set<uint64_t> drained1;
+  cal.DrainDue(now1, [&](uint64_t id) {
+    drained1.insert(id);
+    const Timestamp exp = static_cast<Timestamp>(id);
+    if (exp <= now1) {
+      live.erase(id);
+    } else if (cal.NeedsReAdd(exp, now1)) {
+      cal.Add(exp, id);
+    }
+  });
+  // Exactly the hints of buckets 0 and 1 were touched.
+  for (uint64_t id = 5; id < 20; ++id) EXPECT_TRUE(drained1.count(id)) << id;
+  for (uint64_t id = 20; id < 35; ++id) EXPECT_FALSE(drained1.count(id));
+  // Live = everything with exp > 17.
+  EXPECT_EQ(live.size(), 17u);
+  EXPECT_EQ(*live.begin(), 18u);
+
+  // Nothing further is due until 20: the drain must touch nothing at 19
+  // except the re-registered bucket-1 survivors.
+  const std::size_t drained_before = cal.hints_drained();
+  std::set<uint64_t> drained2;
+  cal.DrainDue(19, [&](uint64_t id) {
+    drained2.insert(id);
+    const Timestamp exp = static_cast<Timestamp>(id);
+    if (exp <= 19) {
+      live.erase(id);
+    } else if (cal.NeedsReAdd(exp, 19)) {
+      cal.Add(exp, id);
+    }
+  });
+  EXPECT_EQ(drained2, (std::set<uint64_t>{18, 19}));
+  EXPECT_EQ(cal.hints_drained(), drained_before + 2);
+  EXPECT_EQ(live.size(), 15u);
+
+  // Far advance drains every remaining bucket.
+  cal.DrainDue(100, [&](uint64_t id) { live.erase(id); });
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(cal.num_hints(), 0u);
+}
+
+TEST(ExpiryCalendarTest, NothingDueTouchesNothing) {
+  ExpiryCalendar<uint64_t> cal;
+  cal.ConfigureSlide(24);
+  for (uint64_t id = 0; id < 10000; ++id) {
+    cal.Add(static_cast<Timestamp>(1000 + id % 50), id);
+  }
+  // Every expiry lies at >= 1000; advancing below that must not invoke
+  // the callback at all — the O(expiring bucket) contract.
+  for (Timestamp now = 0; now < 999; now += 7) {
+    cal.DrainDue(now, [&](uint64_t) { FAIL() << "nothing is due"; });
+  }
+  EXPECT_EQ(cal.hints_drained(), 0u);
+  EXPECT_EQ(cal.num_hints(), 10000u);
+}
+
+TEST(ExpiryCalendarTest, ReconfigureSlideRebuckets) {
+  ExpiryCalendar<uint64_t> cal;  // default slide 1
+  for (uint64_t id = 0; id < 100; ++id) {
+    cal.Add(static_cast<Timestamp>(id), id);
+  }
+  cal.ConfigureSlide(25);
+  EXPECT_EQ(cal.num_hints(), 100u);
+  std::set<uint64_t> drained;
+  cal.DrainDue(49, [&](uint64_t id) {
+    if (static_cast<Timestamp>(id) <= 49) drained.insert(id);
+  });
+  EXPECT_EQ(drained.size(), 50u);  // exactly exps 0..49
+}
+
+TEST(ExpiryCalendarTest, MaxTimestampNeverRegisters) {
+  ExpiryCalendar<int> cal;
+  cal.Add(kMaxTimestamp, 1);
+  EXPECT_EQ(cal.num_hints(), 0u);
+  cal.DrainDue(kMaxTimestamp - 1, [&](int) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace sgq

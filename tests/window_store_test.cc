@@ -49,6 +49,51 @@ TEST(WindowEdgeStoreTest, DeleteAtTruncates) {
   EXPECT_FALSE(store.DeleteAt(9, 9, 0, 5));
 }
 
+TEST(WindowEdgeStoreTest, CalendarPurgeIsExactAcrossBucketBoundaries) {
+  // Purge-at-t must return exactly the edges with exp <= t, for every t,
+  // regardless of how expiries straddle the slide-aligned buckets.
+  WindowEdgeStore store;
+  store.ConfigureExpirySlide(10);  // buckets [0,10), [10,20), ...
+  // Expiries at every instant in [5, 35): spans four buckets, including
+  // partial buckets at both ends of each purge below.
+  for (Timestamp exp = 5; exp < 35; ++exp) {
+    store.Insert(100 + static_cast<VertexId>(exp), 7,
+                 static_cast<LabelId>(exp % 3), Interval(0, exp));
+  }
+  ASSERT_EQ(store.NumEntries(), 30u);
+  std::size_t live = 30;
+  for (Timestamp t = 0; t < 40; t += 7) {  // 0, 7, 14, 21, 28, 35
+    std::vector<Sgt> dropped = store.PurgeExpired(t);
+    for (const Sgt& s : dropped) {
+      EXPECT_LE(s.validity.exp, t) << "dropped a live edge at t=" << t;
+    }
+    // Exactly the not-yet-dropped edges with exp <= t are returned.
+    std::size_t expected = 0;
+    for (Timestamp exp = 5; exp < 35; ++exp) {
+      if (exp <= t && exp > t - 7) ++expected;
+    }
+    EXPECT_EQ(dropped.size(), expected) << "t=" << t;
+    live -= dropped.size();
+    EXPECT_EQ(store.NumEntries(), live) << "t=" << t;
+  }
+  EXPECT_EQ(store.NumEntries(), 0u);
+}
+
+TEST(WindowEdgeStoreTest, NoExpiryPurgeTouchesNothing) {
+  // The O(expiring bucket) contract: purges below every expiry must not
+  // verify a single calendar hint, no matter how large the store is.
+  WindowEdgeStore store;
+  store.ConfigureExpirySlide(24);
+  for (VertexId v = 0; v < 5000; ++v) {
+    store.Insert(v, v + 1, 0, Interval(0, 100000 + static_cast<Timestamp>(v % 7)));
+  }
+  for (Timestamp t = 0; t < 99999; t += 997) {
+    EXPECT_TRUE(store.PurgeExpired(t).empty());
+  }
+  EXPECT_EQ(store.expiry_hints_drained(), 0u);
+  EXPECT_EQ(store.NumEntries(), 5000u);
+}
+
 TEST(WindowEdgeStoreTest, PurgeExpiredReturnsDropped) {
   WindowEdgeStore store;
   store.Insert(1, 2, 0, Interval(0, 10));
