@@ -1,5 +1,5 @@
 // Shared configuration for the experiment binaries (one per paper
-// table/figure; see DESIGN.md §6 for the experiment index).
+// table/figure; see DESIGN.md §7 for the experiment index).
 //
 // Streams are laptop-scale versions of the paper's datasets (see DESIGN.md
 // substitutions): the absolute throughput numbers are lower than the

@@ -132,13 +132,16 @@ int main() {
           "\"cross_query_shared\":%zu,\"edges\":%zu,"
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results_total\":%zu,\"speedup_vs_unshared\":%.3f,"
-          "\"state_bytes\":%zu}\n",
+          "\"state_bytes\":%zu,"
+          "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
           num_queries, sharing ? "true" : "false", metrics->num_operators,
           metrics->shared_subtrees, metrics->cross_query_shared,
           metrics->totals.edges_processed,
           metrics->totals.elapsed_seconds, tput,
           metrics->totals.results_emitted, speedup,
-          metrics->totals.state_bytes);
+          metrics->totals.state_bytes,
+          static_cast<unsigned long long>(metrics->totals.ingest_stall_ns),
+          static_cast<unsigned long long>(metrics->totals.exec_stall_ns));
       std::fprintf(stderr,
                    "  %-9s %10.0f tuples/s  %4zu ops  %5zu results"
                    "  (%.2fx vs unshared)\n",

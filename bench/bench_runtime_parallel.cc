@@ -109,10 +109,13 @@ int main() {
           "\"workers\":%zu,\"batch\":%zu,\"edges\":%zu,"
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results\":%zu,\"emission_ratio\":%.4f,"
-          "\"speedup_vs_1\":%.3f,\"state_bytes\":%zu}\n",
+          "\"speedup_vs_1\":%.3f,\"state_bytes\":%zu,"
+          "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
           w.name, workers, kBatch, metrics->edges_processed,
           metrics->elapsed_seconds, tput, metrics->results_emitted,
-          emission_ratio, speedup, metrics->state_bytes);
+          emission_ratio, speedup, metrics->state_bytes,
+          static_cast<unsigned long long>(metrics->ingest_stall_ns),
+          static_cast<unsigned long long>(metrics->exec_stall_ns));
       std::fprintf(stderr,
                    "  workers=%zu  %10.0f tuples/s  (%.2fx vs 1)  "
                    "%zu results (%.3fx emission)\n",

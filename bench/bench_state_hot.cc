@@ -97,11 +97,14 @@ int main() {
         "{\"bench\":\"state_hot\",\"workload\":\"%s\",\"workers\":1,"
         "\"batch\":%zu,\"edges\":%zu,\"elapsed_seconds\":%.6f,"
         "\"tuples_per_sec\":%.1f,\"p99_slide_seconds\":%.6f,"
-        "\"results\":%zu,\"state_entries\":%zu,\"state_bytes\":%zu}\n",
+        "\"results\":%zu,\"state_entries\":%zu,\"state_bytes\":%zu,"
+        "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
         w.name.c_str(), kBatch, w.metrics.edges_processed,
         w.metrics.elapsed_seconds, w.metrics.Throughput(),
         w.metrics.tail_latency_seconds, w.metrics.results_emitted,
-        w.metrics.state_entries, w.metrics.state_bytes);
+        w.metrics.state_entries, w.metrics.state_bytes,
+        static_cast<unsigned long long>(w.metrics.ingest_stall_ns),
+        static_cast<unsigned long long>(w.metrics.exec_stall_ns));
     std::fprintf(stderr, "%-16s %14.0f %16.3f %10zu %12zu\n", w.name.c_str(),
                  w.metrics.Throughput(),
                  w.metrics.tail_latency_seconds * 1e3,

@@ -3,7 +3,8 @@
 // Usage:
 //   stream_query_cli <query-file> <stream.csv> [window] [slide] [--gcore]
 //                    [--delta-path] [--slack N] [--batch N] [--workers N]
-//                    [--query FILE]... [--no-share]
+//                    [--query FILE]... [--no-share] [--async-ingest]
+//                    [--pin-workers]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream.csv   lines `src,label,trg,timestamp[,+|-]`, timestamp-ordered
@@ -13,6 +14,11 @@
 //                on one shared multi-query engine (core/engine.h) with
 //                cross-query operator sharing (disable with --no-share),
 //                and every result line is tagged `q<i><TAB>`
+//   --async-ingest  parse the stream on a dedicated ingest thread,
+//                double-buffered against execution (DESIGN.md §6); with
+//                --slack N the reorder stage runs on the ingest thread
+//                too. Results print when the stream drains.
+//   --pin-workers   pin runtime threads to cores (best-effort affinity)
 //
 // Prints every result sgt as it is produced, then a metrics summary.
 // Without arguments, runs a built-in demo (the paper's Figure 2 stream).
@@ -63,6 +69,10 @@ int main(int argc, char** argv) {
       options.path_impl = PathImpl::kDeltaPath;
     } else if (std::strcmp(argv[i], "--no-share") == 0) {
       options.cross_query_sharing = false;
+    } else if (std::strcmp(argv[i], "--async-ingest") == 0) {
+      options.async_ingest = true;
+    } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
+      options.pin_workers = true;
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       auto text = ReadFile(argv[++i]);
       if (!text.ok()) {
@@ -149,11 +159,20 @@ int main(int argc, char** argv) {
   }
   const bool multi = queries.size() > 1;
 
-  auto stream = ParseStreamCsv(stream_text, &vocab);
-  if (!stream.ok() && slack == 0) {
-    std::fprintf(stderr, "stream: %s (out-of-order input? try --slack N)\n",
-                 stream.status().ToString().c_str());
-    return 1;
+  // Async ingest parses during the run (on the ingest thread); the eager
+  // whole-stream parse is the synchronous paths' input.
+  sgq::Result<InputStream> stream = InputStream{};
+  if (options.async_ingest) {
+    // The slack stage folds into the ingest pipeline (DESIGN.md §6).
+    options.ingest_slack = slack;
+  } else {
+    stream = ParseStreamCsv(stream_text, &vocab);
+    if (!stream.ok() && slack == 0) {
+      std::fprintf(stderr,
+                   "stream: %s (out-of-order input? try --slack N)\n",
+                   stream.status().ToString().c_str());
+      return 1;
+    }
   }
 
   // All queries — one or many — register on a shared multi-query engine;
@@ -198,14 +217,37 @@ int main(int argc, char** argv) {
     print_results();
   };
 
-  if (slack > 0 && options.batch_size > 1) {
+  if (slack > 0 && options.batch_size > 1 && !options.async_ingest) {
     // The slack path delivers (and prints) results per element, which
     // flushes the ingest queue each time — batching cannot take effect.
+    // (With --async-ingest the slack stage lives on the ingest thread and
+    // batching works normally.)
     std::fprintf(stderr,
                  "--batch has no effect with --slack; running "
                  "tuple-at-a-time\n");
   }
-  if (slack > 0) {
+  if (options.async_ingest) {
+    // Pipelined run: the cursor below executes on the ingest thread,
+    // overlapped with execution; results materialize when the stream
+    // drains. With --slack the cursor tolerates disorder and the
+    // pipeline's reorder stage restores timestamp order.
+    StreamCsvCursor cursor(stream_text, &vocab,
+                           /*allow_disorder=*/slack > 0);
+    engine.RunPipelined([&cursor](Sge* buf, std::size_t cap) {
+      return cursor.Next(buf, cap);
+    });
+    if (!cursor.ok()) {
+      std::fprintf(stderr, "stream: %s%s\n",
+                   cursor.status().ToString().c_str(),
+                   slack == 0 ? " (out-of-order input? try --slack N)" : "");
+      return 1;
+    }
+    if (engine.ingest_stats().late_dropped > 0) {
+      std::fprintf(stderr, "%zu late element(s) dropped by the slack stage\n",
+                   engine.ingest_stats().late_dropped);
+    }
+    print_results();
+  } else if (slack > 0) {
     // Tolerate bounded disorder: re-parse leniently line by line.
     ReorderBuffer buffer(slack);
     buffer.OnLate([&](const Sge& late) {
@@ -262,6 +304,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "  q%zu: %zu results\n", q,
                    engine.results_emitted(static_cast<QueryId>(q)));
     }
+  }
+  if (options.async_ingest) {
+    const IngestStats& ingest = engine.ingest_stats();
+    std::fprintf(stderr,
+                 "ingest pipeline: %zu batches, ingest stall %.3f ms, "
+                 "exec stall %.3f ms\n",
+                 ingest.batches, ingest.ingest_stall_ns / 1e6,
+                 ingest.exec_stall_ns / 1e6);
   }
   return 0;
 }

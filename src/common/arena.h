@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -309,6 +310,131 @@ class SmallRun {
   uint32_t cap_;  ///< == N: inline storage active; > N: heap_ active
   union {
     T inline_[N];
+    T* heap_;
+  };
+};
+
+/// \brief Dynamic array with N elements inline and pool-backed overflow,
+/// for *non-trivial* payloads that are still memcpy-relocatable.
+///
+/// SmallRun covers raw byte payloads; the PATTERN join-table buckets hold
+/// Bindings (a SmallVec plus an interval), whose user-provided copy and
+/// destructor disqualify them from SmallRun's triviality requirements even
+/// though their object representation is safe to relocate byte-wise (no
+/// interior or self pointers — SmallVec's overflow pointer points into the
+/// global heap, never at itself). PoolVec relocates with memcpy like
+/// SmallRun but runs element *destructors* exactly once, at removal
+/// (truncate / Release / PoolVec destruction), so payloads owning heap
+/// memory do not leak. Like SmallRun, the destructor does not return the
+/// overflow block — the owning pool's arena reclaims it wholesale; callers
+/// erasing a run mid-life call Release(pool) to recycle the block.
+template <typename T, unsigned N>
+class PoolVec {
+  static_assert(std::is_nothrow_move_constructible_v<T> &&
+                    std::is_nothrow_move_assignable_v<T>,
+                "PoolVec compaction moves elements");
+  static_assert(N >= 1, "inline capacity must be positive");
+
+ public:
+  PoolVec() : size_(0), cap_(N) {}
+
+  PoolVec(const PoolVec&) = delete;
+  PoolVec& operator=(const PoolVec&) = delete;
+
+  PoolVec(PoolVec&& o) noexcept { MoveFrom(&o); }
+  PoolVec& operator=(PoolVec&& o) noexcept {
+    if (this != &o) {
+      DestroyElements();
+      // Note the overflow block (if any) is abandoned to the arena, like
+      // ~PoolVec: container shuffles (FlatMap backward-shift) only ever
+      // move *into* freshly-constructed or emptied slots.
+      MoveFrom(&o);
+    }
+    return *this;
+  }
+
+  ~PoolVec() { DestroyElements(); }
+
+  T* data() { return cap_ == N ? reinterpret_cast<T*>(inline_) : heap_; }
+  const T* data() const {
+    return cap_ == N ? reinterpret_cast<const T*>(inline_) : heap_;
+  }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(SlabPool* pool, T v) {
+    if (size_ == cap_) Grow(pool);
+    new (data() + size_) T(std::move(v));
+    ++size_;
+  }
+
+  /// \brief Destroys the elements at [n, size) and shrinks to n.
+  void truncate(std::size_t n) {
+    T* d = data();
+    for (std::size_t i = n; i < size_; ++i) d[i].~T();
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  /// \brief Destroys every element, returns overflow storage to the pool
+  /// and resets to inline.
+  void Release(SlabPool* pool) {
+    DestroyElements();
+    if (cap_ != N) {
+      pool->Free(heap_, cap_ * sizeof(T));
+      cap_ = N;
+    }
+    size_ = 0;
+  }
+
+  /// \brief Bytes of pool overflow held (0 while inline).
+  std::size_t overflow_bytes() const {
+    return cap_ == N ? 0 : cap_ * sizeof(T);
+  }
+
+ private:
+  void DestroyElements() {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+  void Grow(SlabPool* pool) {
+    const uint32_t new_cap = cap_ * 2;
+    T* block = static_cast<T*>(pool->Alloc(new_cap * sizeof(T)));
+    // Byte-wise relocation: the old objects are *moved*, not destroyed —
+    // their lifetime continues in the new block (see class comment).
+    std::memcpy(static_cast<void*>(block), static_cast<const void*>(data()),
+                size_ * sizeof(T));
+    if (cap_ != N) pool->Free(heap_, cap_ * sizeof(T));
+    heap_ = block;
+    cap_ = new_cap;
+  }
+
+  void MoveFrom(PoolVec* o) {
+    size_ = o->size_;
+    cap_ = o->cap_;
+    if (cap_ == N) {
+      std::memcpy(static_cast<void*>(inline_),
+                  static_cast<const void*>(o->inline_),
+                  std::min<std::size_t>(size_, N) * sizeof(T));
+    } else {
+      heap_ = o->heap_;
+    }
+    o->size_ = 0;
+    o->cap_ = N;
+  }
+
+  uint32_t size_;
+  uint32_t cap_;  ///< == N: inline storage active; > N: heap_ active
+  union {
+    alignas(T) unsigned char inline_[N * sizeof(T)];
     T* heap_;
   };
 };

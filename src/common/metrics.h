@@ -128,6 +128,12 @@ struct RunMetrics {
   std::size_t results_emitted = 0;
   std::size_t state_entries = 0;  ///< operator state entries at end of run
   std::size_t state_bytes = 0;    ///< resident operator-state bytes at end
+  /// Async-ingest pipeline stalls (runtime/ingest_pipeline.h); both 0 on
+  /// synchronous runs. ingest_stall_ns: the ingest thread blocked on
+  /// backpressure (execution-bound run); exec_stall_ns: the execution
+  /// thread starved for parsed input (ingest-bound run).
+  uint64_t ingest_stall_ns = 0;
+  uint64_t exec_stall_ns = 0;
 
   /// \brief Sustained input rate in edges per second.
   double Throughput() const {

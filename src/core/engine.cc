@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -20,6 +21,10 @@ ExecutorOptions ToExecutorOptions(const EngineOptions& options) {
                                                       : options.num_workers;
   exec_options.time_advance_parallel_state_bar =
       options.time_advance_parallel_state_bar;
+  exec_options.async_ingest = options.async_ingest;
+  exec_options.ingest_queue_depth = options.ingest_queue_depth;
+  exec_options.pin_workers = options.pin_workers;
+  exec_options.ingest_slack = options.ingest_slack;
   return exec_options;
 }
 
@@ -87,6 +92,21 @@ Status Engine::Finalize() {
 }
 
 void Engine::PushAll(const InputStream& stream) {
+  if (options_.async_ingest) {
+    // Producer = a cursor over the pre-parsed stream; cheap, but it keeps
+    // the async code path identical whether elements come from memory or
+    // from a parser (workload/harness.cc runs CSV text through the same
+    // pipeline with the parse on the ingest thread).
+    std::size_t pos = 0;
+    executor_.RunPipelined([&](Sge* buf, std::size_t cap) {
+      const std::size_t n = std::min(cap, stream.size() - pos);
+      std::copy(stream.begin() + static_cast<std::ptrdiff_t>(pos),
+                stream.begin() + static_cast<std::ptrdiff_t>(pos + n), buf);
+      pos += n;
+      return n;
+    });
+    return;
+  }
   for (const Sge& sge : stream) Push(sge);
   executor_.Flush();
 }

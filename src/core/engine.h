@@ -91,6 +91,23 @@ struct EngineOptions {
   /// ExecutorOptions under the same name.
   std::size_t time_advance_parallel_state_bar =
       kDefaultTimeAdvanceParallelStateBar;
+  /// Double-buffered async ingest (DESIGN.md §6): PushAll/RunPipelined
+  /// produce batch N+1 (stream parsing included) on a dedicated ingest
+  /// thread while batch N executes. Execution order is unchanged, so
+  /// results keep the exact contract of the synchronous path
+  /// (byte-identical at num_workers=1/batch_size=1). Forwarded to
+  /// ExecutorOptions under the same name, like the knobs below.
+  bool async_ingest = false;
+  /// Ready-batch queue depth of the ingest pipeline (backpressure bound).
+  std::size_t ingest_queue_depth = 4;
+  /// Pin runtime threads to cores: workers to [0, num_workers), the
+  /// ingest thread to the next slot. Best-effort pthread affinity with
+  /// silent fallback on unsupported platforms.
+  bool pin_workers = false;
+  /// Out-of-order slack absorbed by the async ingest stage (elements more
+  /// than this far behind the newest seen timestamp are dropped late).
+  /// Only meaningful with async_ingest through RunPipelined.
+  Timestamp ingest_slack = 0;
 };
 
 /// \brief N persistent queries compiled onto one shared dataflow.
@@ -138,7 +155,23 @@ class Engine {
   void Push(const Sge& sge) { executor_.Ingest(sge); }
 
   /// \brief Feeds a whole stream in order and flushes the ingest queue.
+  /// With options().async_ingest, runs through the double-buffered ingest
+  /// pipeline instead of pushing inline (same results).
   void PushAll(const InputStream& stream);
+
+  /// \brief Pipelined ingest over an arbitrary element producer (stream
+  /// parsers, generators): producer work runs on the dedicated ingest
+  /// thread, execution on the calling thread; returns when the producer
+  /// is exhausted and every batch has executed (runtime/ingest_pipeline.h).
+  void RunPipelined(const IngestProducer& fill) {
+    executor_.RunPipelined(fill);
+  }
+
+  /// \brief Cumulative async-ingest pipeline counters (zeros when the
+  /// pipeline never ran).
+  const IngestStats& ingest_stats() const {
+    return executor_.ingest_stats();
+  }
 
   /// \brief Advances time (processing slide boundaries and expirations)
   /// without new input, e.g. to drain final window movements.

@@ -147,8 +147,8 @@ void PatternOp::InsertCoalesced(int level, bool left, const Key& key,
   Table& table = left ? lv.left : lv.right;
   std::size_t& entries = left ? lv.left_entries : lv.right_entries;
   auto [it, inserted] = table.try_emplace(key);
-  std::vector<Binding>& bucket = it->second;
-  if (inserted) bucket.reserve(4);  // skip the 1->2->4 realloc ladder
+  (void)inserted;
+  Bucket& bucket = it->second;
   for (Binding& existing : bucket) {
     if (existing.vals == b.vals && existing.iv.OverlapsOrAdjacent(b.iv)) {
       const Timestamp old_exp = existing.iv.exp;
@@ -160,7 +160,7 @@ void PatternOp::InsertCoalesced(int level, bool left, const Key& key,
     }
   }
   binding_expiry_.Add(b.iv.exp, BucketRef{level, left, key});
-  bucket.push_back(std::move(b));
+  bucket.push_back(&bucket_pool_, std::move(b));
   ++entries;
 }
 
@@ -288,12 +288,17 @@ void PatternOp::OnTuple(int port, const Sgt& tuple) {
 template <typename Pred>
 void PatternOp::ScrubTable(Table* table, std::size_t* entries, Pred&& pred) {
   for (auto it = table->begin(); it != table->end();) {
-    auto& bucket = it->second;
-    const std::size_t before = bucket.size();
-    bucket.erase(std::remove_if(bucket.begin(), bucket.end(), pred),
-                 bucket.end());
-    *entries -= before - bucket.size();
+    Bucket& bucket = it->second;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (pred(bucket[i])) continue;
+      if (keep != i) bucket[keep] = std::move(bucket[i]);
+      ++keep;
+    }
+    *entries -= bucket.size() - keep;
+    bucket.truncate(keep);
     if (bucket.empty()) {
+      bucket.Release(&bucket_pool_);
       it = table->erase(it);
     } else {
       ++it;
@@ -386,7 +391,7 @@ void PatternOp::ReassertRetracted(const std::vector<EdgeRef>& retracted) {
   // Copy (kReassert re-inserts, idempotently, while iterating), sorted by
   // join key so the replay order — and with it the emission order — does
   // not depend on hash-iteration order.
-  std::vector<std::pair<Key, const std::vector<Binding>*>> buckets;
+  std::vector<std::pair<Key, const Bucket*>> buckets;
   buckets.reserve(levels_[0].left.size());
   for (const auto& [key, bucket] : levels_[0].left) {
     buckets.emplace_back(key, &bucket);
@@ -415,7 +420,7 @@ void PatternOp::Purge(Timestamp now) {
     std::size_t& entries = ref.left ? lv.left_entries : lv.right_entries;
     auto it = table.find(ref.key);
     if (it == table.end()) return;  // stale hint: bucket is gone
-    auto& bucket = it->second;
+    Bucket& bucket = it->second;
     std::size_t keep = 0;
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       Binding& b = bucket[i];
@@ -427,8 +432,11 @@ void PatternOp::Purge(Timestamp now) {
       ++keep;
     }
     entries -= bucket.size() - keep;
-    bucket.resize(keep);
-    if (bucket.empty()) table.erase(it);
+    bucket.truncate(keep);
+    if (bucket.empty()) {
+      bucket.Release(&bucket_pool_);
+      table.erase(it);
+    }
   });
   for (Level& lv : levels_) {
     if (lv.store != nullptr) lv.store->PurgeExpired(now);
@@ -446,11 +454,17 @@ std::size_t PatternOp::StateSize() const {
 }
 
 std::size_t PatternOp::StateBytes() const {
-  std::size_t n = out_coalescer_.ApproxBytes() + binding_expiry_.ApproxBytes();
+  // Bucket overflow is pool-backed: count the pool's slabs once instead
+  // of per-bucket capacities (inline bucket storage is part of the slot
+  // array, covered by capacity_bytes).
+  std::size_t n = out_coalescer_.ApproxBytes() +
+                  binding_expiry_.ApproxBytes() +
+                  bucket_pool_.reserved_bytes();
   auto table_bytes = [](const Table& table) {
     std::size_t bytes = table.capacity_bytes();
     for (const auto& [key, bucket] : table) {
-      bytes += key.overflow_bytes() + bucket.capacity() * sizeof(Binding);
+      (void)bucket;
+      bytes += key.overflow_bytes();
     }
     return bytes;
   };

@@ -22,8 +22,11 @@
 //
 // State layout (DESIGN.md §"State layout"): join tables are flat hash
 // maps keyed by small-inlined key vectors; bindings inline their variable
-// values (no per-binding heap allocation at the typical arity). Expired
-// bindings are reclaimed through a slide-aligned expiry calendar —
+// values (no per-binding heap allocation at the typical arity), and the
+// buckets themselves are PoolVec runs on an operator-owned SlabPool — one
+// binding inline in the map slot, overflow recycled through the pool's
+// size-class freelists — so bucket growth never touches the global heap.
+// Expired bindings are reclaimed through a slide-aligned expiry calendar —
 // Purge() touches only buckets whose expiry range passed, not the whole
 // table.
 
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "algebra/logical_plan.h"
+#include "common/arena.h"
 #include "common/expiry_calendar.h"
 #include "common/flat_map.h"
 #include "common/small_vec.h"
@@ -119,7 +123,12 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
 
   /// Join keys hold the shared variables of a level: 1-3 values inline.
   using Key = SmallVec<uint64_t, 3>;
-  using Table = FlatMap<Key, std::vector<Binding>, SmallVecHash>;
+  /// Bucket of bindings sharing a join key: the common single-binding
+  /// bucket lives inline in the map slot; growth draws on bucket_pool_
+  /// (no per-bucket heap allocation — the last one on the PATTERN hot
+  /// path, see ROADMAP "Arena-backed PATTERN buckets").
+  using Bucket = PoolVec<Binding, 1>;
+  using Table = FlatMap<Key, Bucket, SmallVecHash>;
 
   /// Locator of one join-table bucket for the expiry calendar.
   struct BucketRef {
@@ -186,11 +195,16 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   void Project(const Binding& b, Mode mode);
 
   /// Scrubs every binding matching `pred` from `table`, maintaining the
-  /// entry counter.
+  /// entry counter and recycling emptied buckets through bucket_pool_.
   template <typename Pred>
-  static void ScrubTable(Table* table, std::size_t* entries, Pred&& pred);
+  void ScrubTable(Table* table, std::size_t* entries, Pred&& pred);
 
   int num_ports_;
+  /// Backing store of every level's bucket overflow. Declared before
+  /// levels_ so it is destroyed *after* them: ~PoolVec walks its block to
+  /// run the remaining Binding destructors, so the pool's arena must
+  /// still be alive when the tables die.
+  SlabPool bucket_pool_;
   std::vector<std::pair<int, int>> port_vars_;  ///< (src,trg) var idx
   int out_src_var_;
   int out_trg_var_;

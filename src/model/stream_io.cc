@@ -7,69 +7,103 @@
 
 namespace sgq {
 
+namespace {
+
+/// \brief Parses one trimmed, non-empty CSV line into `*sge`. `last_t` is
+/// the previous element's timestamp (ordering check, skipped when
+/// `allow_disorder`). Error messages carry the 1-based `line_no`.
+Status ParseStreamLine(std::string_view line, std::size_t line_no,
+                       Vocabulary* vocab, bool allow_disorder,
+                       Timestamp last_t, Sge* sge) {
+  std::vector<std::string> fields = SplitString(line, ',');
+  if (fields.size() != 4 && fields.size() != 5) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": expected 4 or 5 fields, got " +
+                              std::to_string(fields.size()));
+  }
+  const std::string_view src = TrimString(fields[0]);
+  const std::string_view label = TrimString(fields[1]);
+  const std::string_view trg = TrimString(fields[2]);
+  if (src.empty() || label.empty() || trg.empty()) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": empty src/label/trg field");
+  }
+  sge->src = vocab->InternVertex(src);
+  {
+    auto interned = vocab->InternInputLabel(label);
+    if (!interned.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                interned.status().message());
+    }
+    sge->label = *interned;
+  }
+  sge->trg = vocab->InternVertex(trg);
+  // Strict integer parse: "12abc" and the like must error, not silently
+  // truncate.
+  if (!ParseInt64(TrimString(fields[3]), &sge->t)) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": bad timestamp '" + fields[3] + "'");
+  }
+  if (sge->t < kMinTimestamp) {
+    return Status::ParseError("line " + std::to_string(line_no) +
+                              ": negative timestamp " +
+                              std::to_string(sge->t) +
+                              " (time domain is non-negative)");
+  }
+  if (!allow_disorder && sge->t < last_t) {
+    return Status::ParseError(
+        "line " + std::to_string(line_no) +
+        ": timestamps must be non-decreasing (got " +
+        std::to_string(sge->t) + " after " + std::to_string(last_t) + ")");
+  }
+  sge->is_deletion = false;
+  if (fields.size() == 5) {
+    std::string_view op = TrimString(fields[4]);
+    if (op == "-") {
+      sge->is_deletion = true;
+    } else if (op != "+") {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": op must be '+' or '-'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::size_t StreamCsvCursor::Next(Sge* out, std::size_t cap) {
+  if (!status_.ok()) return 0;
+  std::size_t produced = 0;
+  const std::string& text = *text_;
+  while (produced < cap && offset_ < text.size()) {
+    std::size_t end = text.find('\n', offset_);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view raw_line(text.data() + offset_, end - offset_);
+    offset_ = end + (end < text.size() ? 1 : 0);
+    ++line_no_;
+    const std::string_view line = TrimString(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    Sge sge;
+    status_ = ParseStreamLine(line, line_no_, vocab_, allow_disorder_,
+                              last_t_, &sge);
+    if (!status_.ok()) return produced;
+    last_t_ = sge.t;
+    out[produced++] = sge;
+  }
+  return produced;
+}
+
 Result<InputStream> ParseStreamCsv(const std::string& text,
                                    Vocabulary* vocab) {
   InputStream stream;
-  Timestamp last_t = kMinTimestamp;
-  std::size_t line_no = 0;
-  for (const std::string& raw_line : SplitString(text, '\n')) {
-    ++line_no;
-    std::string_view line = TrimString(raw_line);
-    if (line.empty() || line.front() == '#') continue;
-    std::vector<std::string> fields = SplitString(line, ',');
-    if (fields.size() != 4 && fields.size() != 5) {
-      return Status::ParseError("line " + std::to_string(line_no) +
-                                ": expected 4 or 5 fields, got " +
-                                std::to_string(fields.size()));
-    }
-    const std::string_view src = TrimString(fields[0]);
-    const std::string_view label = TrimString(fields[1]);
-    const std::string_view trg = TrimString(fields[2]);
-    if (src.empty() || label.empty() || trg.empty()) {
-      return Status::ParseError("line " + std::to_string(line_no) +
-                                ": empty src/label/trg field");
-    }
-    Sge sge;
-    sge.src = vocab->InternVertex(src);
-    {
-      auto interned = vocab->InternInputLabel(label);
-      if (!interned.ok()) {
-        return Status::ParseError("line " + std::to_string(line_no) + ": " +
-                                  interned.status().message());
-      }
-      sge.label = *interned;
-    }
-    sge.trg = vocab->InternVertex(trg);
-    // Strict integer parse: "12abc" and the like must error, not silently
-    // truncate.
-    if (!ParseInt64(TrimString(fields[3]), &sge.t)) {
-      return Status::ParseError("line " + std::to_string(line_no) +
-                                ": bad timestamp '" + fields[3] + "'");
-    }
-    if (sge.t < kMinTimestamp) {
-      return Status::ParseError("line " + std::to_string(line_no) +
-                                ": negative timestamp " +
-                                std::to_string(sge.t) +
-                                " (time domain is non-negative)");
-    }
-    if (sge.t < last_t) {
-      return Status::ParseError(
-          "line " + std::to_string(line_no) +
-          ": timestamps must be non-decreasing (got " +
-          std::to_string(sge.t) + " after " + std::to_string(last_t) + ")");
-    }
-    last_t = sge.t;
-    if (fields.size() == 5) {
-      std::string_view op = TrimString(fields[4]);
-      if (op == "-") {
-        sge.is_deletion = true;
-      } else if (op != "+") {
-        return Status::ParseError("line " + std::to_string(line_no) +
-                                  ": op must be '+' or '-'");
-      }
-    }
-    stream.push_back(sge);
+  StreamCsvCursor cursor(text, vocab);
+  Sge buffer[256];
+  for (;;) {
+    const std::size_t n = cursor.Next(buffer, 256);
+    if (n == 0) break;
+    stream.insert(stream.end(), buffer, buffer + n);
   }
+  if (!cursor.ok()) return cursor.status();
   return stream;
 }
 

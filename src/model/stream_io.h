@@ -4,6 +4,7 @@
 #ifndef SGQ_MODEL_STREAM_IO_H_
 #define SGQ_MODEL_STREAM_IO_H_
 
+#include <cstddef>
 #include <string>
 
 #include "common/result.h"
@@ -19,6 +20,47 @@ namespace sgq {
 /// Fails if timestamps are decreasing (Def. 4 requires ordered streams).
 Result<InputStream> ParseStreamCsv(const std::string& text,
                                    Vocabulary* vocab);
+
+/// \brief Incremental CSV stream parser: the pull-based counterpart of
+/// ParseStreamCsv, built for the async ingest pipeline (DESIGN.md §6) —
+/// the ingest thread parses the next micro-batch while the previous one
+/// executes, so the cursor must hand out elements a chunk at a time
+/// instead of materializing the whole stream up front.
+///
+/// Usage: repeatedly call Next() until it returns 0, then check status()
+/// to distinguish end-of-input from a parse error. Interning goes through
+/// the (internally synchronized) Vocabulary, so Next() is safe to call
+/// from the ingest thread while the execution thread resolves names.
+/// `text` is borrowed and must outlive the cursor.
+class StreamCsvCursor {
+ public:
+  /// \brief `allow_disorder` lifts the non-decreasing-timestamp check for
+  /// sources drained through a reorder-slack stage (ExecutorOptions::
+  /// ingest_slack); ParseStreamCsv semantics keep it strict.
+  StreamCsvCursor(const std::string& text, Vocabulary* vocab,
+                  bool allow_disorder = false)
+      : text_(&text), vocab_(vocab), allow_disorder_(allow_disorder) {}
+
+  /// \brief Parses up to `cap` elements into `out`; returns how many were
+  /// produced. 0 means end of input *or* error — check status(). After an
+  /// error the cursor stays at 0 (no resynchronization).
+  std::size_t Next(Sge* out, std::size_t cap);
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  /// \brief 1-based line of the last parse attempt (error reporting).
+  std::size_t line_number() const { return line_no_; }
+
+ private:
+  const std::string* text_;
+  Vocabulary* vocab_;
+  bool allow_disorder_;
+  std::size_t offset_ = 0;
+  std::size_t line_no_ = 0;
+  Timestamp last_t_ = kMinTimestamp;
+  Status status_ = Status::OK();
+};
 
 /// \brief Renders a stream back to CSV (inverse of ParseStreamCsv).
 std::string FormatStreamCsv(const InputStream& stream,

@@ -172,7 +172,9 @@ Status Executor::Finalize() {
         }
       }
     }
-    pool_ = std::make_unique<WorkerPool>(options_.num_workers);
+    WorkerPoolOptions pool_options;
+    pool_options.pin = options_.pin_workers;
+    pool_ = std::make_unique<WorkerPool>(options_.num_workers, pool_options);
   }
   // The engine's slide granularity is the finest slide of any source.
   slide_ = min_slide_ == kMaxTimestamp ? 1 : min_slide_;
@@ -683,28 +685,57 @@ void Executor::Ingest(const Sge& sge) {
   if (queue_.size() >= options_.batch_size) Flush();
 }
 
-void Executor::Flush() {
-  if (queue_.empty()) return;
-  std::vector<Sge> batch;
-  batch.swap(queue_);
+void Executor::ExecuteOrderedBatch(const Sge* sges, std::size_t n) {
   std::size_t i = 0;
-  while (i < batch.size()) {
+  while (i < n) {
     // One micro-batch = one distinct timestamp: window boundaries and
     // expirations between groups are processed exactly as in
     // tuple-at-a-time mode.
     std::size_t j = i;
-    while (j < batch.size() && batch[j].t == batch[i].t) ++j;
-    AdvanceClock(batch[i].t);
+    while (j < n && sges[j].t == sges[i].t) ++j;
+    AdvanceClock(sges[i].t);
     Stopwatch timer;
     if (sharded()) {
-      DeliverSgesSharded(batch.data() + i, j - i);
+      DeliverSgesSharded(sges + i, j - i);
     } else {
-      for (std::size_t k = i; k < j; ++k) DeliverSge(batch[k]);
+      for (std::size_t k = i; k < j; ++k) DeliverSge(sges[k]);
       if (wave_mode()) RunWave();
     }
     slide_accum_seconds_ += timer.ElapsedSeconds();
     i = j;
   }
+}
+
+void Executor::Flush() {
+  if (queue_.empty()) return;
+  std::vector<Sge> batch;
+  batch.swap(queue_);
+  ExecuteOrderedBatch(batch.data(), batch.size());
+}
+
+void Executor::ExecutePipelinedBatch(const Sge* sges, std::size_t n) {
+  // The pipeline bypasses Ingest(), so its ordering contract is enforced
+  // here: within the batch and against the clock left by earlier batches.
+  for (std::size_t k = 0; k < n; ++k) {
+    const Timestamp floor = k > 0 ? sges[k - 1].t : current_time_;
+    if (started_ || k > 0) {
+      SGQ_CHECK_GE(sges[k].t, floor) << "stream timestamps must be ordered";
+    }
+  }
+  edges_pushed_.Add(n);
+  ExecuteOrderedBatch(sges, n);
+}
+
+void Executor::RunPipelined(const IngestProducer& fill) {
+  SGQ_CHECK(finalized_) << "RunPipelined before Finalize";
+  IngestPipeline pipeline(this);
+  pipeline.Run(fill);
+  const IngestStats& run = pipeline.stats();
+  ingest_stats_.ingest_stall_ns += run.ingest_stall_ns;
+  ingest_stats_.exec_stall_ns += run.exec_stall_ns;
+  ingest_stats_.batches += run.batches;
+  ingest_stats_.late_dropped += run.late_dropped;
+  ingest_stats_.ingest_pinned = run.ingest_pinned;
 }
 
 void Executor::AdvanceTo(Timestamp t) {

@@ -51,6 +51,7 @@
 #include "model/coalesce.h"
 #include "model/sgt.h"
 #include "runtime/channel.h"
+#include "runtime/ingest_pipeline.h"
 #include "runtime/shard.h"
 #include "runtime/window_store.h"
 #include "runtime/worker_pool.h"
@@ -78,6 +79,23 @@ struct ExecutorOptions {
   /// fire per distinct input timestamp). 0 disables the heuristic.
   std::size_t time_advance_parallel_state_bar =
       kDefaultTimeAdvanceParallelStateBar;
+  /// Double-buffered async ingest (DESIGN.md §6): RunPipelined parses /
+  /// produces batch N+1 on a dedicated ingest thread while batch N
+  /// executes. Execution order is unchanged — workers=1/batch=1 output
+  /// stays byte-identical; the flag only selects where producer work runs.
+  bool async_ingest = false;
+  /// Bounded depth of the pipeline's ready-batch SPSC queue (backpressure
+  /// bound: at most this many parsed batches wait for execution).
+  std::size_t ingest_queue_depth = 4;
+  /// Pin threads to cores (best-effort pthread affinity, silent fallback
+  /// where unsupported): pool workers to cores [0, num_workers), the
+  /// ingest thread to the next slot. See runtime/ingest_pipeline.h.
+  bool pin_workers = false;
+  /// Out-of-order slack absorbed by the ingest stage of RunPipelined: a
+  /// producer may emit elements up to this far behind the newest timestamp
+  /// seen; older elements are dropped (IngestStats::late_dropped). 0 (the
+  /// default) requires an ordered producer.
+  Timestamp ingest_slack = 0;
 };
 
 /// \brief Owns and drives the operator topology of one running query.
@@ -138,6 +156,15 @@ class Executor {
   /// \brief Flushes, then advances time to `t` without new input
   /// (processing slide boundaries and expirations on the way).
   void AdvanceTo(Timestamp t);
+
+  /// \brief Pipelined ingest (DESIGN.md §6): drains `fill` through the
+  /// double-buffered ingest pipeline — producer work on a dedicated
+  /// ingest thread, execution on the calling thread — and returns when
+  /// the producer is exhausted and every batch has executed. Equivalent
+  /// to Ingest()-ing every produced element in order (byte-identical at
+  /// workers=1/batch=1). Honors options().ingest_slack; stall/late
+  /// counters accumulate in ingest_stats(). Callable repeatedly.
+  void RunPipelined(const IngestProducer& fill);
   /// @}
 
   /// \name Introspection
@@ -165,6 +192,10 @@ class Executor {
   /// duplicates (diagnostics; 0 when unsharded).
   std::size_t merge_suppressed() const { return merge_suppressed_; }
 
+  /// \brief Cumulative pipeline counters of every RunPipelined call
+  /// (zeros when the pipeline never ran).
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
+
   /// \brief Total operator state entries (diagnostics). Shared window
   /// partitions are counted once per consumer (each consumer's watermark
   /// must see them).
@@ -186,6 +217,7 @@ class Executor {
 
  private:
   friend class OutputChannel;
+  friend class IngestPipeline;
 
   struct OpNode {
     std::unique_ptr<PhysicalOp> op;
@@ -312,6 +344,16 @@ class Executor {
   void DeliverSgesSharded(const Sge* sges, std::size_t n);
   /// @}
 
+  /// \brief Runs one timestamp-ordered batch through the topology:
+  /// groups by distinct timestamp, advances the clock between groups and
+  /// delivers each group — the body shared by Flush() and the pipeline.
+  void ExecuteOrderedBatch(const Sge* sges, std::size_t n);
+
+  /// \brief Pipeline entry point (called from IngestPipeline on the
+  /// execution thread): validates the ordering contract Ingest() would
+  /// have enforced per element, then executes the batch.
+  void ExecutePipelinedBatch(const Sge* sges, std::size_t n);
+
   /// \brief Advances the clock to `t`: processes every slide boundary
   /// passed on the way and runs a time-advance wave for the new distinct
   /// timestamp. Does not touch the ingest queue.
@@ -349,6 +391,7 @@ class Executor {
   Counter edges_processed_;
   std::size_t state_bar_dispatches_ = 0;
   std::size_t merge_suppressed_ = 0;
+  IngestStats ingest_stats_;
 };
 
 }  // namespace sgq

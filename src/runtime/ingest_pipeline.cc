@@ -1,0 +1,153 @@
+#include "runtime/ingest_pipeline.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "core/reorder_buffer.h"
+#include "runtime/executor.h"
+#include "runtime/worker_pool.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sgq {
+
+namespace {
+
+/// \brief RAII pin of the calling (execution) thread to `cpu` that
+/// restores the previous affinity mask on destruction, so a pinned
+/// pipelined run does not leak core affinity into later unpinned runs of
+/// the same process (bench binaries interleave both).
+class ScopedThreadPin {
+ public:
+  ScopedThreadPin(bool enable, std::size_t cpu) {
+#if defined(__linux__)
+    if (!enable) return;
+    saved_valid_ = pthread_getaffinity_np(pthread_self(), sizeof(saved_),
+                                          &saved_) == 0;
+    pinned_ = saved_valid_ && WorkerPool::PinThisThread(cpu);
+#else
+    (void)enable;
+    (void)cpu;
+#endif
+  }
+  ~ScopedThreadPin() {
+#if defined(__linux__)
+    if (pinned_) {
+      pthread_setaffinity_np(pthread_self(), sizeof(saved_), &saved_);
+    }
+#endif
+  }
+
+  bool pinned() const { return pinned_; }
+
+ private:
+#if defined(__linux__)
+  cpu_set_t saved_;
+  bool saved_valid_ = false;
+#endif
+  bool pinned_ = false;
+};
+
+}  // namespace
+
+void IngestPipeline::IngestThread(const IngestProducer& fill,
+                                  SpscQueue<Batch>* full,
+                                  SpscQueue<Batch>* free_buffers) {
+  const ExecutorOptions& options = executor_->options();
+  if (options.pin_workers &&
+      options.num_workers < std::thread::hardware_concurrency()) {
+    // The slot after the worker range, so parsing never competes with a
+    // pinned execution core. When the workers already cover every core
+    // the slot would wrap onto core 0 — the execution thread's pin — and
+    // force exactly the timesharing pinning exists to avoid, so the
+    // ingest thread floats instead.
+    stats_.ingest_pinned = WorkerPool::PinThisThread(options.num_workers);
+  }
+  const std::size_t batch_size = options.batch_size;
+  ReorderBuffer reorder(options.ingest_slack);
+
+  Batch current;
+  uint64_t* stall = &stats_.ingest_stall_ns;
+  bool ok = free_buffers->Pop(&current, stall);
+  SGQ_CHECK(ok) << "free-buffer pool starts prefilled";
+
+  // Ships the staged batch and acquires the next buffer. Blocking on the
+  // free queue is the backpressure: every buffer is queued or executing.
+  auto ship = [&]() {
+    if (!full->Push(std::move(current), stall)) return false;
+    return free_buffers->Pop(&current, stall);
+  };
+  auto emit = [&](const Sge& sge) {
+    current.push_back(sge);
+    return current.size() < batch_size || ship();
+  };
+
+  // Producer chunks need not align with batches; a modest fixed chunk
+  // keeps per-call overhead low without adding latency at small batches.
+  std::vector<Sge> chunk(std::clamp<std::size_t>(batch_size, 1, 1024));
+  for (;;) {
+    const std::size_t n = fill(chunk.data(), chunk.size());
+    if (n == 0) break;
+    for (std::size_t i = 0; i < n && ok; ++i) {
+      if (options.ingest_slack == 0) {
+        ok = emit(chunk[i]);
+        continue;
+      }
+      // Slack stage: out-of-order slack is absorbed here, on the ingest
+      // thread, releasing a timestamp-ordered stream into the batches.
+      for (const Sge& released : reorder.Offer(chunk[i])) {
+        if (!(ok = emit(released))) break;
+      }
+    }
+    if (!ok) break;
+  }
+  if (ok && options.ingest_slack > 0) {
+    for (const Sge& released : reorder.Flush()) {
+      if (!(ok = emit(released))) break;
+    }
+  }
+  if (ok && !current.empty()) full->Push(std::move(current), stall);
+  stats_.late_dropped += reorder.LateCount();
+  full->Close();
+}
+
+void IngestPipeline::Run(const IngestProducer& fill) {
+  // Drain anything the synchronous Ingest path queued before the pipeline
+  // takes over, so batch boundaries stay exactly the synchronous ones.
+  executor_->Flush();
+
+  const ExecutorOptions& options = executor_->options();
+  const std::size_t depth = std::max<std::size_t>(options.ingest_queue_depth,
+                                                  1);
+  SpscQueue<Batch> full(depth);
+  // Buffer pool: `depth` in the queue + 1 staging at ingest + 1 executing.
+  SpscQueue<Batch> free_buffers(depth + 2);
+  for (std::size_t i = 0; i < depth + 2; ++i) {
+    Batch buffer;
+    buffer.reserve(options.batch_size);
+    SGQ_CHECK(free_buffers.TryPush(std::move(buffer)));
+  }
+
+  std::thread ingest(
+      [&] { IngestThread(fill, &full, &free_buffers); });
+
+  {
+    ScopedThreadPin pin_exec_thread(options.pin_workers, 0);
+    (void)pin_exec_thread;
+    Batch batch;
+    while (full.Pop(&batch, &stats_.exec_stall_ns)) {
+      executor_->ExecutePipelinedBatch(batch.data(), batch.size());
+      ++stats_.batches;
+      batch.clear();
+      // Never blocks: the pool holds at most depth + 2 buffers.
+      SGQ_CHECK(free_buffers.TryPush(std::move(batch)));
+    }
+  }
+  ingest.join();
+}
+
+}  // namespace sgq

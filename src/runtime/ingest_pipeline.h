@@ -1,0 +1,98 @@
+// Double-buffered async ingest (DESIGN.md §6): a dedicated ingest thread
+// produces micro-batch N+1 — pulling elements from a producer callback
+// (stream parsing, generators) and, when slack is configured, absorbing
+// bounded out-of-order arrival through a ReorderBuffer — while the
+// execution thread runs batch N through the operator topology.
+//
+// Hand-off protocol: fixed pool of batch buffers cycling through two
+// bounded SPSC queues (runtime/spsc_queue.h) —
+//
+//     ingest thread                       execution thread
+//        fill / reorder / batch   full →    ExecuteOrderedBatch
+//        (parse cost lives here)  ← free    (dataflow waves, worker pool)
+//
+// The `full` queue (ingest_queue_depth batches) carries ready batches; the
+// `free` queue returns drained buffers, so steady state allocates nothing.
+// Backpressure is buffer-pool exhaustion: with every buffer queued or in
+// use the ingest thread blocks on `free` until execution catches up, and
+// each side's blocked time is recorded (ingest_stall_ns: ingest waited on
+// execution; exec_stall_ns: execution starved for input — the pipeline is
+// ingest-bound). Execution order and batch boundaries are exactly those of
+// the synchronous Ingest/Flush path, so async_ingest changes *where* the
+// producer work happens, never what the operators observe: workers=1 /
+// batch=1 output stays byte-identical, everything else keeps the runtime's
+// established snapshot-equivalence contract.
+//
+// Pinning policy (ExecutorOptions::pin_workers): pool workers own cores
+// [pin 0, num_workers); the ingest thread takes the next slot
+// (num_workers), so parsing never migrates onto an execution core. The
+// execution thread is pinned to slot 0 for the duration of Run and its
+// previous affinity is restored on exit. All pins are best-effort.
+
+#ifndef SGQ_RUNTIME_INGEST_PIPELINE_H_
+#define SGQ_RUNTIME_INGEST_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "model/sgt.h"
+#include "runtime/spsc_queue.h"
+
+namespace sgq {
+
+class Executor;
+
+/// \brief Producer side of the pipeline: fills up to `cap` stream elements
+/// into `buf` and returns how many were written; 0 ends the stream.
+/// Called repeatedly from the dedicated ingest thread — producers touching
+/// shared state (Vocabulary interning does its own locking) must be safe
+/// to call off the execution thread. Elements must be timestamp-ordered
+/// unless the pipeline runs with reorder slack.
+using IngestProducer = std::function<std::size_t(Sge* buf, std::size_t cap)>;
+
+/// \brief Counters of one or more pipelined runs (cumulative).
+struct IngestStats {
+  /// Nanoseconds the ingest thread spent blocked on backpressure (every
+  /// batch buffer queued or executing). High value = execution-bound.
+  uint64_t ingest_stall_ns = 0;
+  /// Nanoseconds the execution thread spent starved for a ready batch.
+  /// High value = ingest-bound (the pipeline's parse stage is the
+  /// bottleneck async ingest exists to hide).
+  uint64_t exec_stall_ns = 0;
+  std::size_t batches = 0;       ///< batches handed across the queue
+  std::size_t late_dropped = 0;  ///< late elements dropped by the slack stage
+  bool ingest_pinned = false;    ///< the ingest thread's pin took
+};
+
+/// \brief One pipelined ingest run over an Executor. Construct, Run once,
+/// read stats. Executor::RunPipelined wraps this.
+class IngestPipeline {
+ public:
+  explicit IngestPipeline(Executor* executor) : executor_(executor) {}
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// \brief Runs `fill` to exhaustion: spawns the ingest thread, executes
+  /// every produced batch on the calling thread, joins. Blocking; the
+  /// executor is in a normal between-pushes state afterwards (more input
+  /// or AdvanceTo may follow).
+  void Run(const IngestProducer& fill);
+
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  using Batch = std::vector<Sge>;
+
+  /// \brief Ingest-thread body: fill -> (reorder) -> batch -> full queue.
+  void IngestThread(const IngestProducer& fill, SpscQueue<Batch>* full,
+                    SpscQueue<Batch>* free_buffers);
+
+  Executor* executor_;
+  IngestStats stats_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_INGEST_PIPELINE_H_

@@ -1,0 +1,178 @@
+// Bounded single-producer/single-consumer queue — the hand-off stage of
+// the async ingest pipeline (runtime/ingest_pipeline.h, DESIGN.md §6).
+//
+// The fast path is lock-free: head/tail are monotonically increasing
+// atomics; the producer publishes a slot with a store of tail, the
+// consumer retires it with a store of head. The mutex is touched only
+// when a side actually sleeps (a full queue exerting backpressure on the
+// producer, an empty queue stalling the consumer) or to wake a sleeper —
+// an uncontended push or pop performs no lock operation at all. Both
+// sides account their blocked time so the pipeline can report where the
+// bottleneck sits (ingest_stall_ns vs exec_stall_ns in RunMetrics).
+//
+// Wakeups are race-free by the store-then-load (Dekker) discipline: a
+// waiter registers its waiting flag and re-checks the index atomics
+// under the mutex before sleeping; a signaler publishes its index and
+// then checks the flag. All four accesses are seq_cst, so in the total
+// order either the publish precedes the waiter's re-check (it never
+// sleeps) or the flag store precedes the signaler's load (it notifies,
+// through an empty mutex critical section so the notify cannot land
+// between the waiter's re-check and its sleep).
+
+#ifndef SGQ_RUNTIME_SPSC_QUEUE_H_
+#define SGQ_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sgq {
+
+/// \brief Bounded SPSC queue of T with blocking push/pop and stall
+/// accounting. Exactly one producer thread may call Push/TryPush/Close and
+/// exactly one consumer thread may call Pop/TryPop.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// \brief Elements currently queued (racy snapshot; exact only from the
+  /// producer or consumer thread between its own operations).
+  std::size_t size() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  /// \brief Non-blocking push; false when the queue is full or closed.
+  bool TryPush(T&& v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) >= slots_.size()) {
+      return false;
+    }
+    slots_[tail % slots_.size()] = std::move(v);
+    // seq_cst publish: ordered against the consumer_waiting_ load below
+    // (see the Dekker note in the file comment).
+    tail_.store(tail + 1, std::memory_order_seq_cst);
+    if (consumer_waiting_.load(std::memory_order_seq_cst)) WakeConsumer();
+    return true;
+  }
+
+  /// \brief Blocking push: waits while the queue is full (backpressure),
+  /// adding the blocked nanoseconds to `*stall_ns`. Returns false if the
+  /// queue was closed.
+  bool Push(T&& v, uint64_t* stall_ns) {
+    if (TryPush(std::move(v))) return true;
+    const auto start = Clock::now();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      producer_waiting_.store(true, std::memory_order_seq_cst);
+      cv_not_full_.wait(lock, [&] {
+        return closed_.load(std::memory_order_acquire) ||
+               tail_.load(std::memory_order_relaxed) -
+                       head_.load(std::memory_order_seq_cst) <
+                   slots_.size();
+      });
+      producer_waiting_.store(false, std::memory_order_relaxed);
+    }
+    if (stall_ns != nullptr) *stall_ns += ElapsedNs(start);
+    return TryPush(std::move(v));
+  }
+
+  /// \brief Non-blocking pop; false when the queue is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[head % slots_.size()]);
+    // seq_cst retire: ordered against the producer_waiting_ load below.
+    head_.store(head + 1, std::memory_order_seq_cst);
+    if (producer_waiting_.load(std::memory_order_seq_cst)) WakeProducer();
+    return true;
+  }
+
+  /// \brief Blocking pop: waits while the queue is empty, adding the
+  /// blocked nanoseconds to `*stall_ns`. Returns false only when the queue
+  /// is closed AND drained — every pushed element is delivered first.
+  bool Pop(T* out, uint64_t* stall_ns) {
+    for (;;) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Closed: one final check (the producer may have pushed right
+        // before closing).
+        return TryPop(out);
+      }
+      const auto start = Clock::now();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        consumer_waiting_.store(true, std::memory_order_seq_cst);
+        cv_not_empty_.wait(lock, [&] {
+          return closed_.load(std::memory_order_acquire) ||
+                 head_.load(std::memory_order_relaxed) !=
+                     tail_.load(std::memory_order_seq_cst);
+        });
+        consumer_waiting_.store(false, std::memory_order_relaxed);
+      }
+      if (stall_ns != nullptr) *stall_ns += ElapsedNs(start);
+    }
+  }
+
+  /// \brief Marks the end of the stream: blocked producers and consumers
+  /// wake, Pop drains the remainder and then returns false.
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu_);
+    cv_not_empty_.notify_all();
+    cv_not_full_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static uint64_t ElapsedNs(Clock::time_point start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+  }
+
+  void WakeConsumer() {
+    // Empty critical section before the notify (see file comment): the
+    // waiter holds mu_ from its predicate re-check until it sleeps, so
+    // acquiring mu_ here orders the notify after the sleep (or after the
+    // re-check observed our publish and skipped sleeping).
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_not_empty_.notify_one();
+  }
+
+  void WakeProducer() {
+    { std::lock_guard<std::mutex> lock(mu_); }
+    cv_not_full_.notify_one();
+  }
+
+  std::vector<T> slots_;
+  std::atomic<uint64_t> head_{0};  ///< next slot to pop
+  std::atomic<uint64_t> tail_{0};  ///< next slot to fill
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> producer_waiting_{false};
+  std::atomic<bool> consumer_waiting_{false};
+  std::mutex mu_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_not_empty_;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_SPSC_QUEUE_H_

@@ -2,10 +2,30 @@
 
 #include "common/logging.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace sgq {
 
-WorkerPool::WorkerPool(std::size_t num_workers)
-    : num_workers_(num_workers == 0 ? 1 : num_workers) {
+bool WorkerPool::PinThisThread(std::size_t cpu) {
+#if defined(__linux__)
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % cores), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  // No portable thread affinity on this platform; run unpinned.
+  (void)cpu;
+  return false;
+#endif
+}
+
+WorkerPool::WorkerPool(std::size_t num_workers, WorkerPoolOptions options)
+    : num_workers_(num_workers == 0 ? 1 : num_workers), options_(options) {
   threads_.reserve(num_workers_ - 1);
   for (std::size_t id = 1; id < num_workers_; ++id) {
     threads_.emplace_back([this, id] { WorkerLoop(id); });
@@ -45,6 +65,9 @@ void WorkerPool::ParallelFor(std::size_t n,
 }
 
 void WorkerPool::WorkerLoop(std::size_t worker_id) {
+  if (options_.pin && PinThisThread(options_.pin_offset + worker_id)) {
+    pinned_workers_.fetch_add(1, std::memory_order_relaxed);
+  }
   uint64_t seen_epoch = 0;
   for (;;) {
     std::unique_lock<std::mutex> lock(mu_);

@@ -10,10 +10,21 @@
 // processed, and the mutex hand-off publishes all worker writes to the
 // caller (the merge step that follows a wave reads shard emission buffers
 // without any further synchronization).
+//
+// Core pinning (DESIGN.md §6): with WorkerPoolOptions::pin, each spawned
+// worker sets its own pthread affinity to core (pin_offset + id) mod
+// hardware cores, eliminating the migration jitter a barrier pool is
+// sensitive to (one late worker delays every wave). Pinning worker 0 — the
+// caller — is the caller's decision (PinThisThread), because the pool does
+// not own that thread. Affinity is best-effort: on platforms without
+// pthread_setaffinity_np, or when the syscall is refused (containers with
+// restricted cpusets), workers run unpinned and everything else behaves
+// identically — pinned_workers() reports how many pins actually took.
 
 #ifndef SGQ_RUNTIME_WORKER_POOL_H_
 #define SGQ_RUNTIME_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -23,12 +34,23 @@
 
 namespace sgq {
 
+/// \brief Pinning configuration of a WorkerPool.
+struct WorkerPoolOptions {
+  /// Pin each spawned worker to core (pin_offset + worker_id) mod the
+  /// hardware core count. Best-effort; see pinned_workers().
+  bool pin = false;
+  /// First core of the pool's pin range (worker 0, the caller, would own
+  /// it; spawned workers start at pin_offset + 1).
+  std::size_t pin_offset = 0;
+};
+
 /// \brief Fixed-size pool of persistent workers with barrier dispatch.
 class WorkerPool {
  public:
   /// \brief Creates a pool of `num_workers` (>= 1); spawns num_workers - 1
   /// threads. A pool of 1 never spawns and runs everything inline.
-  explicit WorkerPool(std::size_t num_workers);
+  explicit WorkerPool(std::size_t num_workers,
+                      WorkerPoolOptions options = {});
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -43,11 +65,26 @@ class WorkerPool {
   /// on the same pool (no nesting).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// \brief Spawned workers whose affinity call succeeded (0 when pinning
+  /// is off or unsupported). Excludes worker 0, which the pool never pins.
+  std::size_t pinned_workers() const {
+    return pinned_workers_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Pins the calling thread to `cpu` mod the hardware core count.
+  /// Returns false when the platform has no thread affinity or the kernel
+  /// refused — callers must treat pinning as an optimization, never a
+  /// requirement. Used for worker 0 (the pool's caller) and the ingest
+  /// thread's dedicated slot (runtime/ingest_pipeline.cc).
+  static bool PinThisThread(std::size_t cpu);
+
  private:
   void WorkerLoop(std::size_t worker_id);
 
   const std::size_t num_workers_;
+  const WorkerPoolOptions options_;
   std::vector<std::thread> threads_;
+  std::atomic<std::size_t> pinned_workers_{0};
 
   std::mutex mu_;
   std::condition_variable cv_start_;

@@ -4,8 +4,28 @@
 
 #include "algebra/translate.h"
 #include "baseline/engine.h"
+#include "model/stream_io.h"
 
 namespace sgq {
+
+namespace {
+
+/// \brief Collects the post-run metrics every SGA harness entry reports.
+RunMetrics CollectEngineMetrics(const Engine& engine, std::string name,
+                                double elapsed_seconds) {
+  RunMetrics m;
+  m.name = std::move(name);
+  m.elapsed_seconds = elapsed_seconds;
+  m.edges_processed = engine.edges_processed();
+  m.tail_latency_seconds = engine.slide_latencies().Percentile(0.99);
+  m.state_entries = engine.executor().StateSize();
+  m.state_bytes = engine.executor().StateBytes();
+  m.ingest_stall_ns = engine.ingest_stats().ingest_stall_ns;
+  m.exec_stall_ns = engine.ingest_stats().exec_stall_ns;
+  return m;
+}
+
+}  // namespace
 
 Result<RunMetrics> RunSga(const InputStream& stream,
                           const StreamingGraphQuery& query,
@@ -15,14 +35,9 @@ Result<RunMetrics> RunSga(const InputStream& stream,
                        QueryProcessor::FromQuery(query, vocab, options));
   Stopwatch timer;
   qp->PushAll(stream);
-  RunMetrics m;
-  m.name = std::move(name);
-  m.elapsed_seconds = timer.ElapsedSeconds();
-  m.edges_processed = qp->edges_processed();
-  m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
+  RunMetrics m = CollectEngineMetrics(qp->engine(), std::move(name),
+                                      timer.ElapsedSeconds());
   m.results_emitted = qp->results_emitted();
-  m.state_entries = qp->executor().StateSize();
-  m.state_bytes = qp->executor().StateBytes();
   return m;
 }
 
@@ -33,14 +48,42 @@ Result<RunMetrics> RunSgaPlan(const InputStream& stream,
                        QueryProcessor::Compile(plan, vocab, options));
   Stopwatch timer;
   qp->PushAll(stream);
-  RunMetrics m;
-  m.name = std::move(name);
-  m.elapsed_seconds = timer.ElapsedSeconds();
-  m.edges_processed = qp->edges_processed();
-  m.tail_latency_seconds = qp->slide_latencies().Percentile(0.99);
+  RunMetrics m = CollectEngineMetrics(qp->engine(), std::move(name),
+                                      timer.ElapsedSeconds());
   m.results_emitted = qp->results_emitted();
-  m.state_entries = qp->executor().StateSize();
-  m.state_bytes = qp->executor().StateBytes();
+  return m;
+}
+
+Result<RunMetrics> RunSgaCsv(const std::string& csv_text,
+                             const StreamingGraphQuery& query,
+                             Vocabulary* vocab, EngineOptions options,
+                             std::string name) {
+  SGQ_ASSIGN_OR_RETURN(auto qp,
+                       QueryProcessor::FromQuery(query, *vocab, options));
+  StreamCsvCursor cursor(csv_text, vocab);
+  Stopwatch timer;
+  if (options.async_ingest) {
+    // Parse on the ingest thread: the producer below runs there, and the
+    // cursor's Vocabulary interning is internally synchronized.
+    qp->engine().RunPipelined([&cursor](Sge* buf, std::size_t cap) {
+      return cursor.Next(buf, cap);
+    });
+  } else {
+    // Inline parse: same cursor, same chunking, executed serially on the
+    // calling thread — the synchronous baseline of the comparison.
+    std::vector<Sge> chunk(1024);
+    for (;;) {
+      const std::size_t n = cursor.Next(chunk.data(), chunk.size());
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) qp->Push(chunk[i]);
+    }
+    qp->Flush();
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  SGQ_RETURN_NOT_OK(cursor.status());
+  RunMetrics m =
+      CollectEngineMetrics(qp->engine(), std::move(name), elapsed);
+  m.results_emitted = qp->results_emitted();
   return m;
 }
 
@@ -55,12 +98,8 @@ Result<MultiQueryMetrics> RunMultiSgaPlans(
   Stopwatch timer;
   engine.PushAll(stream);
   MultiQueryMetrics m;
-  m.totals.name = std::move(name);
-  m.totals.elapsed_seconds = timer.ElapsedSeconds();
-  m.totals.edges_processed = engine.edges_processed();
-  m.totals.tail_latency_seconds = engine.slide_latencies().Percentile(0.99);
-  m.totals.state_entries = engine.executor().StateSize();
-  m.totals.state_bytes = engine.executor().StateBytes();
+  m.totals = CollectEngineMetrics(engine, std::move(name),
+                                  timer.ElapsedSeconds());
   m.per_query_results.reserve(engine.num_queries());
   for (std::size_t q = 0; q < engine.num_queries(); ++q) {
     const std::size_t emitted =

@@ -33,6 +33,18 @@ Result<RunMetrics> RunSgaPlan(const InputStream& stream,
                               const LogicalOp& plan, const Vocabulary& vocab,
                               EngineOptions options, std::string name);
 
+/// \brief Runs `query` over a CSV stream *text*, parsing it as part of the
+/// run — the ingest-bound configuration of the async-ingest experiments
+/// (bench_ingest_pipeline): with options.async_ingest the parse happens on
+/// the dedicated ingest thread, overlapped with execution; without it the
+/// parse runs inline on the execution thread (same Sge sequence, so the
+/// two configurations are directly comparable). Labels/vertices are
+/// interned into `*vocab`; fails on malformed or out-of-order input.
+Result<RunMetrics> RunSgaCsv(const std::string& csv_text,
+                             const StreamingGraphQuery& query,
+                             Vocabulary* vocab, EngineOptions options,
+                             std::string name);
+
 /// \brief Runs `query` on the DD-style baseline engine.
 Result<RunMetrics> RunDd(const InputStream& stream,
                          const StreamingGraphQuery& query,

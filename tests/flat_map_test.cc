@@ -300,6 +300,128 @@ TEST(SmallRunTest, GrowsLargeAndMoves) {
 }
 
 // ---------------------------------------------------------------------------
+// PoolVec (non-trivial, memcpy-relocatable payloads)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Payload owning heap memory (a SmallVec that overflows), with a live
+/// instance counter — catches both leaked and double-run destructors.
+struct TrackedPayload {
+  static int live;
+  SmallVec<uint64_t, 2> values;
+  explicit TrackedPayload(uint64_t seedval = 0) {
+    for (uint64_t i = 0; i < 8; ++i) values.push_back(seedval + i);
+    ++live;
+  }
+  TrackedPayload(const TrackedPayload& o) : values(o.values) { ++live; }
+  TrackedPayload(TrackedPayload&& o) noexcept
+      : values(std::move(o.values)) {
+    ++live;
+  }
+  TrackedPayload& operator=(TrackedPayload&&) noexcept = default;
+  ~TrackedPayload() { --live; }
+};
+int TrackedPayload::live = 0;
+
+}  // namespace
+
+TEST(PoolVecTest, InlineThenPoolOverflowRunsDestructors) {
+  SlabPool pool;
+  {
+    PoolVec<TrackedPayload, 1> run;
+    run.push_back(&pool, TrackedPayload(10));
+    EXPECT_EQ(run.overflow_bytes(), 0u);  // single element stays inline
+    run.push_back(&pool, TrackedPayload(20));
+    run.push_back(&pool, TrackedPayload(30));
+    EXPECT_GT(run.overflow_bytes(), 0u);
+    ASSERT_EQ(run.size(), 3u);
+    EXPECT_EQ(run[0].values[0], 10u);
+    EXPECT_EQ(run[1].values[0], 20u);
+    EXPECT_EQ(run[2].values[0], 30u);
+    EXPECT_EQ(TrackedPayload::live, 3);
+    run.truncate(1);  // destroys the tail
+    EXPECT_EQ(TrackedPayload::live, 1);
+    EXPECT_EQ(run[0].values[7], 17u);
+    run.Release(&pool);
+    EXPECT_EQ(TrackedPayload::live, 0);
+    EXPECT_EQ(run.overflow_bytes(), 0u);
+  }
+  EXPECT_EQ(TrackedPayload::live, 0);
+}
+
+TEST(PoolVecTest, DestructorReleasesElementsNotBlock) {
+  SlabPool pool;
+  {
+    PoolVec<TrackedPayload, 1> run;
+    for (uint64_t i = 0; i < 50; ++i) run.push_back(&pool, TrackedPayload(i));
+    EXPECT_EQ(TrackedPayload::live, 50);
+  }  // ~PoolVec: element destructors run, block abandoned to the arena
+  EXPECT_EQ(TrackedPayload::live, 0);
+  pool.Clear();
+}
+
+TEST(PoolVecTest, MoveTransfersElementsAndCompactionWorks) {
+  SlabPool pool;
+  PoolVec<TrackedPayload, 1> run;
+  for (uint64_t i = 0; i < 10; ++i) run.push_back(&pool, TrackedPayload(i));
+  PoolVec<TrackedPayload, 1> moved = std::move(run);
+  EXPECT_TRUE(run.empty());  // NOLINT(bugprone-use-after-move)
+  ASSERT_EQ(moved.size(), 10u);
+  EXPECT_EQ(moved[9].values[0], 9u);
+  EXPECT_EQ(TrackedPayload::live, 10);
+  // Keep-compaction idiom used by PatternOp's scrub/purge: move survivors
+  // down, truncate the tail.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    if (moved[i].values[0] % 2 != 0) continue;  // drop odd seeds
+    if (keep != i) moved[keep] = std::move(moved[i]);
+    ++keep;
+  }
+  moved.truncate(keep);
+  ASSERT_EQ(moved.size(), 5u);
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    EXPECT_EQ(moved[i].values[0], 2 * i);
+  }
+  EXPECT_EQ(TrackedPayload::live, 5);
+  moved.Release(&pool);
+  EXPECT_EQ(TrackedPayload::live, 0);
+}
+
+TEST(PoolVecTest, WorksAsFlatMapValue) {
+  // The PatternOp bucket configuration: FlatMap slots hold PoolVec runs,
+  // robin-hood shifts and rehashes relocate them.
+  SlabPool pool;
+  FlatMap<uint64_t, PoolVec<TrackedPayload, 1>> table;
+  for (uint64_t k = 0; k < 200; ++k) {
+    auto [it, inserted] = table.try_emplace(k);
+    EXPECT_TRUE(inserted);
+    for (uint64_t i = 0; i <= k % 3; ++i) {
+      it->second.push_back(&pool, TrackedPayload(100 * k + i));
+    }
+  }
+  std::size_t total = 0;
+  for (auto& [k, run] : table) {
+    ASSERT_EQ(run.size(), k % 3 + 1) << k;
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      ASSERT_EQ(run[i].values[0], 100 * k + i);
+    }
+    total += run.size();
+  }
+  EXPECT_EQ(TrackedPayload::live, static_cast<int>(total));
+  // Erase half the keys, releasing their blocks back to the pool first.
+  for (uint64_t k = 0; k < 200; k += 2) {
+    auto it = table.find(k);
+    ASSERT_NE(it, table.end());
+    it->second.Release(&pool);
+    table.erase(it);
+  }
+  EXPECT_EQ(table.size(), 100u);
+  table.clear();
+  EXPECT_EQ(TrackedPayload::live, 0);
+}
+
+// ---------------------------------------------------------------------------
 // SmallVec
 // ---------------------------------------------------------------------------
 
