@@ -1,24 +1,64 @@
 // Async ingest pipeline: throughput of parse-during-run execution with
-// the double-buffered ingest stage on and off (DESIGN.md §6).
+// the double-buffered ingest stage on and off (DESIGN.md §6), plus the
+// parse-stage matrix — stream format {csv, binary} × parser threads
+// {1, 2, 4} behind the order-restoring merge.
 //
 // The workload is deliberately *ingest-bound*: the SO-like stream is
-// rendered to CSV once, and every run parses that text as part of the
-// measured region (workload/harness.cc RunSgaCsv). Synchronous runs parse
-// inline on the execution thread; async runs parse on the dedicated
-// ingest thread, overlapped with execution, so the async/sync ratio
-// isolates exactly the pipeline win. Result counts must match pairwise at
-// equal (workload, workers, batch) — the pipeline changes where parsing
-// happens, never what executes.
+// rendered once (CSV text and SGQB binary of the same stream), and every
+// run parses those bytes as part of the measured region
+// (workload/harness.cc RunSgaText). Synchronous runs parse inline on the
+// execution thread; async runs parse on the dedicated ingest thread,
+// overlapped with execution, so the async/sync ratio isolates exactly the
+// pipeline win. Sharded runs split the parse itself over N parser
+// threads; parse_tuples_per_sec (elements / slowest parser's busy time)
+// is what that stage scales, independent of how fast execution can drain
+// it. Result counts must match pairwise at equal (workload, workers,
+// batch) — format and parser count change where and how parsing happens,
+// never what executes.
 //
 // Output: one JSON object per line on stdout —
 //   {"bench":"ingest_pipeline","workload":...,"workers":N,"batch":B,
-//    "async":0|1,"pin":0|1,"edges":E,"elapsed_seconds":S,
-//    "tuples_per_sec":T,"results":R,"speedup_async_vs_sync":X,
-//    "ingest_stall_ns":I,"exec_stall_ns":J}
+//    "async":0|1,"pin":0|1,"format":"csv"|"binary","parsers":P,
+//    "edges":E,"elapsed_seconds":S,"tuples_per_sec":T,"results":R,
+//    "speedup_async_vs_sync":X,"ingest_stall_ns":I,"exec_stall_ns":J,
+//    "parse_tuples_per_sec":PT,"merge_stall_ns":M,
+//    "parser_stall_ns":[...]}
 // A human summary goes to stderr. exec_stall_ns >> ingest_stall_ns
 // confirms the run is ingest-bound (execution starved for parsed input).
 
 #include "bench_common.h"
+
+namespace {
+
+void PrintRow(const sgq::RunMetrics& m, const char* workload,
+              std::size_t workers, std::size_t batch, bool async, bool pin,
+              const char* format, std::size_t parsers, double speedup) {
+  std::string stalls = "[";
+  for (std::size_t p = 0; p < m.parser_stall_ns.size(); ++p) {
+    if (p > 0) stalls += ",";
+    stalls += std::to_string(m.parser_stall_ns[p]);
+  }
+  stalls += "]";
+  std::printf(
+      "{\"bench\":\"ingest_pipeline\",\"workload\":\"%s\","
+      "\"workers\":%zu,\"batch\":%zu,\"async\":%d,\"pin\":%d,"
+      "\"format\":\"%s\",\"parsers\":%zu,"
+      "\"edges\":%zu,\"elapsed_seconds\":%.6f,"
+      "\"tuples_per_sec\":%.1f,\"results\":%zu,"
+      "\"speedup_async_vs_sync\":%.3f,"
+      "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
+      "\"parse_tuples_per_sec\":%.1f,\"merge_stall_ns\":%llu,"
+      "\"parser_stall_ns\":%s}\n",
+      workload, workers, batch, async ? 1 : 0, pin ? 1 : 0, format, parsers,
+      m.edges_processed, m.elapsed_seconds, m.Throughput(),
+      m.results_emitted, speedup,
+      static_cast<unsigned long long>(m.ingest_stall_ns),
+      static_cast<unsigned long long>(m.exec_stall_ns),
+      m.ParseTuplesPerSec(),
+      static_cast<unsigned long long>(m.merge_stall_ns), stalls.c_str());
+}
+
+}  // namespace
 
 int main() {
   using namespace sgq;
@@ -43,11 +83,12 @@ int main() {
   };
   const std::size_t kBatch = 1024;
 
-  // Render the stream once; all runs parse the same text. Denser than the
-  // shared SoStream (8x the edges at the same arrival window): the parse
-  // has to be a substantial fraction of the run for the overlap to be
-  // measurable above pipeline startup cost, at CI scale too.
-  std::string csv;
+  // Render the stream once, in both encodings of the identical element
+  // sequence; all runs parse the same bytes. Denser than the shared
+  // SoStream (8x the edges at the same arrival window): the parse has to
+  // be a substantial fraction of the run for the overlap to be measurable
+  // above pipeline startup cost, at CI scale too.
+  std::string csv, binary;
   {
     Vocabulary vocab;
     SoOptions opt;
@@ -60,16 +101,34 @@ int main() {
     auto stream = GenerateSoStream(opt, &vocab);
     bench::CheckOk(stream.status(), "stream");
     csv = FormatStreamCsv(*stream, vocab);
+    auto encoded = FormatStreamBinary(*stream, vocab);
+    bench::CheckOk(encoded.status(), "binary encode");
+    binary = std::move(*encoded);
   }
-  std::fprintf(stderr, "stream: %zu bytes of CSV\n", csv.size());
+  std::fprintf(stderr, "stream: %zu bytes of CSV, %zu bytes of SGQB\n",
+               csv.size(), binary.size());
 
   int failures = 0;
+  auto check_results = [&failures](std::size_t got, std::size_t want,
+                                   const char* what) {
+    if (want != static_cast<std::size_t>(-1) && got != want) {
+      // Parse placement/format only move parsing around; at equal
+      // workers/batch the executed element sequence is identical, so any
+      // count difference is a correctness bug.
+      std::fprintf(stderr,
+                   "%s emitted %zu results, reference emitted %zu "
+                   "(parse stage changed execution?)\n",
+                   what, got, want);
+      ++failures;
+    }
+  };
+
   for (const Workload& w : workloads) {
     std::fprintf(stderr, "-- %s --\n", w.name);
     for (std::size_t workers : {std::size_t{1}, std::size_t{2},
                                 std::size_t{4}}) {
       double sync_tput = 0;
-      std::size_t sync_results = 0;
+      std::size_t sync_results = static_cast<std::size_t>(-1);
       // pin=1 rides along on the async configuration only: affinity has
       // nothing to stabilize in a single-threaded synchronous run.
       for (int config = 0; config < 3; ++config) {
@@ -94,29 +153,13 @@ int main() {
         if (!async) {
           sync_tput = tput;
           sync_results = metrics->results_emitted;
-        } else if (metrics->results_emitted != sync_results) {
-          // The pipeline only moves parsing off the execution thread; at
-          // equal workers/batch the executed element sequence is
-          // identical, so any count difference is a correctness bug.
-          std::fprintf(stderr,
-                       "async workers=%zu emitted %zu results, sync "
-                       "emitted %zu (pipeline changed execution?)\n",
-                       workers, metrics->results_emitted, sync_results);
-          ++failures;
+        } else {
+          check_results(metrics->results_emitted, sync_results,
+                        metrics->name.c_str());
         }
         const double speedup = sync_tput > 0 ? tput / sync_tput : 0;
-        std::printf(
-            "{\"bench\":\"ingest_pipeline\",\"workload\":\"%s\","
-            "\"workers\":%zu,\"batch\":%zu,\"async\":%d,\"pin\":%d,"
-            "\"edges\":%zu,\"elapsed_seconds\":%.6f,"
-            "\"tuples_per_sec\":%.1f,\"results\":%zu,"
-            "\"speedup_async_vs_sync\":%.3f,"
-            "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
-            w.name, workers, kBatch, async ? 1 : 0, pin ? 1 : 0,
-            metrics->edges_processed, metrics->elapsed_seconds, tput,
-            metrics->results_emitted, speedup,
-            static_cast<unsigned long long>(metrics->ingest_stall_ns),
-            static_cast<unsigned long long>(metrics->exec_stall_ns));
+        PrintRow(*metrics, w.name, workers, kBatch, async, pin, "csv", 1,
+                 speedup);
         std::fprintf(stderr,
                      "  workers=%zu %-11s %10.0f tuples/s  (%.2fx vs "
                      "sync)  stalls: ingest %.1f ms, exec %.1f ms\n",
@@ -124,6 +167,65 @@ int main() {
                      tput, speedup, metrics->ingest_stall_ns / 1e6,
                      metrics->exec_stall_ns / 1e6);
       }
+    }
+  }
+
+  // Sharded-parse matrix: format × parser count at workers=1 (execution
+  // held constant and cheap, so the parse stage is the visible axis).
+  // The single-threaded CSV sync run is the shared reference: the binary
+  // × parsers=4 cell versus that reference is the headline speedup.
+  const Workload& matrix_w = workloads[0];
+  std::fprintf(stderr, "-- parse matrix (%s, workers=1) --\n",
+               matrix_w.name);
+  double csv_sync_parse_tput = 0;
+  std::size_t matrix_results = static_cast<std::size_t>(-1);
+  {
+    Vocabulary vocab;
+    auto query = MakeQuery(matrix_w.query, bench::PaperWindow(), &vocab);
+    bench::CheckOk(query.status(), matrix_w.name);
+    EngineOptions options;
+    options.batch_size = kBatch;
+    options.num_workers = 1;
+    auto metrics = RunSgaCsv(csv, *query, &vocab, options,
+                             "matrix/csv/sync");
+    bench::CheckOk(metrics.status(), "run");
+    csv_sync_parse_tput = metrics->ParseTuplesPerSec();
+    matrix_results = metrics->results_emitted;
+    std::fprintf(stderr,
+                 "  csv    sync       parse %10.0f tuples/s  (reference)\n",
+                 csv_sync_parse_tput);
+  }
+  for (const bool use_binary : {false, true}) {
+    for (std::size_t parsers : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}}) {
+      Vocabulary vocab;
+      auto query = MakeQuery(matrix_w.query, bench::PaperWindow(), &vocab);
+      bench::CheckOk(query.status(), matrix_w.name);
+      EngineOptions options;
+      options.batch_size = kBatch;
+      options.num_workers = 1;
+      options.async_ingest = true;
+      options.ingest_parsers = parsers;
+      options.ingest_format =
+          use_binary ? StreamFormat::kBinary : StreamFormat::kCsv;
+      const char* format = use_binary ? "binary" : "csv";
+      auto metrics = RunSgaText(
+          use_binary ? binary : csv, *query, &vocab, options,
+          std::string("matrix/") + format + "/parsers=" +
+              std::to_string(parsers));
+      bench::CheckOk(metrics.status(), "run");
+      check_results(metrics->results_emitted, matrix_results,
+                    metrics->name.c_str());
+      const double parse_tput = metrics->ParseTuplesPerSec();
+      const double parse_speedup =
+          csv_sync_parse_tput > 0 ? parse_tput / csv_sync_parse_tput : 0;
+      PrintRow(*metrics, matrix_w.name, 1, kBatch, /*async=*/true,
+               /*pin=*/false, format, parsers, parse_speedup);
+      std::fprintf(stderr,
+                   "  %-6s parsers=%zu  parse %10.0f tuples/s  (%.2fx vs "
+                   "csv sync)  merge stall %.1f ms\n",
+                   format, parsers, parse_tput, parse_speedup,
+                   metrics->merge_stall_ns / 1e6);
     }
   }
   return failures == 0 ? 0 : 1;

@@ -1,14 +1,17 @@
-// Command-line runner: evaluate persistent queries over a CSV edge stream.
+// Command-line runner: evaluate persistent queries over an edge stream
+// (CSV text or SGQB binary — see stream_convert to convert between them).
 //
 // Usage:
-//   stream_query_cli <query-file> <stream.csv> [window] [slide] [--gcore]
+//   stream_query_cli <query-file> <stream> [window] [slide] [--gcore]
 //                    [--delta-path] [--slack N] [--batch N] [--workers N]
 //                    [--query FILE]... [--no-share] [--async-ingest]
-//                    [--pin-workers]
+//                    [--pin-workers] [--format csv|binary|auto]
+//                    [--parsers N]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
-//   stream.csv   lines `src,label,trg,timestamp[,+|-]`, timestamp-ordered
-//                (with --slack N, bounded disorder is tolerated)
+//   stream       CSV lines `src,label,trg,timestamp[,+|-]` or an SGQB
+//                binary stream, timestamp-ordered (with --slack N,
+//                bounded disorder is tolerated)
 //   window/slide time-based sliding window, default 24 / 1
 //   --query FILE register an additional standing query; all queries run
 //                on one shared multi-query engine (core/engine.h) with
@@ -18,6 +21,16 @@
 //                double-buffered against execution (DESIGN.md §6); with
 //                --slack N the reorder stage runs on the ingest thread
 //                too. Results print when the stream drains.
+//   --format F   input stream encoding: csv, binary (SGQB), or auto
+//                (default — sniff the magic bytes)
+//   --parsers N  shard the parse stage over N parser threads behind an
+//                order-restoring merge (DESIGN.md §6); N > 1 implies
+//                --async-ingest. Note: with N > 1 over CSV input,
+//                vocabulary ids are interned concurrently, so result
+//                *names* are deterministic but internal ids (and hence
+//                result line order) may vary run to run; binary streams
+//                intern their dictionary up front and stay fully
+//                deterministic.
 //   --pin-workers   pin runtime threads to cores (best-effort affinity)
 //
 // Prints every result sgt as it is produced, then a metrics summary.
@@ -26,6 +39,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/string_util.h"
@@ -59,6 +73,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> extra_query_texts;
   Timestamp window = 24, slide = 1, slack = 0;
   bool use_gcore = false;
+  bool format_auto = true;
   EngineOptions options;
 
   int positional = 0;
@@ -97,6 +112,32 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.batch_size = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--format") == 0 && i + 1 < argc) {
+      ++i;
+      if (std::strcmp(argv[i], "csv") == 0) {
+        options.ingest_format = StreamFormat::kCsv;
+        format_auto = false;
+      } else if (std::strcmp(argv[i], "binary") == 0) {
+        options.ingest_format = StreamFormat::kBinary;
+        format_auto = false;
+      } else if (std::strcmp(argv[i], "auto") == 0) {
+        format_auto = true;
+      } else {
+        std::fprintf(stderr,
+                     "--format: expected csv, binary or auto, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--parsers") == 0 && i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n <= 0) {
+        std::fprintf(stderr,
+                     "--parsers: expected a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      options.ingest_parsers = static_cast<std::size_t>(n);
+      if (options.ingest_parsers > 1) options.async_ingest = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       int64_t n = 0;
       if (!ParseInt64(argv[++i], &n) || n <= 0) {
@@ -115,7 +156,8 @@ int main(int argc, char** argv) {
       query_text = *text;
       ++positional;
     } else if (positional == 1) {
-      auto text = ReadFile(argv[i]);
+      // Binary-safe buffered read: SGQB streams contain NUL bytes.
+      auto text = ReadFileBytes(argv[i]);
       if (!text.ok()) {
         std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
         return 1;
@@ -130,6 +172,11 @@ int main(int argc, char** argv) {
       ++positional;
     }
   }
+
+  if (format_auto) {
+    options.ingest_format = DetectStreamFormat(stream_text);
+  }
+  const bool binary = options.ingest_format == StreamFormat::kBinary;
 
   Vocabulary vocab;
   auto parse_query = [&](const std::string& text)
@@ -159,15 +206,17 @@ int main(int argc, char** argv) {
   }
   const bool multi = queries.size() > 1;
 
-  // Async ingest parses during the run (on the ingest thread); the eager
-  // whole-stream parse is the synchronous paths' input.
+  // Async ingest parses during the run (on the ingest/parser threads); the
+  // eager whole-stream parse is the synchronous paths' input. The slack>0
+  // synchronous path parses incrementally below instead.
   sgq::Result<InputStream> stream = InputStream{};
   if (options.async_ingest) {
     // The slack stage folds into the ingest pipeline (DESIGN.md §6).
     options.ingest_slack = slack;
-  } else {
-    stream = ParseStreamCsv(stream_text, &vocab);
-    if (!stream.ok() && slack == 0) {
+  } else if (slack == 0) {
+    stream = binary ? ParseStreamBinary(stream_text, &vocab)
+                    : ParseStreamCsv(stream_text, &vocab);
+    if (!stream.ok()) {
       std::fprintf(stderr,
                    "stream: %s (out-of-order input? try --slack N)\n",
                    stream.status().ToString().c_str());
@@ -227,18 +276,25 @@ int main(int argc, char** argv) {
                  "tuple-at-a-time\n");
   }
   if (options.async_ingest) {
-    // Pipelined run: the cursor below executes on the ingest thread,
-    // overlapped with execution; results materialize when the stream
-    // drains. With --slack the cursor tolerates disorder and the
+    // Pipelined run: the parse executes on the ingest thread (or, with
+    // --parsers N > 1, on N parser threads behind the order-restoring
+    // merge), overlapped with execution; results materialize when the
+    // stream drains. With --slack the cursors tolerate disorder and the
     // pipeline's reorder stage restores timestamp order.
-    StreamCsvCursor cursor(stream_text, &vocab,
-                           /*allow_disorder=*/slack > 0);
-    engine.RunPipelined([&cursor](Sge* buf, std::size_t cap) {
-      return cursor.Next(buf, cap);
-    });
-    if (!cursor.ok()) {
-      std::fprintf(stderr, "stream: %s%s\n",
-                   cursor.status().ToString().c_str(),
+    auto chunked = MakeChunkedStream(
+        stream_text, options.ingest_format, &vocab,
+        /*allow_disorder=*/slack > 0,
+        /*min_chunks=*/options.ingest_parsers > 1
+            ? options.ingest_parsers * 2
+            : 1);
+    if (!chunked.ok()) {
+      std::fprintf(stderr, "stream: %s\n",
+                   chunked.status().ToString().c_str());
+      return 1;
+    }
+    Status run = engine.RunPipelinedSharded(**chunked);
+    if (!run.ok()) {
+      std::fprintf(stderr, "stream: %s%s\n", run.ToString().c_str(),
                    slack == 0 ? " (out-of-order input? try --slack N)" : "");
       return 1;
     }
@@ -248,34 +304,30 @@ int main(int argc, char** argv) {
     }
     print_results();
   } else if (slack > 0) {
-    // Tolerate bounded disorder: re-parse leniently line by line.
+    // Tolerate bounded disorder: lenient incremental parse feeding the
+    // reorder buffer one element at a time. --slack tolerates disorder,
+    // not malformed input — any cursor error is fatal.
     ReorderBuffer buffer(slack);
     buffer.OnLate([&](const Sge& late) {
       std::fprintf(stderr, "late element dropped (t=%lld)\n",
                    static_cast<long long>(late.t));
     });
-    std::size_t line_no = 0;
-    for (const std::string& line : SplitString(stream_text, '\n')) {
-      ++line_no;
-      if (TrimString(line).empty()) continue;
-      auto one = ParseStreamCsv(std::string(TrimString(line)) + "\n", &vocab);
-      if (!one.ok()) {
-        // --slack tolerates disorder, not malformed input: a single-line
-        // parse cannot fail the ordering check, so any error is fatal.
-        // The single-line parser reports "line 1"; substitute the real
-        // line number.
-        std::string msg = one.status().message();
-        const std::string kInnerPrefix = "line 1: ";
-        if (StartsWith(msg, kInnerPrefix)) {
-          msg = msg.substr(kInnerPrefix.size());
-        }
-        std::fprintf(stderr, "stream: line %zu: %s\n", line_no, msg.c_str());
-        return 1;
-      }
-      if (one->empty()) continue;  // comment line
-      for (const Sge& released : buffer.Offer((*one)[0])) {
-        deliver(released);
-      }
+    std::unique_ptr<StreamCursor> cursor;
+    if (binary) {
+      cursor = std::make_unique<BinaryStreamCursor>(stream_text, &vocab,
+                                                    /*allow_disorder=*/true);
+    } else {
+      cursor = std::make_unique<StreamCsvCursor>(stream_text, &vocab,
+                                                 /*allow_disorder=*/true);
+    }
+    Sge sge;
+    while (cursor->Next(&sge, 1) == 1) {
+      for (const Sge& released : buffer.Offer(sge)) deliver(released);
+    }
+    if (!cursor->ok()) {
+      std::fprintf(stderr, "stream: %s\n",
+                   cursor->status().ToString().c_str());
+      return 1;
     }
     for (const Sge& released : buffer.Flush()) deliver(released);
   } else if (options.batch_size > 1) {
@@ -312,6 +364,16 @@ int main(int argc, char** argv) {
                  "exec stall %.3f ms\n",
                  ingest.batches, ingest.ingest_stall_ns / 1e6,
                  ingest.exec_stall_ns / 1e6);
+    if (ingest.parsers > 1) {
+      std::fprintf(stderr,
+                   "sharded parse: %zu parsers, merge stall %.3f ms\n",
+                   ingest.parsers, ingest.merge_stall_ns / 1e6);
+      for (std::size_t p = 0; p < ingest.parser_stall_ns.size(); ++p) {
+        std::fprintf(stderr, "  parser %zu: busy %.3f ms, stall %.3f ms\n",
+                     p, ingest.parser_busy_ns[p] / 1e6,
+                     ingest.parser_stall_ns[p] / 1e6);
+      }
+    }
   }
   return 0;
 }

@@ -4,8 +4,8 @@
 Each bench binary emits one JSON object per line on stdout (see
 bench/bench_*.cc); committed reference numbers live in bench/baselines/.
 This script matches rows by their identity keys (bench, workload, workers,
-batch, queries, sharing, async, pin) and reports throughput / tail-latency
-ratios.
+batch, queries, sharing, async, pin, format, parsers) and reports
+throughput / tail-latency ratios.
 
 Intended as a *non-blocking* CI step: machine-to-machine variance makes a
 hard gate meaningless, so regressions beyond the soft threshold are
@@ -26,9 +26,9 @@ import json
 import sys
 
 IDENTITY_KEYS = ("bench", "workload", "workers", "batch", "queries",
-                 "sharing", "async", "pin")
+                 "sharing", "async", "pin", "format", "parsers")
 # Higher is better / lower is better metrics, with their soft thresholds.
-HIGHER_BETTER = {"tuples_per_sec": 0.8}
+HIGHER_BETTER = {"tuples_per_sec": 0.8, "parse_tuples_per_sec": 0.8}
 LOWER_BETTER = {"p99_slide_seconds": 1.5, "state_bytes": 1.5}
 
 

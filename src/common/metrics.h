@@ -134,12 +134,31 @@ struct RunMetrics {
   /// thread starved for parsed input (ingest-bound run).
   uint64_t ingest_stall_ns = 0;
   uint64_t exec_stall_ns = 0;
+  /// Sharded parse stage (runtime/ingest_pipeline.h RunSharded); zeros /
+  /// empty on synchronous and single-producer runs. parsers: parser
+  /// threads used; merge_stall_ns: the order-restoring merge blocked on
+  /// empty gutters; parser_stall_ns: per parser, blocked on gutter
+  /// backpressure; parse_busy_ns: the slowest parser's time inside the
+  /// cursor — the parse-stage critical path.
+  std::size_t parsers = 0;
+  uint64_t merge_stall_ns = 0;
+  std::vector<uint64_t> parser_stall_ns;
+  uint64_t parse_busy_ns = 0;
 
   /// \brief Sustained input rate in edges per second.
   double Throughput() const {
     return elapsed_seconds > 0 ? static_cast<double>(edges_processed) /
                                      elapsed_seconds
                                : 0;
+  }
+
+  /// \brief Parse-stage throughput: elements decoded per second of the
+  /// slowest parser's busy time (what the sharded parse scales); 0 when
+  /// parse time was not measured.
+  double ParseTuplesPerSec() const {
+    return parse_busy_ns > 0 ? static_cast<double>(edges_processed) /
+                                   (static_cast<double>(parse_busy_ns) * 1e-9)
+                             : 0;
   }
 };
 

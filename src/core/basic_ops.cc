@@ -62,7 +62,7 @@ void UnionOp::OnTuple(int port, const Sgt& tuple) {
 void SinkOp::OnTuple(int port, const Sgt& tuple) {
   (void)port;
   if (tuple.is_deletion) {
-    coalescer_.Forget(tuple.edge());
+    coalescer_.Forget(tuple.edge(), tuple.validity.ts);
     results_.push_back(tuple);
     ++total_emitted_;
     return;

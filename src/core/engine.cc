@@ -25,6 +25,8 @@ ExecutorOptions ToExecutorOptions(const EngineOptions& options) {
   exec_options.ingest_queue_depth = options.ingest_queue_depth;
   exec_options.pin_workers = options.pin_workers;
   exec_options.ingest_slack = options.ingest_slack;
+  exec_options.ingest_parsers =
+      options.ingest_parsers == 0 ? 1 : options.ingest_parsers;
   return exec_options;
 }
 

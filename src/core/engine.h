@@ -50,6 +50,7 @@
 #include "common/result.h"
 #include "core/basic_ops.h"
 #include "core/physical.h"
+#include "model/stream_io.h"
 #include "query/rq.h"
 #include "runtime/executor.h"
 
@@ -108,6 +109,17 @@ struct EngineOptions {
   /// than this far behind the newest seen timestamp are dropped late).
   /// Only meaningful with async_ingest through RunPipelined.
   Timestamp ingest_slack = 0;
+  /// Parser threads of the sharded parse stage (DESIGN.md §6): N > 1
+  /// decodes stream chunks on N threads behind an order-restoring merge;
+  /// 1 (the default) keeps the classic single-producer ingest thread.
+  /// Only meaningful with async_ingest (RunPipelinedSharded). Forwarded
+  /// to ExecutorOptions under the same name.
+  std::size_t ingest_parsers = 1;
+  /// Declared encoding of raw stream bytes fed through the parse-as-you-
+  /// go ingest paths (workload/harness.h RunSgaText, the CLI): CSV text
+  /// or the SGQB binary record format. Engine-level only — the executor
+  /// sees decoded elements either way.
+  StreamFormat ingest_format = StreamFormat::kCsv;
 };
 
 /// \brief N persistent queries compiled onto one shared dataflow.
@@ -165,6 +177,14 @@ class Engine {
   /// is exhausted and every batch has executed (runtime/ingest_pipeline.h).
   void RunPipelined(const IngestProducer& fill) {
     executor_.RunPipelined(fill);
+  }
+
+  /// \brief Sharded-parse pipelined ingest: options().ingest_parsers
+  /// threads decode `stream`'s chunks behind an order-restoring merge;
+  /// parse errors surface as the returned Status (elements preceding the
+  /// error still execute). See runtime/ingest_pipeline.h.
+  Status RunPipelinedSharded(const ChunkedStream& stream) {
+    return executor_.RunPipelinedSharded(stream);
   }
 
   /// \brief Cumulative async-ingest pipeline counters (zeros when the

@@ -156,7 +156,7 @@ void PathOpBase::RetractAndReassert(SpanningTree& tree, VertexId v,
                                     Timestamp t) {
   Sgt negative(tree.root, v, out_label_, Interval(t, kMaxTimestamp), {},
                /*del=*/true);
-  out_coalescer_.Forget(negative.edge());
+  out_coalescer_.Forget(negative.edge(), t);
   EmitTuple(negative);
   // Another accepting (v, s) witness may survive; re-assert the pair so
   // downstream state reflects the remaining derivation. The candidate

@@ -220,7 +220,7 @@ void PatternOp::Project(const Binding& b, Mode mode) {
     }
     case Mode::kRetract: {
       Sgt out(src, trg, out_label_, b.iv, {derived}, /*del=*/true);
-      out_coalescer_.Forget(derived);
+      out_coalescer_.Forget(derived, b.iv.ts);
       retracted_values_.insert(derived);
       EmitTuple(out);
       break;
@@ -256,7 +256,7 @@ void PatternOp::OnTuple(int port, const Sgt& tuple) {
     const VertexId trg = b.vals[static_cast<std::size_t>(out_trg_var_)];
     Sgt out(src, trg, out_label_, b.iv, tuple.payload, tuple.is_deletion);
     if (tuple.is_deletion) {
-      out_coalescer_.Forget(out.edge());
+      out_coalescer_.Forget(out.edge(), out.validity.ts);
       EmitTuple(out);
     } else if (out_coalescer_.Offer(out)) {
       EmitTuple(out);

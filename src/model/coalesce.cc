@@ -103,6 +103,20 @@ bool StreamingCoalescer::Offer(const Sgt& t) {
   return true;
 }
 
+void StreamingCoalescer::Forget(const EdgeRef& key, Timestamp from) {
+  auto it = covered_.find(key);
+  if (it == covered_.end()) return;
+  auto& ivs = it->second;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    Interval iv = ivs[i];
+    iv.exp = std::min(iv.exp, from);
+    if (!iv.Empty()) ivs[keep++] = iv;
+  }
+  ivs.erase_range(keep, ivs.size());
+  if (ivs.empty()) covered_.erase(it);
+}
+
 void StreamingCoalescer::PurgeBefore(Timestamp t) {
   for (auto it = covered_.begin(); it != covered_.end();) {
     auto& ivs = it->second;

@@ -47,9 +47,17 @@ class StreamingCoalescer {
   /// \brief Removes interval state that expired before `t` (periodic purge).
   void PurgeBefore(Timestamp t);
 
-  /// \brief Drops all coverage recorded for `key`; used after an explicit
-  /// deletion invalidates previously emitted intervals.
+  /// \brief Drops all coverage recorded for `key`. Only for retraction
+  /// paths where the deletion instant is unknown (cross-shard re-assert
+  /// coordination); prefer the interval-level overload.
   void Forget(const EdgeRef& key) { covered_.erase(key); }
+
+  /// \brief Interval-level forget: removes coverage at instants >= `from`,
+  /// mirroring how an explicit deletion at `from` truncates downstream
+  /// validity (SnapshotEdges). Coverage before the deletion instant keeps
+  /// suppressing redundant re-emissions; re-asserts extending past it are
+  /// emitted again. Drops the key when nothing remains.
+  void Forget(const EdgeRef& key, Timestamp from);
 
   /// \brief Number of distinct keys currently tracked.
   std::size_t NumKeys() const { return covered_.size(); }

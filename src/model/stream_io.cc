@@ -1,7 +1,10 @@
 #include "model/stream_io.h"
 
+#include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/string_util.h"
 
@@ -69,15 +72,119 @@ Status ParseStreamLine(std::string_view line, std::size_t line_no,
   return Status::OK();
 }
 
+// --- little-endian scalar encode/decode (portable, no aliasing) ---
+
+void PutU16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t GetU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t GetU64(const char* p) {
+  std::uint64_t v = 0;
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+Status TruncatedHeader(std::size_t need, std::size_t have) {
+  return Status::ParseError("binary stream: truncated header (need " +
+                            std::to_string(need) + " bytes, have " +
+                            std::to_string(have) + ")");
+}
+
+/// \brief Decodes one 24-byte record at absolute byte offset `abs` into
+/// `*sge`, resolving dictionary indexes through `header`.
+Status DecodeRecord(const char* p, std::size_t abs,
+                    const BinaryStreamHeader& header, bool allow_disorder,
+                    Timestamp last_t, Sge* sge) {
+  const std::uint64_t raw_t = GetU64(p);
+  sge->t = static_cast<Timestamp>(raw_t);
+  const std::uint32_t src = GetU32(p + 8);
+  const std::uint32_t trg = GetU32(p + 12);
+  const std::uint32_t label = GetU32(p + 16);
+  const unsigned char op = static_cast<unsigned char>(p[20]);
+  if (sge->t < kMinTimestamp) {
+    return Status::ParseError("binary stream offset " + std::to_string(abs) +
+                              ": negative timestamp " +
+                              std::to_string(sge->t) +
+                              " (time domain is non-negative)");
+  }
+  if (!allow_disorder && sge->t < last_t) {
+    return Status::ParseError(
+        "binary stream offset " + std::to_string(abs) +
+        ": timestamps must be non-decreasing (got " + std::to_string(sge->t) +
+        " after " + std::to_string(last_t) + ")");
+  }
+  if (src >= header.vertices.size() || trg >= header.vertices.size()) {
+    return Status::ParseError("binary stream offset " + std::to_string(abs) +
+                              ": vertex index out of range (" +
+                              std::to_string(src >= header.vertices.size()
+                                                 ? src
+                                                 : trg) +
+                              " >= " + std::to_string(header.vertices.size()) +
+                              ")");
+  }
+  if (label >= header.labels.size()) {
+    return Status::ParseError("binary stream offset " + std::to_string(abs) +
+                              ": label index out of range (" +
+                              std::to_string(label) + " >= " +
+                              std::to_string(header.labels.size()) + ")");
+  }
+  if (op > 1) {
+    return Status::ParseError("binary stream offset " + std::to_string(abs) +
+                              ": bad op byte " + std::to_string(op) +
+                              " (expected 0=insert or 1=delete)");
+  }
+  sge->src = header.vertices[src];
+  sge->trg = header.vertices[trg];
+  sge->label = header.labels[label];
+  sge->is_deletion = (op == 1);
+  return Status::OK();
+}
+
 }  // namespace
+
+StreamFormat DetectStreamFormat(std::string_view bytes) {
+  if (bytes.size() >= sizeof(kBinaryStreamMagic) &&
+      std::memcmp(bytes.data(), kBinaryStreamMagic,
+                  sizeof(kBinaryStreamMagic)) == 0) {
+    return StreamFormat::kBinary;
+  }
+  return StreamFormat::kCsv;
+}
 
 std::size_t StreamCsvCursor::Next(Sge* out, std::size_t cap) {
   if (!status_.ok()) return 0;
   std::size_t produced = 0;
-  const std::string& text = *text_;
+  const std::string_view text = text_;
   while (produced < cap && offset_ < text.size()) {
     std::size_t end = text.find('\n', offset_);
-    if (end == std::string::npos) end = text.size();
+    if (end == std::string_view::npos) end = text.size();
     const std::string_view raw_line(text.data() + offset_, end - offset_);
     offset_ = end + (end < text.size() ? 1 : 0);
     ++line_no_;
@@ -119,13 +226,364 @@ std::string FormatStreamCsv(const InputStream& stream,
   return os.str();
 }
 
+Result<BinaryStreamHeader> ParseBinaryStreamHeader(std::string_view bytes,
+                                                   Vocabulary* vocab) {
+  constexpr std::size_t kFixedHeader = 24;  // magic + version + counts
+  if (bytes.size() < sizeof(kBinaryStreamMagic) ||
+      std::memcmp(bytes.data(), kBinaryStreamMagic,
+                  sizeof(kBinaryStreamMagic)) != 0) {
+    return Status::ParseError(
+        "binary stream: bad magic (expected \"SGQB\")");
+  }
+  if (bytes.size() < kFixedHeader) {
+    return TruncatedHeader(kFixedHeader, bytes.size());
+  }
+  const std::uint32_t version = GetU32(bytes.data() + 4);
+  if (version != kBinaryStreamVersion) {
+    return Status::ParseError("binary stream: unsupported version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kBinaryStreamVersion) + ")");
+  }
+  BinaryStreamHeader header;
+  const std::uint32_t label_count = GetU32(bytes.data() + 8);
+  const std::uint32_t vertex_count = GetU32(bytes.data() + 12);
+  header.num_records = GetU64(bytes.data() + 16);
+
+  std::size_t off = kFixedHeader;
+  header.labels.reserve(label_count);
+  for (std::uint32_t i = 0; i < label_count; ++i) {
+    if (off + 2 > bytes.size()) return TruncatedHeader(off + 2, bytes.size());
+    const std::uint16_t len = GetU16(bytes.data() + off);
+    off += 2;
+    if (off + len > bytes.size()) {
+      return TruncatedHeader(off + len, bytes.size());
+    }
+    const std::string_view name(bytes.data() + off, len);
+    off += len;
+    if (name.empty()) {
+      return Status::ParseError("binary stream: empty label name in "
+                                "dictionary entry " + std::to_string(i));
+    }
+    auto interned = vocab->InternInputLabel(name);
+    if (!interned.ok()) {
+      return Status::ParseError("binary stream: label dictionary entry " +
+                                std::to_string(i) + ": " +
+                                interned.status().message());
+    }
+    header.labels.push_back(*interned);
+  }
+  header.vertices.reserve(vertex_count);
+  for (std::uint32_t i = 0; i < vertex_count; ++i) {
+    if (off + 2 > bytes.size()) return TruncatedHeader(off + 2, bytes.size());
+    const std::uint16_t len = GetU16(bytes.data() + off);
+    off += 2;
+    if (off + len > bytes.size()) {
+      return TruncatedHeader(off + len, bytes.size());
+    }
+    const std::string_view name(bytes.data() + off, len);
+    off += len;
+    if (name.empty()) {
+      return Status::ParseError("binary stream: empty vertex name in "
+                                "dictionary entry " + std::to_string(i));
+    }
+    header.vertices.push_back(vocab->InternVertex(name));
+  }
+  header.records_offset = off;
+
+  const std::size_t record_bytes = bytes.size() - off;
+  if (header.num_records > record_bytes / kBinaryRecordBytes) {
+    return Status::ParseError(
+        "binary stream: truncated records (header promises " +
+        std::to_string(header.num_records) + " records, region holds " +
+        std::to_string(record_bytes / kBinaryRecordBytes) + ")");
+  }
+  if (record_bytes != header.num_records * kBinaryRecordBytes) {
+    return Status::ParseError(
+        "binary stream: trailing garbage after records (region is " +
+        std::to_string(record_bytes) + " bytes, expected " +
+        std::to_string(header.num_records * kBinaryRecordBytes) + ")");
+  }
+  return header;
+}
+
+BinaryStreamCursor::BinaryStreamCursor(const std::string& bytes,
+                                       Vocabulary* vocab,
+                                       bool allow_disorder)
+    : allow_disorder_(allow_disorder) {
+  auto header = ParseBinaryStreamHeader(bytes, vocab);
+  if (!header.ok()) {
+    status_ = header.status();
+    return;
+  }
+  base_offset_ = header->records_offset;
+  records_ = std::string_view(bytes).substr(header->records_offset);
+  header_ = std::make_shared<const BinaryStreamHeader>(*std::move(header));
+}
+
+BinaryStreamCursor::BinaryStreamCursor(
+    std::shared_ptr<const BinaryStreamHeader> header,
+    std::string_view records, std::size_t base_offset, bool allow_disorder)
+    : header_(std::move(header)),
+      records_(records),
+      base_offset_(base_offset),
+      allow_disorder_(allow_disorder) {
+  if (records_.size() % kBinaryRecordBytes != 0) {
+    status_ = Status::InvalidArgument(
+        "binary stream chunk is not record-aligned");
+  }
+}
+
+std::size_t BinaryStreamCursor::Next(Sge* out, std::size_t cap) {
+  if (!status_.ok()) return 0;
+  std::size_t produced = 0;
+  while (produced < cap && pos_ + kBinaryRecordBytes <= records_.size()) {
+    Sge sge;
+    status_ = DecodeRecord(records_.data() + pos_, base_offset_ + pos_,
+                           *header_, allow_disorder_, last_t_, &sge);
+    if (!status_.ok()) return produced;
+    pos_ += kBinaryRecordBytes;
+    last_t_ = sge.t;
+    out[produced++] = sge;
+  }
+  return produced;
+}
+
+Result<InputStream> ParseStreamBinary(const std::string& bytes,
+                                      Vocabulary* vocab) {
+  InputStream stream;
+  BinaryStreamCursor cursor(bytes, vocab);
+  Sge buffer[256];
+  for (;;) {
+    const std::size_t n = cursor.Next(buffer, 256);
+    if (n == 0) break;
+    stream.insert(stream.end(), buffer, buffer + n);
+  }
+  if (!cursor.ok()) return cursor.status();
+  return stream;
+}
+
+Result<std::string> FormatStreamBinary(const InputStream& stream,
+                                       const Vocabulary& vocab) {
+  // First-use-order dictionaries: walk the stream once assigning dense
+  // indexes, so a fresh CSV parse and a binary decode intern identically.
+  std::unordered_map<LabelId, std::uint32_t> label_index;
+  std::unordered_map<VertexId, std::uint32_t> vertex_index;
+  std::vector<LabelId> labels;
+  std::vector<VertexId> vertices;
+  const auto vertex_idx = [&](VertexId v) {
+    auto [it, inserted] =
+        vertex_index.emplace(v, static_cast<std::uint32_t>(vertices.size()));
+    if (inserted) vertices.push_back(v);
+    return it->second;
+  };
+  const auto label_idx = [&](LabelId l) {
+    auto [it, inserted] =
+        label_index.emplace(l, static_cast<std::uint32_t>(labels.size()));
+    if (inserted) labels.push_back(l);
+    return it->second;
+  };
+  struct Encoded {
+    std::uint32_t src, trg, label;
+  };
+  std::vector<Encoded> encoded;
+  encoded.reserve(stream.size());
+  for (const Sge& sge : stream) {
+    Encoded e;
+    // CSV intern order is src, label, trg per line; match it exactly.
+    e.src = vertex_idx(sge.src);
+    e.label = label_idx(sge.label);
+    e.trg = vertex_idx(sge.trg);
+    encoded.push_back(e);
+    if (labels.size() > UINT32_MAX || vertices.size() > UINT32_MAX) {
+      return Status::Unsupported(
+          "binary stream: more than 2^32 - 1 distinct labels/vertices");
+    }
+  }
+
+  std::string out;
+  out.reserve(64 + stream.size() * kBinaryRecordBytes);
+  out.append(kBinaryStreamMagic, sizeof(kBinaryStreamMagic));
+  PutU32(&out, kBinaryStreamVersion);
+  PutU32(&out, static_cast<std::uint32_t>(labels.size()));
+  PutU32(&out, static_cast<std::uint32_t>(vertices.size()));
+  PutU64(&out, static_cast<std::uint64_t>(stream.size()));
+  const auto put_name = [&out](const std::string& name) -> Status {
+    if (name.size() > UINT16_MAX) {
+      return Status::Unsupported("binary stream: name longer than 64 KiB: " +
+                                 name.substr(0, 32) + "…");
+    }
+    PutU16(&out, static_cast<std::uint16_t>(name.size()));
+    out.append(name);
+    return Status::OK();
+  };
+  for (LabelId l : labels) SGQ_RETURN_NOT_OK(put_name(vocab.LabelName(l)));
+  for (VertexId v : vertices) SGQ_RETURN_NOT_OK(put_name(vocab.VertexName(v)));
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Sge& sge = stream[i];
+    PutU64(&out, static_cast<std::uint64_t>(sge.t));
+    PutU32(&out, encoded[i].src);
+    PutU32(&out, encoded[i].trg);
+    PutU32(&out, encoded[i].label);
+    out.push_back(sge.is_deletion ? 1 : 0);
+    out.append(3, '\0');
+  }
+  return out;
+}
+
+namespace {
+
+/// \brief Chunk sizing shared by both formats: at least `min_chunks`
+/// chunks so every parser thread has work even on small inputs, but no
+/// smaller than ~256 KB per chunk on large inputs (finer slicing only adds
+/// merge overhead).
+std::size_t PickNumChunks(std::size_t payload_bytes, std::size_t min_chunks) {
+  constexpr std::size_t kChunkTargetBytes = 256 * 1024;
+  min_chunks = std::max<std::size_t>(min_chunks, 1);
+  const std::size_t by_size =
+      (payload_bytes + kChunkTargetBytes - 1) / kChunkTargetBytes;
+  return std::max(min_chunks, by_size);
+}
+
+class CsvChunkedStream : public ChunkedStream {
+ public:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t base_line = 0;  ///< lines preceding `begin`
+  };
+
+  CsvChunkedStream(const std::string& text, Vocabulary* vocab,
+                   bool allow_disorder, std::size_t min_chunks)
+      : text_(text), vocab_(vocab), allow_disorder_(allow_disorder) {
+    const std::size_t n = PickNumChunks(text.size(), min_chunks);
+    // Split at the first newline at or after each ideal boundary; a chunk
+    // that would start past its successor's boundary collapses to empty.
+    std::size_t begin = 0;
+    std::size_t lines_before = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t end = (i + 1 == n) ? text.size() : (text.size() * (i + 1)) / n;
+      if (end < text.size()) {
+        const std::size_t nl = text.find('\n', end);
+        end = (nl == std::string::npos) ? text.size() : nl + 1;
+      }
+      end = std::max(end, begin);
+      chunks_.push_back({begin, end, lines_before});
+      lines_before += static_cast<std::size_t>(
+          std::count(text.data() + begin, text.data() + end, '\n'));
+      begin = end;
+    }
+  }
+
+  std::size_t NumChunks() const override { return chunks_.size(); }
+
+  std::unique_ptr<StreamCursor> OpenChunk(std::size_t i) const override {
+    const Chunk& c = chunks_[i];
+    return std::make_unique<StreamCsvCursor>(
+        std::string_view(text_).substr(c.begin, c.end - c.begin), vocab_,
+        allow_disorder_, c.base_line);
+  }
+
+  StreamFormat format() const override { return StreamFormat::kCsv; }
+
+ private:
+  const std::string& text_;
+  Vocabulary* vocab_;
+  bool allow_disorder_;
+  std::vector<Chunk> chunks_;
+};
+
+class BinaryChunkedStream : public ChunkedStream {
+ public:
+  BinaryChunkedStream(const std::string& bytes,
+                      std::shared_ptr<const BinaryStreamHeader> header,
+                      bool allow_disorder, std::size_t min_chunks)
+      : bytes_(bytes), header_(std::move(header)),
+        allow_disorder_(allow_disorder) {
+    const std::uint64_t records = header_->num_records;
+    const std::size_t n =
+        PickNumChunks(static_cast<std::size_t>(records) * kBinaryRecordBytes,
+                      min_chunks);
+    std::uint64_t begin = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t end =
+          (i + 1 == n) ? records : (records * (i + 1)) / n;
+      bounds_.push_back({begin, std::max(end, begin)});
+      begin = std::max(end, begin);
+    }
+  }
+
+  std::size_t NumChunks() const override { return bounds_.size(); }
+
+  std::unique_ptr<StreamCursor> OpenChunk(std::size_t i) const override {
+    const auto [begin, end] = bounds_[i];
+    const std::size_t byte_begin =
+        header_->records_offset +
+        static_cast<std::size_t>(begin) * kBinaryRecordBytes;
+    const std::size_t len =
+        static_cast<std::size_t>(end - begin) * kBinaryRecordBytes;
+    return std::make_unique<BinaryStreamCursor>(
+        header_, std::string_view(bytes_).substr(byte_begin, len), byte_begin,
+        allow_disorder_);
+  }
+
+  StreamFormat format() const override { return StreamFormat::kBinary; }
+
+ private:
+  const std::string& bytes_;
+  std::shared_ptr<const BinaryStreamHeader> header_;
+  bool allow_disorder_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> bounds_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ChunkedStream>> MakeChunkedStream(
+    const std::string& bytes, StreamFormat format, Vocabulary* vocab,
+    bool allow_disorder, std::size_t min_chunks) {
+  if (format == StreamFormat::kBinary) {
+    SGQ_ASSIGN_OR_RETURN(BinaryStreamHeader header,
+                         ParseBinaryStreamHeader(bytes, vocab));
+    return std::unique_ptr<ChunkedStream>(new BinaryChunkedStream(
+        bytes, std::make_shared<const BinaryStreamHeader>(std::move(header)),
+        allow_disorder, min_chunks));
+  }
+  return std::unique_ptr<ChunkedStream>(
+      new CsvChunkedStream(bytes, vocab, allow_disorder, min_chunks));
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open stream file: " + path);
+  std::string out;
+  char buffer[kStreamIoBufferBytes];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    out.append(buffer, static_cast<std::size_t>(in.gcount()));
+  }
+  if (in.bad()) return Status::Internal("read error on stream file: " + path);
+  return out;
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot create file: " + path);
+  for (std::size_t off = 0; off < bytes.size();
+       off += kStreamIoBufferBytes) {
+    const std::size_t n =
+        std::min(kStreamIoBufferBytes, bytes.size() - off);
+    out.write(bytes.data() + off, static_cast<std::streamsize>(n));
+  }
+  out.flush();
+  if (!out) return Status::Internal("write error on file: " + path);
+  return Status::OK();
+}
+
 Result<InputStream> ReadStreamFile(const std::string& path,
                                    Vocabulary* vocab) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open stream file: " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return ParseStreamCsv(buffer.str(), vocab);
+  SGQ_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  if (DetectStreamFormat(bytes) == StreamFormat::kBinary) {
+    return ParseStreamBinary(bytes, vocab);
+  }
+  return ParseStreamCsv(bytes, vocab);
 }
 
 }  // namespace sgq

@@ -1,17 +1,55 @@
-// Reading and writing input graph streams as CSV quads
-// (src,label,trg,timestamp[,op]).
+// Reading and writing input graph streams, as CSV quads
+// (src,label,trg,timestamp[,op]) or as the compact SGQB binary format
+// (DESIGN.md §6): a versioned little-endian header carrying the name
+// dictionaries followed by fixed-width 24-byte records. Both formats have
+// an incremental pull cursor for the async ingest pipeline and a chunked
+// view for the sharded multi-parser stage.
 
 #ifndef SGQ_MODEL_STREAM_IO_H_
 #define SGQ_MODEL_STREAM_IO_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "model/sgt.h"
 #include "model/vocabulary.h"
 
 namespace sgq {
+
+/// \brief On-disk encodings of an input stream.
+enum class StreamFormat {
+  kCsv,     ///< text quads, one element per line
+  kBinary,  ///< SGQB: dictionary header + fixed-width records
+};
+
+/// \brief Sniffs the format of a stream buffer: SGQB if it starts with the
+/// binary magic, CSV otherwise (CSV lines can never start with the magic
+/// because 'S','G','Q','B' would be a 4-field line, but the magic is
+/// checked byte-for-byte so there is no ambiguity in practice).
+StreamFormat DetectStreamFormat(std::string_view bytes);
+
+/// \brief Pull-based stream parser interface: repeatedly call Next() until
+/// it returns 0, then check status() to distinguish end-of-input from a
+/// parse error. Implementations intern names through the (internally
+/// synchronized) Vocabulary, so Next() is safe to call from an ingest or
+/// parser thread while the execution thread resolves names.
+class StreamCursor {
+ public:
+  virtual ~StreamCursor() = default;
+
+  /// \brief Parses up to `cap` elements into `out`; returns how many were
+  /// produced. 0 means end of input *or* error — check status(). After an
+  /// error the cursor stays at 0 (no resynchronization).
+  virtual std::size_t Next(Sge* out, std::size_t cap) = 0;
+
+  virtual const Status& status() const = 0;
+  bool ok() const { return status().ok(); }
+};
 
 /// \brief Parses a stream from CSV text. Each non-empty line is
 /// `src,label,trg,timestamp` with an optional fifth field `+` (insert,
@@ -26,34 +64,37 @@ Result<InputStream> ParseStreamCsv(const std::string& text,
 /// the ingest thread parses the next micro-batch while the previous one
 /// executes, so the cursor must hand out elements a chunk at a time
 /// instead of materializing the whole stream up front.
-///
-/// Usage: repeatedly call Next() until it returns 0, then check status()
-/// to distinguish end-of-input from a parse error. Interning goes through
-/// the (internally synchronized) Vocabulary, so Next() is safe to call
-/// from the ingest thread while the execution thread resolves names.
 /// `text` is borrowed and must outlive the cursor.
-class StreamCsvCursor {
+class StreamCsvCursor : public StreamCursor {
  public:
   /// \brief `allow_disorder` lifts the non-decreasing-timestamp check for
   /// sources drained through a reorder-slack stage (ExecutorOptions::
   /// ingest_slack); ParseStreamCsv semantics keep it strict.
   StreamCsvCursor(const std::string& text, Vocabulary* vocab,
                   bool allow_disorder = false)
-      : text_(&text), vocab_(vocab), allow_disorder_(allow_disorder) {}
+      : text_(text), vocab_(vocab), allow_disorder_(allow_disorder) {}
 
-  /// \brief Parses up to `cap` elements into `out`; returns how many were
-  /// produced. 0 means end of input *or* error — check status(). After an
-  /// error the cursor stays at 0 (no resynchronization).
-  std::size_t Next(Sge* out, std::size_t cap);
+  /// \brief Chunk-mode cursor over a slice of a larger CSV buffer
+  /// (MakeChunkedStream): `base_line` is the number of lines preceding the
+  /// slice, so errors keep reporting global 1-based line numbers. The
+  /// ordering check is chunk-local (starts from kMinTimestamp); the
+  /// consumer re-validates across chunk boundaries.
+  StreamCsvCursor(std::string_view text, Vocabulary* vocab,
+                  bool allow_disorder, std::size_t base_line)
+      : text_(text),
+        vocab_(vocab),
+        allow_disorder_(allow_disorder),
+        line_no_(base_line) {}
 
-  const Status& status() const { return status_; }
-  bool ok() const { return status_.ok(); }
+  std::size_t Next(Sge* out, std::size_t cap) override;
+
+  const Status& status() const override { return status_; }
 
   /// \brief 1-based line of the last parse attempt (error reporting).
   std::size_t line_number() const { return line_no_; }
 
  private:
-  const std::string* text_;
+  std::string_view text_;
   Vocabulary* vocab_;
   bool allow_disorder_;
   std::size_t offset_ = 0;
@@ -66,7 +107,151 @@ class StreamCsvCursor {
 std::string FormatStreamCsv(const InputStream& stream,
                             const Vocabulary& vocab);
 
-/// \brief Reads ParseStreamCsv input from a file on disk.
+// ---------------------------------------------------------------------------
+// SGQB binary stream format (little-endian throughout):
+//
+//   offset 0   magic "SGQB" (4 bytes)
+//          4   u32  version        (currently 1)
+//          8   u32  label_count
+//         12   u32  vertex_count
+//         16   u64  record_count
+//         24   label dictionary:  label_count  × { u16 len, len bytes }
+//          …   vertex dictionary: vertex_count × { u16 len, len bytes }
+//          …   records:           record_count × 24 bytes
+//
+// Each record:  i64 timestamp | u32 src | u32 trg | u32 label | u8 op |
+// 3 pad bytes (zero). src/trg/label are *dictionary indexes* (not
+// Vocabulary ids), so the file is self-contained and readers intern the
+// dictionary once, deterministically, regardless of how many parser
+// threads later decode records. Dictionaries list names in first-use
+// order of the encoded stream — the same order a fresh CSV parse interns
+// them — so CSV → binary → CSV round-trips byte- and id-identically.
+// Readers reject unknown versions; future revisions bump the version and
+// may append header fields after record_count.
+// ---------------------------------------------------------------------------
+
+/// \brief SGQB magic bytes and current version.
+inline constexpr char kBinaryStreamMagic[4] = {'S', 'G', 'Q', 'B'};
+inline constexpr std::uint32_t kBinaryStreamVersion = 1;
+/// \brief Bytes per fixed-width SGQB record.
+inline constexpr std::size_t kBinaryRecordBytes = 24;
+/// \brief Buffer size for stream file I/O (32 KB, the GraphStreamingCC
+/// sweet spot for sequential binary reads).
+inline constexpr std::size_t kStreamIoBufferBytes = 32 * 1024;
+
+/// \brief Decoded SGQB header: dictionary index → Vocabulary id mappings
+/// plus the location of the fixed-width record region. Immutable after
+/// parse, so parser threads share one instance.
+struct BinaryStreamHeader {
+  std::vector<LabelId> labels;     ///< dict index -> interned label id
+  std::vector<VertexId> vertices;  ///< dict index -> interned vertex id
+  std::size_t records_offset = 0;  ///< absolute byte offset of record 0
+  std::uint64_t num_records = 0;
+};
+
+/// \brief Parses and validates an SGQB header, interning every dictionary
+/// name into `*vocab` (single-threaded — binary streams keep Vocabulary id
+/// assignment deterministic even under multi-parser decode). Validates
+/// that the record region is exactly record_count × 24 bytes.
+Result<BinaryStreamHeader> ParseBinaryStreamHeader(std::string_view bytes,
+                                                   Vocabulary* vocab);
+
+/// \brief Incremental SGQB record decoder mirroring StreamCsvCursor. The
+/// whole-buffer constructor parses the header eagerly (errors surface via
+/// status()); the chunk-mode constructor shares a pre-parsed header and
+/// decodes a record-aligned slice. Error messages are tagged with the
+/// absolute byte offset of the offending record.
+class BinaryStreamCursor : public StreamCursor {
+ public:
+  /// \brief Whole-buffer cursor: header + all records. `bytes` is borrowed
+  /// and must outlive the cursor.
+  BinaryStreamCursor(const std::string& bytes, Vocabulary* vocab,
+                     bool allow_disorder = false);
+
+  /// \brief Chunk-mode cursor over `records` (a 24-byte-aligned slice of
+  /// the record region, borrowed) at absolute byte offset `base_offset`.
+  /// Ordering is chunk-local; the consumer re-validates across chunks.
+  BinaryStreamCursor(std::shared_ptr<const BinaryStreamHeader> header,
+                     std::string_view records, std::size_t base_offset,
+                     bool allow_disorder = false);
+
+  std::size_t Next(Sge* out, std::size_t cap) override;
+
+  const Status& status() const override { return status_; }
+
+ private:
+  std::shared_ptr<const BinaryStreamHeader> header_;
+  std::string_view records_;
+  std::size_t base_offset_ = 0;  ///< absolute offset of records_[0]
+  std::size_t pos_ = 0;          ///< cursor within records_
+  bool allow_disorder_ = false;
+  Timestamp last_t_ = kMinTimestamp;
+  Status status_ = Status::OK();
+};
+
+/// \brief Parses a whole SGQB buffer (binary counterpart of
+/// ParseStreamCsv).
+Result<InputStream> ParseStreamBinary(const std::string& bytes,
+                                      Vocabulary* vocab);
+
+/// \brief Encodes a stream as SGQB (inverse of ParseStreamBinary).
+/// Dictionaries are emitted in first-use order of `stream`. Fails only on
+/// pathological inputs (a name longer than 64 KiB, or more than 2^32 - 1
+/// distinct labels/vertices — the dictionary index width).
+Result<std::string> FormatStreamBinary(const InputStream& stream,
+                                       const Vocabulary& vocab);
+
+// ---------------------------------------------------------------------------
+// Chunked views — the unit of work of the sharded parse stage
+// (runtime/ingest_pipeline.h): parser threads open disjoint chunks
+// concurrently, and an order-restoring merge reassembles elements in chunk
+// order.
+// ---------------------------------------------------------------------------
+
+/// \brief A stream buffer pre-split into record-aligned byte-range chunks.
+/// CSV chunks break at newline boundaries (with global line numbers
+/// preserved for errors); binary chunks slice the fixed-width record
+/// region after one shared header parse. Chunk order is stream order:
+/// concatenating the chunks' elements 0..NumChunks()-1 reproduces the
+/// sequential parse exactly.
+class ChunkedStream {
+ public:
+  virtual ~ChunkedStream() = default;
+
+  virtual std::size_t NumChunks() const = 0;
+
+  /// \brief Opens a fresh cursor over chunk `i`. Thread-safe: parser
+  /// threads call this concurrently for distinct (or even equal) chunks.
+  virtual std::unique_ptr<StreamCursor> OpenChunk(std::size_t i) const = 0;
+
+  virtual StreamFormat format() const = 0;
+};
+
+/// \brief Splits `bytes` (borrowed; must outlive the result) into at least
+/// `min_chunks` chunks of roughly equal size where the input allows,
+/// capped so large inputs get ~256 KB chunks for load balancing. Binary
+/// inputs parse and validate the header here (interning into `*vocab`
+/// deterministically); CSV inputs only scan for newline boundaries, so
+/// header errors surface here but per-record errors surface from the
+/// chunk cursors.
+Result<std::unique_ptr<ChunkedStream>> MakeChunkedStream(
+    const std::string& bytes, StreamFormat format, Vocabulary* vocab,
+    bool allow_disorder, std::size_t min_chunks);
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+/// \brief Reads a whole file in binary mode with kStreamIoBufferBytes
+/// buffered reads.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// \brief Writes `bytes` to `path` in binary mode with
+/// kStreamIoBufferBytes buffered writes.
+Status WriteFileBytes(const std::string& path, std::string_view bytes);
+
+/// \brief Reads a stream file from disk, auto-detecting CSV vs SGQB by the
+/// magic bytes.
 Result<InputStream> ReadStreamFile(const std::string& path,
                                    Vocabulary* vocab);
 

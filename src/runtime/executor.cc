@@ -306,7 +306,7 @@ bool Executor::OfferAtMerge(OpNode& node, const Sgt& tuple) {
     // One coordinated deletion can retract the same output value on
     // several shards; a single instance emits that retraction once.
     if (!node.merge_retracted.insert(tuple.edge()).second) return false;
-    node.merge_coalescer.Forget(tuple.edge());
+    node.merge_coalescer.Forget(tuple.edge(), tuple.validity.ts);
     return true;
   }
   node.merge_retracted.erase(tuple.edge());
@@ -726,16 +726,45 @@ void Executor::ExecutePipelinedBatch(const Sge* sges, std::size_t n) {
   ExecuteOrderedBatch(sges, n);
 }
 
+namespace {
+
+/// \brief Folds one pipeline run's counters into the executor's
+/// cumulative stats (shared by RunPipelined / RunPipelinedSharded).
+void AccumulateIngestStats(IngestStats* total, const IngestStats& run) {
+  total->ingest_stall_ns += run.ingest_stall_ns;
+  total->exec_stall_ns += run.exec_stall_ns;
+  total->batches += run.batches;
+  total->late_dropped += run.late_dropped;
+  total->ingest_pinned = run.ingest_pinned;
+  total->merge_stall_ns += run.merge_stall_ns;
+  if (run.parsers > 0) total->parsers = run.parsers;
+  if (total->parser_stall_ns.size() < run.parser_stall_ns.size()) {
+    total->parser_stall_ns.resize(run.parser_stall_ns.size(), 0);
+    total->parser_busy_ns.resize(run.parser_busy_ns.size(), 0);
+  }
+  for (std::size_t p = 0; p < run.parser_stall_ns.size(); ++p) {
+    total->parser_stall_ns[p] += run.parser_stall_ns[p];
+    total->parser_busy_ns[p] += run.parser_busy_ns[p];
+  }
+}
+
+}  // namespace
+
 void Executor::RunPipelined(const IngestProducer& fill) {
   SGQ_CHECK(finalized_) << "RunPipelined before Finalize";
   IngestPipeline pipeline(this);
   pipeline.Run(fill);
-  const IngestStats& run = pipeline.stats();
-  ingest_stats_.ingest_stall_ns += run.ingest_stall_ns;
-  ingest_stats_.exec_stall_ns += run.exec_stall_ns;
-  ingest_stats_.batches += run.batches;
-  ingest_stats_.late_dropped += run.late_dropped;
-  ingest_stats_.ingest_pinned = run.ingest_pinned;
+  AccumulateIngestStats(&ingest_stats_, pipeline.stats());
+}
+
+Status Executor::RunPipelinedSharded(const ChunkedStream& stream) {
+  SGQ_CHECK(finalized_) << "RunPipelinedSharded before Finalize";
+  IngestPipeline pipeline(this);
+  const Status status =
+      pipeline.RunSharded(stream, std::max<std::size_t>(
+                                      options_.ingest_parsers, 1));
+  AccumulateIngestStats(&ingest_stats_, pipeline.stats());
+  return status;
 }
 
 void Executor::AdvanceTo(Timestamp t) {

@@ -96,6 +96,12 @@ struct ExecutorOptions {
   /// seen; older elements are dropped (IngestStats::late_dropped). 0 (the
   /// default) requires an ordered producer.
   Timestamp ingest_slack = 0;
+  /// Parser threads of the sharded parse stage (RunPipelinedSharded):
+  /// N > 1 decodes the stream's chunks on N threads with an order-
+  /// restoring merge ahead of the batch hand-off; 1 (the default) is the
+  /// classic single-producer pipeline (byte-identical output at
+  /// num_workers=1/batch_size=1). See runtime/ingest_pipeline.h.
+  std::size_t ingest_parsers = 1;
 };
 
 /// \brief Owns and drives the operator topology of one running query.
@@ -165,6 +171,15 @@ class Executor {
   /// workers=1/batch=1). Honors options().ingest_slack; stall/late
   /// counters accumulate in ingest_stats(). Callable repeatedly.
   void RunPipelined(const IngestProducer& fill);
+
+  /// \brief Sharded-parse pipelined ingest: options().ingest_parsers
+  /// threads decode `stream`'s chunks concurrently, the order-restoring
+  /// merge re-serializes them, and execution runs on the calling thread —
+  /// element order and batch boundaries are exactly RunPipelined's over a
+  /// sequential cursor. Parse errors surface as the returned Status
+  /// (elements preceding the error still execute). Counters accumulate in
+  /// ingest_stats(), including per-parser stall/busy time.
+  Status RunPipelinedSharded(const ChunkedStream& stream);
   /// @}
 
   /// \name Introspection

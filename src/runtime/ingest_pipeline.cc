@@ -1,10 +1,13 @@
 #include "runtime/ingest_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <thread>
 
 #include "common/logging.h"
 #include "core/reorder_buffer.h"
+#include "model/stream_io.h"
 #include "runtime/executor.h"
 #include "runtime/worker_pool.h"
 
@@ -16,6 +19,15 @@
 namespace sgq {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
 
 /// \brief RAII pin of the calling (execution) thread to `cpu` that
 /// restores the previous affinity mask on destruction, so a pinned
@@ -52,6 +64,153 @@ class ScopedThreadPin {
   bool pinned_ = false;
 };
 
+/// \brief The slack / batch staging stage shared by the single-producer
+/// ingest thread and the sharded merge thread: elements pass through the
+/// ReorderBuffer when slack is configured, accumulate into batch buffers,
+/// and ship on the `full` queue, acquiring replacements from `free`
+/// (blocking = the pipeline's backpressure, accounted to `*stall_ns`).
+class BatchStager {
+ public:
+  using Batch = std::vector<Sge>;
+
+  BatchStager(const ExecutorOptions& options, SpscQueue<Batch>* full,
+              SpscQueue<Batch>* free_buffers, uint64_t* stall_ns)
+      : batch_size_(options.batch_size),
+        use_slack_(options.ingest_slack > 0),
+        reorder_(options.ingest_slack),
+        full_(full),
+        free_(free_buffers),
+        stall_(stall_ns) {}
+
+  /// \brief Acquires the first staging buffer.
+  bool Start() {
+    const bool ok = free_->Pop(&current_, stall_);
+    SGQ_CHECK(ok) << "free-buffer pool starts prefilled";
+    return ok;
+  }
+
+  /// \brief Stages one element (through the slack stage when configured);
+  /// false when the downstream queue closed mid-run.
+  bool Emit(const Sge& sge) {
+    if (!use_slack_) return Stage(sge);
+    // Slack stage: out-of-order slack is absorbed here, on the producer
+    // side, releasing a timestamp-ordered stream into the batches.
+    for (const Sge& released : reorder_.Offer(sge)) {
+      if (!Stage(released)) return false;
+    }
+    return true;
+  }
+
+  /// \brief Flushes the slack stage and ships any partial batch (skipped
+  /// when `ok` is false — the run is aborting). Returns the slack stage's
+  /// late-drop count. Call exactly once.
+  std::size_t Finish(bool ok) {
+    if (ok && use_slack_) {
+      for (const Sge& released : reorder_.Flush()) {
+        if (!Stage(released)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok && !current_.empty()) full_->Push(std::move(current_), stall_);
+    return reorder_.LateCount();
+  }
+
+ private:
+  /// \brief Appends to the staged batch; ships when it reaches batch size.
+  /// Blocking on the free queue is the backpressure: every buffer is
+  /// queued or executing.
+  bool Stage(const Sge& sge) {
+    current_.push_back(sge);
+    if (current_.size() < batch_size_) return true;
+    if (!full_->Push(std::move(current_), stall_)) return false;
+    return free_->Pop(&current_, stall_);
+  }
+
+  const std::size_t batch_size_;
+  const bool use_slack_;
+  ReorderBuffer reorder_;
+  SpscQueue<Batch>* full_;
+  SpscQueue<Batch>* free_;
+  uint64_t* stall_;
+  Batch current_;
+};
+
+Status ChunkBoundaryError(std::size_t chunk, Timestamp got, Timestamp prev) {
+  return Status::ParseError(
+      "chunk " + std::to_string(chunk) +
+      ": timestamps must be non-decreasing across chunk boundaries (got " +
+      std::to_string(got) + " after " + std::to_string(prev) + ")");
+}
+
+/// \brief Sequential walk over a ChunkedStream's cursors — the collapsed
+/// parsers=1 form of the sharded parse: identical element sequence to one
+/// cursor over the whole buffer, plus the cross-chunk ordering check the
+/// chunk-local cursors cannot perform. Accounts pure parse time for
+/// parse_tuples_per_sec parity with the multi-parser stage.
+class SequentialChunkCursor {
+ public:
+  SequentialChunkCursor(const ChunkedStream& stream, bool allow_disorder)
+      : stream_(stream), check_order_(!allow_disorder) {}
+
+  std::size_t Next(Sge* buf, std::size_t cap) {
+    if (!status_.ok()) return 0;
+    for (;;) {
+      if (cursor_ == nullptr) {
+        if (next_chunk_ >= stream_.NumChunks()) return 0;
+        chunk_ = next_chunk_++;
+        cursor_ = stream_.OpenChunk(chunk_);
+        fresh_chunk_ = true;
+      }
+      const auto t0 = Clock::now();
+      const std::size_t n = cursor_->Next(buf, cap);
+      busy_ns_ += ElapsedNs(t0);
+      if (n > 0) {
+        if (fresh_chunk_ && check_order_ && buf[0].t < last_t_) {
+          status_ = ChunkBoundaryError(chunk_, buf[0].t, last_t_);
+          return 0;
+        }
+        fresh_chunk_ = false;
+        last_t_ = buf[n - 1].t;
+        return n;
+      }
+      if (!cursor_->ok()) {
+        status_ = cursor_->status();
+        return 0;
+      }
+      cursor_.reset();
+    }
+  }
+
+  const Status& status() const { return status_; }
+  uint64_t busy_ns() const { return busy_ns_; }
+
+ private:
+  const ChunkedStream& stream_;
+  const bool check_order_;
+  std::unique_ptr<StreamCursor> cursor_;
+  std::size_t next_chunk_ = 0;
+  std::size_t chunk_ = 0;
+  bool fresh_chunk_ = false;
+  Timestamp last_t_ = kMinTimestamp;
+  uint64_t busy_ns_ = 0;
+  Status status_ = Status::OK();
+};
+
+/// \brief Unit of the gutter hand-off: one run of consecutive elements of
+/// one chunk, or the chunk's end marker (publishes its parse status).
+struct Segment {
+  std::vector<Sge> elems;
+  std::size_t chunk = 0;
+  bool end_of_chunk = false;
+};
+
+/// \brief Segments a parser may have in flight toward the merge; the free
+/// pool holds kGutterDepth + 2 (one staging at the parser, one draining at
+/// the merge), so steady state allocates nothing.
+constexpr std::size_t kGutterDepth = 4;
+
 }  // namespace
 
 void IngestPipeline::IngestThread(const IngestProducer& fill,
@@ -67,52 +226,32 @@ void IngestPipeline::IngestThread(const IngestProducer& fill,
     // ingest thread floats instead.
     stats_.ingest_pinned = WorkerPool::PinThisThread(options.num_workers);
   }
-  const std::size_t batch_size = options.batch_size;
-  ReorderBuffer reorder(options.ingest_slack);
-
-  Batch current;
-  uint64_t* stall = &stats_.ingest_stall_ns;
-  bool ok = free_buffers->Pop(&current, stall);
-  SGQ_CHECK(ok) << "free-buffer pool starts prefilled";
-
-  // Ships the staged batch and acquires the next buffer. Blocking on the
-  // free queue is the backpressure: every buffer is queued or executing.
-  auto ship = [&]() {
-    if (!full->Push(std::move(current), stall)) return false;
-    return free_buffers->Pop(&current, stall);
-  };
-  auto emit = [&](const Sge& sge) {
-    current.push_back(sge);
-    return current.size() < batch_size || ship();
-  };
+  BatchStager stager(options, full, free_buffers, &stats_.ingest_stall_ns);
+  bool ok = stager.Start();
 
   // Producer chunks need not align with batches; a modest fixed chunk
   // keeps per-call overhead low without adding latency at small batches.
-  std::vector<Sge> chunk(std::clamp<std::size_t>(batch_size, 1, 1024));
-  for (;;) {
+  std::vector<Sge> chunk(
+      std::clamp<std::size_t>(options.batch_size, 1, 1024));
+  while (ok) {
     const std::size_t n = fill(chunk.data(), chunk.size());
     if (n == 0) break;
-    for (std::size_t i = 0; i < n && ok; ++i) {
-      if (options.ingest_slack == 0) {
-        ok = emit(chunk[i]);
-        continue;
-      }
-      // Slack stage: out-of-order slack is absorbed here, on the ingest
-      // thread, releasing a timestamp-ordered stream into the batches.
-      for (const Sge& released : reorder.Offer(chunk[i])) {
-        if (!(ok = emit(released))) break;
-      }
-    }
-    if (!ok) break;
+    for (std::size_t i = 0; i < n && ok; ++i) ok = stager.Emit(chunk[i]);
   }
-  if (ok && options.ingest_slack > 0) {
-    for (const Sge& released : reorder.Flush()) {
-      if (!(ok = emit(released))) break;
-    }
-  }
-  if (ok && !current.empty()) full->Push(std::move(current), stall);
-  stats_.late_dropped += reorder.LateCount();
+  stats_.late_dropped += stager.Finish(ok);
   full->Close();
+}
+
+void IngestPipeline::ExecuteLoop(SpscQueue<Batch>* full,
+                                 SpscQueue<Batch>* free_buffers) {
+  Batch batch;
+  while (full->Pop(&batch, &stats_.exec_stall_ns)) {
+    executor_->ExecutePipelinedBatch(batch.data(), batch.size());
+    ++stats_.batches;
+    batch.clear();
+    // Never blocks: the pool holds at most depth + 2 buffers.
+    SGQ_CHECK(free_buffers->TryPush(std::move(batch)));
+  }
 }
 
 void IngestPipeline::Run(const IngestProducer& fill) {
@@ -138,16 +277,206 @@ void IngestPipeline::Run(const IngestProducer& fill) {
   {
     ScopedThreadPin pin_exec_thread(options.pin_workers, 0);
     (void)pin_exec_thread;
-    Batch batch;
-    while (full.Pop(&batch, &stats_.exec_stall_ns)) {
-      executor_->ExecutePipelinedBatch(batch.data(), batch.size());
-      ++stats_.batches;
-      batch.clear();
-      // Never blocks: the pool holds at most depth + 2 buffers.
-      SGQ_CHECK(free_buffers.TryPush(std::move(batch)));
-    }
+    ExecuteLoop(&full, &free_buffers);
   }
   ingest.join();
+}
+
+void IngestPipeline::AccumulateParserStats(std::size_t parsers,
+                                           const uint64_t* stall_ns,
+                                           const uint64_t* busy_ns) {
+  stats_.parsers = parsers;
+  if (stats_.parser_stall_ns.size() < parsers) {
+    stats_.parser_stall_ns.resize(parsers, 0);
+    stats_.parser_busy_ns.resize(parsers, 0);
+  }
+  for (std::size_t p = 0; p < parsers; ++p) {
+    stats_.parser_stall_ns[p] += stall_ns[p];
+    stats_.parser_busy_ns[p] += busy_ns[p];
+  }
+}
+
+Status IngestPipeline::RunSharded(const ChunkedStream& stream,
+                                  std::size_t parsers) {
+  const ExecutorOptions& options = executor_->options();
+  const bool allow_disorder = options.ingest_slack > 0;
+
+  if (parsers <= 1) {
+    // Collapsed form: one sequential chunk walk on the classic single-
+    // producer pipeline — the same element sequence as an unchunked
+    // cursor, so output stays byte-identical to Run().
+    SequentialChunkCursor seq(stream, allow_disorder);
+    Run([&seq](Sge* buf, std::size_t cap) { return seq.Next(buf, cap); });
+    const uint64_t stall = 0;
+    const uint64_t busy = seq.busy_ns();
+    AccumulateParserStats(1, &stall, &busy);
+    return seq.status();
+  }
+
+  executor_->Flush();
+  const std::size_t chunks = stream.NumChunks();
+  const std::size_t depth = std::max<std::size_t>(options.ingest_queue_depth,
+                                                  1);
+  SpscQueue<Batch> full(depth);
+  SpscQueue<Batch> free_buffers(depth + 2);
+  for (std::size_t i = 0; i < depth + 2; ++i) {
+    Batch buffer;
+    buffer.reserve(options.batch_size);
+    SGQ_CHECK(free_buffers.TryPush(std::move(buffer)));
+  }
+
+  // Gutter stage: per-parser SPSC segment queues (parser -> merge) with a
+  // free-list back-channel (merge -> parser). Chunk c is owned by parser
+  // c mod parsers, and a parser walks its chunks in ascending order, so
+  // per-queue FIFO delivery hands the merge whole chunks in index order.
+  const std::size_t seg_cap =
+      std::clamp<std::size_t>(options.batch_size, 1, 1024);
+  std::vector<std::unique_ptr<SpscQueue<Segment>>> gutter;
+  std::vector<std::unique_ptr<SpscQueue<Segment>>> gutter_free;
+  for (std::size_t p = 0; p < parsers; ++p) {
+    gutter.push_back(std::make_unique<SpscQueue<Segment>>(kGutterDepth));
+    gutter_free.push_back(
+        std::make_unique<SpscQueue<Segment>>(kGutterDepth + 2));
+    for (std::size_t i = 0; i < kGutterDepth + 2; ++i) {
+      Segment seg;
+      seg.elems.reserve(seg_cap);
+      SGQ_CHECK(gutter_free[p]->TryPush(std::move(seg)));
+    }
+  }
+  // Per-chunk parse status, written by the owning parser before its
+  // end-of-chunk marker (the queue's release publish orders it); the
+  // merge reads it when the marker arrives, so the first error in chunk
+  // order wins — exactly the sequential cursor's error.
+  std::vector<Status> chunk_status(chunks);
+  std::vector<uint64_t> parser_stall(parsers, 0);
+  std::vector<uint64_t> parser_busy(parsers, 0);
+
+  std::vector<std::thread> parser_threads;
+  parser_threads.reserve(parsers);
+  for (std::size_t p = 0; p < parsers; ++p) {
+    parser_threads.emplace_back([&, p] {
+      if (options.pin_workers) {
+        // Parsers line up after the merge thread's slot (num_workers);
+        // best-effort, and never onto a slot that does not exist.
+        const std::size_t slot = options.num_workers + 1 + p;
+        if (slot < std::thread::hardware_concurrency()) {
+          WorkerPool::PinThisThread(slot);
+        }
+      }
+      uint64_t stall = 0;
+      uint64_t busy = 0;
+      Segment seg;
+      bool ok = gutter_free[p]->Pop(&seg, &stall);
+      for (std::size_t c = p; ok && c < chunks; c += parsers) {
+        std::unique_ptr<StreamCursor> cursor = stream.OpenChunk(c);
+        for (;;) {
+          seg.elems.resize(seg_cap);
+          const auto t0 = Clock::now();
+          const std::size_t n = cursor->Next(seg.elems.data(), seg_cap);
+          busy += ElapsedNs(t0);
+          if (n == 0) break;
+          seg.elems.resize(n);
+          seg.chunk = c;
+          seg.end_of_chunk = false;
+          // A failed push/pop means the merge aborted and closed the
+          // gutters — stop parsing, the error is already decided.
+          if (!gutter[p]->Push(std::move(seg), &stall) ||
+              !gutter_free[p]->Pop(&seg, &stall)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+        chunk_status[c] = cursor->status();
+        seg.elems.clear();
+        seg.chunk = c;
+        seg.end_of_chunk = true;
+        if (!gutter[p]->Push(std::move(seg), &stall)) break;
+        if (c + parsers < chunks &&
+            !gutter_free[p]->Pop(&seg, &stall)) {
+          break;
+        }
+      }
+      gutter[p]->Close();
+      parser_stall[p] = stall;
+      parser_busy[p] = busy;
+    });
+  }
+
+  Status merge_error;
+  std::thread merge([&] {
+    if (options.pin_workers &&
+        options.num_workers < std::thread::hardware_concurrency()) {
+      stats_.ingest_pinned = WorkerPool::PinThisThread(options.num_workers);
+    }
+    BatchStager stager(options, &full, &free_buffers,
+                       &stats_.ingest_stall_ns);
+    bool ok = stager.Start();
+    const bool check_order = !allow_disorder;
+    Timestamp last_t = kMinTimestamp;
+    for (std::size_t c = 0; ok && c < chunks; ++c) {
+      SpscQueue<Segment>& q = *gutter[c % parsers];
+      for (;;) {
+        Segment seg;
+        if (!q.Pop(&seg, &stats_.merge_stall_ns)) {
+          // Parser vanished without an end-of-chunk marker: only happens
+          // when the run is already aborting.
+          if (merge_error.ok()) {
+            merge_error =
+                Status::Internal("sharded parse stage ended unexpectedly");
+          }
+          ok = false;
+          break;
+        }
+        if (seg.end_of_chunk) {
+          SGQ_CHECK_EQ(seg.chunk, c) << "gutters deliver chunks in order";
+          if (!chunk_status[c].ok()) {
+            merge_error = chunk_status[c];
+            ok = false;
+          }
+          seg.elems.clear();
+          gutter_free[c % parsers]->TryPush(std::move(seg));
+          break;
+        }
+        // Chunk-local cursors validate ordering internally; the merge
+        // closes the gap across chunk boundaries. (Within a chunk the
+        // check never fires: front >= previous back already.)
+        if (check_order && !seg.elems.empty() &&
+            seg.elems.front().t < last_t) {
+          merge_error = ChunkBoundaryError(c, seg.elems.front().t, last_t);
+          ok = false;
+        } else {
+          for (const Sge& sge : seg.elems) {
+            if (!(ok = stager.Emit(sge))) break;
+          }
+          if (!seg.elems.empty()) last_t = seg.elems.back().t;
+        }
+        seg.elems.clear();
+        gutter_free[c % parsers]->TryPush(std::move(seg));
+        if (!ok) break;
+      }
+    }
+    if (!ok) {
+      // Abort: wake every parser blocked on a gutter so the threads exit
+      // (Close is safe from either side of an SPSC queue).
+      for (std::size_t p = 0; p < parsers; ++p) {
+        gutter[p]->Close();
+        gutter_free[p]->Close();
+      }
+    }
+    stats_.late_dropped += stager.Finish(ok);
+    full.Close();
+  });
+
+  {
+    ScopedThreadPin pin_exec_thread(options.pin_workers, 0);
+    (void)pin_exec_thread;
+    ExecuteLoop(&full, &free_buffers);
+  }
+  merge.join();
+  for (std::thread& t : parser_threads) t.join();
+  AccumulateParserStats(parsers, parser_stall.data(), parser_busy.data());
+  return merge_error;
 }
 
 }  // namespace sgq

@@ -33,13 +33,25 @@ Result<RunMetrics> RunSgaPlan(const InputStream& stream,
                               const LogicalOp& plan, const Vocabulary& vocab,
                               EngineOptions options, std::string name);
 
-/// \brief Runs `query` over a CSV stream *text*, parsing it as part of the
-/// run — the ingest-bound configuration of the async-ingest experiments
-/// (bench_ingest_pipeline): with options.async_ingest the parse happens on
-/// the dedicated ingest thread, overlapped with execution; without it the
-/// parse runs inline on the execution thread (same Sge sequence, so the
-/// two configurations are directly comparable). Labels/vertices are
-/// interned into `*vocab`; fails on malformed or out-of-order input.
+/// \brief Runs `query` over raw stream bytes (CSV text or SGQB binary,
+/// selected by options.ingest_format), parsing as part of the run — the
+/// ingest-bound configuration of the async-ingest experiments
+/// (bench_ingest_pipeline). Three parse placements, same Sge sequence, so
+/// the configurations are directly comparable:
+///  - sync (async_ingest off): parse inline on the execution thread;
+///  - async, ingest_parsers <= 1: parse on the dedicated ingest thread,
+///    overlapped with execution (the PR 5 path);
+///  - async, ingest_parsers = N > 1: sharded parse — N parser threads
+///    over byte-range chunks behind the order-restoring merge.
+/// Labels/vertices are interned into `*vocab`; fails on malformed or
+/// out-of-order input. Parse-stage cost lands in RunMetrics
+/// (parse_busy_ns / ParseTuplesPerSec).
+Result<RunMetrics> RunSgaText(const std::string& bytes,
+                              const StreamingGraphQuery& query,
+                              Vocabulary* vocab, EngineOptions options,
+                              std::string name);
+
+/// \brief RunSgaText over CSV text (options.ingest_format forced to CSV).
 Result<RunMetrics> RunSgaCsv(const std::string& csv_text,
                              const StreamingGraphQuery& query,
                              Vocabulary* vocab, EngineOptions options,

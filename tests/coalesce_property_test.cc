@@ -99,5 +99,50 @@ TEST(StreamingCoalescerForgetTest, ForgetReopensCoverage) {
   EXPECT_TRUE(c.Offer(Sgt(1, 2, 0, Interval(2, 8))));
 }
 
+TEST(StreamingCoalescerForgetTest, IntervalForgetTruncatesAtDeletion) {
+  // A deletion at t truncates coverage to exp = min(exp, t)
+  // (SnapshotEdges semantics): coverage *before* the deletion instant
+  // must stay suppressed, coverage at or after it must reopen.
+  StreamingCoalescer c;
+  EXPECT_TRUE(c.Offer(Sgt(1, 2, 0, Interval(0, 10))));
+  c.Forget(EdgeRef(1, 2, 0), /*from=*/6);
+  // Re-derivations at or after the deletion instant are novel again...
+  EXPECT_TRUE(c.Offer(Sgt(1, 2, 0, Interval(6, 10))));
+  // ...but the pre-deletion validity stays covered: a reassertion over
+  // [0, 6) is still redundant.
+  EXPECT_FALSE(c.Offer(Sgt(1, 2, 0, Interval(0, 6))));
+  EXPECT_FALSE(c.Offer(Sgt(1, 2, 0, Interval(2, 5))));
+}
+
+TEST(StreamingCoalescerForgetTest, IntervalForgetHitsEveryLaterInterval) {
+  // Disjoint intervals of one key: a forget from inside the first one
+  // truncates it and fully removes the later ones.
+  StreamingCoalescer c;
+  EXPECT_TRUE(c.Offer(Sgt(3, 4, 1, Interval(0, 5))));
+  EXPECT_TRUE(c.Offer(Sgt(3, 4, 1, Interval(8, 12))));
+  EXPECT_TRUE(c.Offer(Sgt(3, 4, 1, Interval(20, 25))));
+  c.Forget(EdgeRef(3, 4, 1), /*from=*/3);
+  EXPECT_FALSE(c.Offer(Sgt(3, 4, 1, Interval(0, 3))));  // kept prefix
+  EXPECT_TRUE(c.Offer(Sgt(3, 4, 1, Interval(3, 5))));   // truncated tail
+  // Entries at/after `from` were dropped wholesale, so they re-suppress
+  // only via the fresh Offers above.
+  StreamingCoalescer c2;
+  EXPECT_TRUE(c2.Offer(Sgt(3, 4, 1, Interval(0, 5))));
+  EXPECT_TRUE(c2.Offer(Sgt(3, 4, 1, Interval(8, 12))));
+  c2.Forget(EdgeRef(3, 4, 1), /*from=*/3);
+  EXPECT_TRUE(c2.Offer(Sgt(3, 4, 1, Interval(8, 12))));
+}
+
+TEST(StreamingCoalescerForgetTest, IntervalForgetPastCoverageIsANoop) {
+  StreamingCoalescer c;
+  EXPECT_TRUE(c.Offer(Sgt(1, 2, 0, Interval(0, 10))));
+  c.Forget(EdgeRef(1, 2, 0), /*from=*/10);  // at exp: nothing to drop
+  EXPECT_FALSE(c.Offer(Sgt(1, 2, 0, Interval(0, 10))));
+  c.Forget(EdgeRef(5, 6, 0), /*from=*/0);  // unknown key: no-op
+  // Forget(from=0) empties the key entirely (matches whole-key Forget).
+  c.Forget(EdgeRef(1, 2, 0), /*from=*/0);
+  EXPECT_TRUE(c.Offer(Sgt(1, 2, 0, Interval(0, 10))));
+}
+
 }  // namespace
 }  // namespace sgq
