@@ -22,7 +22,8 @@
 //    "edges":E,"elapsed_seconds":S,"tuples_per_sec":T,"results":R,
 //    "speedup_async_vs_sync":X,"ingest_stall_ns":I,"exec_stall_ns":J,
 //    "parse_tuples_per_sec":PT,"merge_stall_ns":M,
-//    "parser_stall_ns":[...]}
+//    "parser_stall_ns":[...],
+//    "ops_touched_per_edge":F,"index_skipped_dispatches":D}
 // A human summary goes to stderr. exec_stall_ns >> ingest_stall_ns
 // confirms the run is ingest-bound (execution starved for parsed input).
 
@@ -48,14 +49,16 @@ void PrintRow(const sgq::RunMetrics& m, const char* workload,
       "\"speedup_async_vs_sync\":%.3f,"
       "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
       "\"parse_tuples_per_sec\":%.1f,\"merge_stall_ns\":%llu,"
-      "\"parser_stall_ns\":%s}\n",
+      "\"parser_stall_ns\":%s,"
+      "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu}\n",
       workload, workers, batch, async ? 1 : 0, pin ? 1 : 0, format, parsers,
       m.edges_processed, m.elapsed_seconds, m.Throughput(),
       m.results_emitted, speedup,
       static_cast<unsigned long long>(m.ingest_stall_ns),
       static_cast<unsigned long long>(m.exec_stall_ns),
       m.ParseTuplesPerSec(),
-      static_cast<unsigned long long>(m.merge_stall_ns), stalls.c_str());
+      static_cast<unsigned long long>(m.merge_stall_ns), stalls.c_str(),
+      m.OpsTouchedPerEdge(), m.index_skipped_dispatches);
 }
 
 }  // namespace

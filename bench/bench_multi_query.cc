@@ -14,7 +14,8 @@
 //   {"bench":"multi_query","queries":K,"sharing":true|false,"ops":N,
 //    "shared_subtrees":S,"cross_query_shared":X,"edges":E,
 //    "elapsed_seconds":T,"tuples_per_sec":R,"results_total":C,
-//    "speedup_vs_unshared":Y}
+//    "speedup_vs_unshared":Y,
+//    "ops_touched_per_edge":F,"index_skipped_dispatches":D}
 // (shared_subtrees includes within-plan reuse and is nonzero even in the
 // unshared ablation; cross_query_shared is the cross-registration
 // sharing proper and is 0 there.)
@@ -133,7 +134,9 @@ int main() {
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results_total\":%zu,\"speedup_vs_unshared\":%.3f,"
           "\"state_bytes\":%zu,"
-          "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
+          "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
+          "\"ops_touched_per_edge\":%.3f,"
+          "\"index_skipped_dispatches\":%zu}\n",
           num_queries, sharing ? "true" : "false", metrics->num_operators,
           metrics->shared_subtrees, metrics->cross_query_shared,
           metrics->totals.edges_processed,
@@ -141,7 +144,9 @@ int main() {
           metrics->totals.results_emitted, speedup,
           metrics->totals.state_bytes,
           static_cast<unsigned long long>(metrics->totals.ingest_stall_ns),
-          static_cast<unsigned long long>(metrics->totals.exec_stall_ns));
+          static_cast<unsigned long long>(metrics->totals.exec_stall_ns),
+          metrics->totals.OpsTouchedPerEdge(),
+          metrics->totals.index_skipped_dispatches);
       std::fprintf(stderr,
                    "  %-9s %10.0f tuples/s  %4zu ops  %5zu results"
                    "  (%.2fx vs unshared)\n",

@@ -9,7 +9,8 @@
 // Output: one JSON object per line on stdout —
 //   {"bench":"runtime_parallel","workload":...,"workers":N,"batch":B,
 //    "edges":E,"elapsed_seconds":S,"tuples_per_sec":T,"results":R,
-//    "emission_ratio":Q,"speedup_vs_1":X}
+//    "emission_ratio":Q,"speedup_vs_1":X,
+//    "ops_touched_per_edge":F,"index_skipped_dispatches":D}
 // so future PRs can track the scaling trajectory mechanically. A human
 // summary goes to stderr. Result counts are checked for snapshot
 // plausibility (a worker count must not lose all results) and for
@@ -110,12 +111,15 @@ int main() {
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results\":%zu,\"emission_ratio\":%.4f,"
           "\"speedup_vs_1\":%.3f,\"state_bytes\":%zu,"
-          "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
+          "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
+          "\"ops_touched_per_edge\":%.3f,"
+          "\"index_skipped_dispatches\":%zu}\n",
           w.name, workers, kBatch, metrics->edges_processed,
           metrics->elapsed_seconds, tput, metrics->results_emitted,
           emission_ratio, speedup, metrics->state_bytes,
           static_cast<unsigned long long>(metrics->ingest_stall_ns),
-          static_cast<unsigned long long>(metrics->exec_stall_ns));
+          static_cast<unsigned long long>(metrics->exec_stall_ns),
+          metrics->OpsTouchedPerEdge(), metrics->index_skipped_dispatches);
       std::fprintf(stderr,
                    "  workers=%zu  %10.0f tuples/s  (%.2fx vs 1)  "
                    "%zu results (%.3fx emission)\n",

@@ -12,7 +12,8 @@
 // Output: one JSON object per line on stdout —
 //   {"bench":"state_hot","workload":...,"workers":1,"batch":B,"edges":E,
 //    "elapsed_seconds":S,"tuples_per_sec":T,"p99_slide_seconds":L,
-//    "results":R,"state_entries":N,"state_bytes":M}
+//    "results":R,"state_entries":N,"state_bytes":M,
+//    "ops_touched_per_edge":F,"index_skipped_dispatches":D}
 // plus a human summary on stderr. Compare against the committed
 // pre-change numbers in bench/baselines/BENCH_state_hot.json with
 // scripts/bench_diff.py.
@@ -98,13 +99,15 @@ int main() {
         "\"batch\":%zu,\"edges\":%zu,\"elapsed_seconds\":%.6f,"
         "\"tuples_per_sec\":%.1f,\"p99_slide_seconds\":%.6f,"
         "\"results\":%zu,\"state_entries\":%zu,\"state_bytes\":%zu,"
-        "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu}\n",
+        "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
+        "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu}\n",
         w.name.c_str(), kBatch, w.metrics.edges_processed,
         w.metrics.elapsed_seconds, w.metrics.Throughput(),
         w.metrics.tail_latency_seconds, w.metrics.results_emitted,
         w.metrics.state_entries, w.metrics.state_bytes,
         static_cast<unsigned long long>(w.metrics.ingest_stall_ns),
-        static_cast<unsigned long long>(w.metrics.exec_stall_ns));
+        static_cast<unsigned long long>(w.metrics.exec_stall_ns),
+        w.metrics.OpsTouchedPerEdge(), w.metrics.index_skipped_dispatches);
     std::fprintf(stderr, "%-16s %14.0f %16.3f %10zu %12zu\n", w.name.c_str(),
                  w.metrics.Throughput(),
                  w.metrics.tail_latency_seconds * 1e3,

@@ -6,7 +6,7 @@
 //                    [--delta-path] [--slack N] [--batch N] [--workers N]
 //                    [--query FILE]... [--no-share] [--async-ingest]
 //                    [--pin-workers] [--format csv|binary|auto]
-//                    [--parsers N]
+//                    [--parsers N] [--no-query-index]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream       CSV lines `src,label,trg,timestamp[,+|-]` or an SGQB
@@ -32,6 +32,11 @@
 //                intern their dictionary up front and stay fully
 //                deterministic.
 //   --pin-workers   pin runtime threads to cores (best-effort affinity)
+//   --no-query-index   escape hatch: disable the label-discrimination
+//                query index (DESIGN.md §3.1) and dispatch every edge /
+//                time advance by the legacy full scan. Semantics are
+//                identical either way; use only to isolate a suspected
+//                index bug or to measure the dispatch win.
 //
 // Prints every result sgt as it is produced, then a metrics summary.
 // Without arguments, runs a built-in demo (the paper's Figure 2 stream).
@@ -88,6 +93,8 @@ int main(int argc, char** argv) {
       options.async_ingest = true;
     } else if (std::strcmp(argv[i], "--pin-workers") == 0) {
       options.pin_workers = true;
+    } else if (std::strcmp(argv[i], "--no-query-index") == 0) {
+      options.use_query_index = false;
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       auto text = ReadFile(argv[++i]);
       if (!text.ok()) {

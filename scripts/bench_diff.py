@@ -4,7 +4,7 @@
 Each bench binary emits one JSON object per line on stdout (see
 bench/bench_*.cc); committed reference numbers live in bench/baselines/.
 This script matches rows by their identity keys (bench, workload, workers,
-batch, queries, sharing, async, pin, format, parsers) and reports
+batch, queries, sharing, async, pin, format, parsers, index) and reports
 throughput / tail-latency ratios.
 
 Intended as a *non-blocking* CI step: machine-to-machine variance makes a
@@ -26,10 +26,14 @@ import json
 import sys
 
 IDENTITY_KEYS = ("bench", "workload", "workers", "batch", "queries",
-                 "sharing", "async", "pin", "format", "parsers")
+                 "sharing", "async", "pin", "format", "parsers", "index")
 # Higher is better / lower is better metrics, with their soft thresholds.
 HIGHER_BETTER = {"tuples_per_sec": 0.8, "parse_tuples_per_sec": 0.8}
-LOWER_BETTER = {"p99_slide_seconds": 1.5, "state_bytes": 1.5}
+# ops_touched_per_edge is near-deterministic (driver-side dispatch counts,
+# not wall clock), so a growth past 1.2x means the query index stopped
+# pruning dispatches — a real fanout regression, not runner noise.
+LOWER_BETTER = {"p99_slide_seconds": 1.5, "state_bytes": 1.5,
+                "ops_touched_per_edge": 1.2}
 
 
 def load_rows(path):

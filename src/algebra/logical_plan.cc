@@ -184,9 +184,9 @@ Status ValidatePlan(const LogicalOp& plan, const Vocabulary& vocab) {
       if (!plan.children.empty()) {
         return Status::InvalidArgument("WSCAN must be a leaf");
       }
-      if (plan.input_label == kInvalidLabel) {
-        return Status::InvalidArgument("WSCAN lacks an input label");
-      }
+      // input_label == kInvalidLabel is the wildcard scan: it admits every
+      // stream label (query-index always-on bucket) and emits each sge
+      // under its own label.
       if (plan.window.size <= 0 || plan.window.slide <= 0) {
         return Status::InvalidArgument("WSCAN window must be positive");
       }

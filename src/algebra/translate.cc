@@ -207,4 +207,29 @@ std::string PlanSignature(const LogicalOp& plan) {
   return out;
 }
 
+namespace {
+
+void CollectAdmission(const LogicalOp& plan, AdmissionPredicate* out) {
+  if (plan.kind == LogicalOpKind::kWScan) {
+    if (plan.input_label == kInvalidLabel) {
+      out->wildcard = true;
+    } else {
+      out->labels.push_back(plan.input_label);
+    }
+    return;
+  }
+  for (const auto& child : plan.children) CollectAdmission(*child, out);
+}
+
+}  // namespace
+
+AdmissionPredicate PlanAdmission(const LogicalOp& plan) {
+  AdmissionPredicate out;
+  CollectAdmission(plan, &out);
+  std::sort(out.labels.begin(), out.labels.end());
+  out.labels.erase(std::unique(out.labels.begin(), out.labels.end()),
+                   out.labels.end());
+  return out;
+}
+
 }  // namespace sgq

@@ -9,10 +9,26 @@
 #ifndef SGQ_ALGEBRA_TRANSLATE_H_
 #define SGQ_ALGEBRA_TRANSLATE_H_
 
+#include <vector>
+
 #include "algebra/logical_plan.h"
 #include "query/rq.h"
 
 namespace sgq {
+
+/// \brief Admission predicate of a plan: the set of raw stream labels its
+/// source layer can admit (runtime/query_index.h keys its posting lists on
+/// exactly this). Extracted at compile time from the plan's WSCAN leaves —
+/// a plan only ever sees stream elements through its scans, so an edge
+/// whose label is outside this set cannot affect the plan's output.
+struct AdmissionPredicate {
+  /// True when some source admits *every* label (a wildcard WSCAN,
+  /// input_label == kInvalidLabel): the plan belongs in the query index's
+  /// always-on bucket and `labels` lists only its label-constrained scans.
+  bool wildcard = false;
+  /// Labels admitted by label-constrained scans (sorted, deduplicated).
+  std::vector<LabelId> labels;
+};
 
 /// \brief Translates an SGQ into its canonical logical SGA plan
 /// (Theorem 1: such a plan exists for every SGQ).
@@ -29,6 +45,9 @@ Result<LogicalPlan> TranslateToCanonicalPlan(const StreamingGraphQuery& query,
 /// spelling); UNION children are not reordered (emission order matters for
 /// shared state).
 std::string PlanSignature(const LogicalOp& plan);
+
+/// \brief Extracts `plan`'s admission predicate (see AdmissionPredicate).
+AdmissionPredicate PlanAdmission(const LogicalOp& plan);
 
 }  // namespace sgq
 

@@ -144,6 +144,22 @@ struct RunMetrics {
   uint64_t merge_stall_ns = 0;
   std::vector<uint64_t> parser_stall_ns;
   uint64_t parse_busy_ns = 0;
+  /// Query-index dispatch accounting (runtime/executor.h). ops_touched:
+  /// operator activations the run actually paid (OnSge deliveries,
+  /// per-(operator, port) batch executions, time-advance / purge phases).
+  /// index_skipped_dispatches: operator visits the query index pruned
+  /// relative to the legacy full-scan dispatch (0 with the index off).
+  std::size_t ops_touched = 0;
+  std::size_t index_skipped_dispatches = 0;
+
+  /// \brief Dispatch fanout actually paid per processed edge — stays
+  /// O(matching operators) with the query index on, grows O(registered
+  /// queries) under legacy broadcast phases; 0 when nothing was processed.
+  double OpsTouchedPerEdge() const {
+    return edges_processed > 0 ? static_cast<double>(ops_touched) /
+                                     static_cast<double>(edges_processed)
+                               : 0;
+  }
 
   /// \brief Sustained input rate in edges per second.
   double Throughput() const {

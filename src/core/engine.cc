@@ -27,6 +27,7 @@ ExecutorOptions ToExecutorOptions(const EngineOptions& options) {
   exec_options.ingest_slack = options.ingest_slack;
   exec_options.ingest_parsers =
       options.ingest_parsers == 0 ? 1 : options.ingest_parsers;
+  exec_options.use_query_index = options.use_query_index;
   return exec_options;
 }
 
@@ -160,8 +161,17 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
     case LogicalOpKind::kWScan: {
       auto scan = std::make_unique<WScanOp>(node.input_label, node.window);
       const OpId id = executor_.AddOp(std::move(scan));
-      SGQ_RETURN_NOT_OK(
-          executor_.RegisterSource(node.input_label, id, node.window.slide));
+      // A wildcard scan (input_label == kInvalidLabel) admits every label:
+      // it registers in the query index's always-on bucket instead of a
+      // per-label posting list. WScanOp emits the arriving sge's own
+      // label, so the operator itself needs no special case.
+      if (node.input_label == kInvalidLabel) {
+        SGQ_RETURN_NOT_OK(
+            executor_.RegisterWildcardSource(id, node.window.slide));
+      } else {
+        SGQ_RETURN_NOT_OK(executor_.RegisterSource(node.input_label, id,
+                                                   node.window.slide));
+      }
       for (std::size_t s = 1; s < workers; ++s) {
         SGQ_RETURN_NOT_OK(executor_.AddShardReplica(
             id,

@@ -120,6 +120,15 @@ struct EngineOptions {
   /// or the SGQB binary record format. Engine-level only — the executor
   /// sees decoded elements either way.
   StreamFormat ingest_format = StreamFormat::kCsv;
+  /// Query-index dispatch (DESIGN.md §3.1): consult the label ->
+  /// posting-list discrimination index built at AddQuery compile time so
+  /// per-edge dispatch cost tracks the operators whose admission
+  /// predicate can match, not the registered-query population K. On (the
+  /// default) is byte-identical to off at num_workers=1/batch_size=1 and
+  /// snapshot-equivalent + deterministic sharded; off restores the legacy
+  /// full-scan dispatch (the `--no-query-index` escape hatch). Forwarded
+  /// to ExecutorOptions under the same name.
+  bool use_query_index = true;
 };
 
 /// \brief N persistent queries compiled onto one shared dataflow.

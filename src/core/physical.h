@@ -46,6 +46,12 @@ class PhysicalOp {
   /// every distinct input timestamp (so negative-tuple expiry processing is
   /// exact) and at every slide boundary. Default: no-op — operators using
   /// the *direct* approach need no expiry processing (§6.2.4).
+  ///
+  /// CONTRACT: an operator that overrides this must also override
+  /// HasTimeDrivenWork() to return true. The indexed dispatch
+  /// (runtime/executor.h, use_query_index) skips the time-advance phase of
+  /// every operator that does not declare itself — exact only because
+  /// undeclared operators are guaranteed this base no-op.
   virtual void OnTimeAdvance(Timestamp now) { (void)now; }
 
   /// \brief Purges internal state that expired before `now`. Affects
@@ -113,6 +119,10 @@ class PhysicalOp {
   /// worker pool only for operators that declare heavy time-driven work;
   /// everyone else's (near-)no-op calls run inline on the driver thread,
   /// skipping a pool wakeup per timestamp.
+  ///
+  /// Mandatory for OnTimeAdvance overriders (see its contract note): the
+  /// indexed dispatch runs time-advance phases ONLY for operators that
+  /// return true here.
   virtual bool HasTimeDrivenWork() const { return false; }
 
   /// \brief Approximate number of state entries held (for diagnostics).

@@ -215,11 +215,12 @@ Result<Timestamp> ParseDuration(Cursor* c) {
 }
 
 /// Compiles a pattern list into rule body atoms; closure path elements
-/// become closure atoms with generated aliases.
+/// become closure atoms with label-canonical aliases (equal closures over
+/// one base label share one alias, so their PATH operators dedupe by
+/// canonical signature — same scheme as the Datalog front end).
 Result<std::vector<BodyAtom>> CompileBody(
     const std::vector<PatternElement>& patterns,
-    const std::set<std::string>& path_names, Vocabulary* vocab,
-    int* alias_counter) {
+    const std::set<std::string>& path_names, Vocabulary* vocab) {
   std::vector<BodyAtom> body;
   for (const PatternElement& p : patterns) {
     BodyAtom atom;
@@ -242,8 +243,7 @@ Result<std::vector<BodyAtom>> CompileBody(
       atom.closure = p.closure;
       SGQ_ASSIGN_OR_RETURN(
           atom.alias,
-          vocab->InternDerivedLabel("__gcore_path_" + p.label + "_" +
-                                    std::to_string((*alias_counter)++)));
+          vocab->InternDerivedLabel("__gcore_path_" + p.label));
     }
     body.push_back(std::move(atom));
   }
@@ -257,7 +257,6 @@ Result<StreamingGraphQuery> ParseGCore(const std::string& text,
   Cursor c(text);
   StreamingGraphQuery query;
   query.window = WindowSpec(24, 1);
-  int alias_counter = 0;
 
   // --- PATH clauses ---
   struct NamedPath {
@@ -341,8 +340,7 @@ Result<StreamingGraphQuery> ParseGCore(const std::string& text,
     rule.head_src = np.patterns.front().src_var;
     rule.head_trg = np.patterns.front().trg_var;
     SGQ_ASSIGN_OR_RETURN(
-        rule.body, CompileBody(np.patterns, path_names, vocab,
-                               &alias_counter));
+        rule.body, CompileBody(np.patterns, path_names, vocab));
     rq.AddRule(std::move(rule));
   }
 
@@ -376,7 +374,7 @@ Result<StreamingGraphQuery> ParseGCore(const std::string& text,
     rule.head_src = subst(construct.src_var);
     rule.head_trg = subst(construct.trg_var);
     SGQ_ASSIGN_OR_RETURN(
-        rule.body, CompileBody(alt, path_names, vocab, &alias_counter));
+        rule.body, CompileBody(alt, path_names, vocab));
     for (BodyAtom& atom : rule.body) {
       atom.src = subst(atom.src);
       atom.trg = subst(atom.trg);

@@ -287,14 +287,17 @@ Result<RegularQuery> ParseRq(std::string_view text, Vocabulary* vocab) {
   if (raw_rules.empty()) return Status::ParseError("no rules in query text");
 
   // Pass 1: intern all head names and closure aliases as derived labels.
+  // Generated closure aliases are label-canonical: every `a+` atom maps to
+  // the one alias `__tc_a` no matter which rule (or position) it appears
+  // in, so the PATH operators compiled for equal closures share one
+  // canonical PlanSignature — and therefore one physical operator — across
+  // rules and across registered queries (core/engine.h).
   std::set<std::string> idb_names;
   for (const RawRule& r : raw_rules) idb_names.insert(r.head.name);
   for (RawRule& r : raw_rules) {
-    int counter = 0;
     for (ParsedAtom& a : r.body) {
       if (a.closure != ClosureKind::kNone && a.alias.empty()) {
-        a.alias = "__tc_" + a.name + "_" + r.head.name + "_" +
-                  std::to_string(counter++);
+        a.alias = "__tc_" + a.name;
       }
       if (!a.alias.empty()) idb_names.insert(a.alias);
     }

@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -109,7 +110,27 @@ Status Executor::RegisterSource(LabelId label, OpId source, Timestamp slide) {
   if (dynamic_cast<SourceOp*>(op(source)) == nullptr) {
     return Status::InvalidArgument("RegisterSource: not a SourceOp");
   }
+  // Both dispatch structures are maintained so use_query_index can flip
+  // without recompiling (the differential tests compare the two paths).
   sources_[label].push_back(source);
+  query_index_.Add(label, source);
+  min_slide_ = std::min(min_slide_, slide);
+  return Status::OK();
+}
+
+Status Executor::RegisterWildcardSource(OpId source, Timestamp slide) {
+  if (finalized_) {
+    return Status::Internal("RegisterWildcardSource after Finalize");
+  }
+  if (source < 0 || static_cast<std::size_t>(source) >= nodes_.size()) {
+    return Status::InvalidArgument(
+        "RegisterWildcardSource: unknown operator id");
+  }
+  if (dynamic_cast<SourceOp*>(op(source)) == nullptr) {
+    return Status::InvalidArgument("RegisterWildcardSource: not a SourceOp");
+  }
+  wildcard_sources_.push_back(source);
+  query_index_.AddWildcard(source);
   min_slide_ = std::min(min_slide_, slide);
   return Status::OK();
 }
@@ -176,6 +197,15 @@ Status Executor::Finalize() {
     pool_options.pin = options_.pin_workers;
     pool_ = std::make_unique<WorkerPool>(options_.num_workers, pool_options);
   }
+  // Time-advance phases fire per distinct input timestamp; the indexed
+  // dispatch only visits operators that declared time-driven work (plus
+  // the sharded state-bar promotions, kept in time_advance_hinted_).
+  time_driven_ops_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].op->HasTimeDrivenWork()) {
+      time_driven_ops_.push_back(static_cast<OpId>(i));
+    }
+  }
   // The engine's slide granularity is the finest slide of any source.
   slide_ = min_slide_ == kMaxTimestamp ? 1 : min_slide_;
   // Expiry calendars bucket by the slide: align every stateful operator's
@@ -214,12 +244,38 @@ std::string Executor::DescribeTopology() const {
 // Delivery
 // ---------------------------------------------------------------------------
 
+void Executor::MarkDirty(OpId id) {
+  OpNode& node = nodes_[static_cast<std::size_t>(id)];
+  if (node.dirty) return;
+  node.dirty = true;
+  dirty_heap_.push_back(id);
+  std::push_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                 std::greater<OpId>());
+}
+
+void Executor::MarkTouchedCone(OpId id) {
+  if (nodes_[static_cast<std::size_t>(id)].touched) return;
+  // `touched` is monotone, so each node is expanded at most once over the
+  // executor's lifetime — amortized O(channels) total, not per edge.
+  std::vector<OpId> work = {id};
+  while (!work.empty()) {
+    const OpId cur = work.back();
+    work.pop_back();
+    OpNode& node = nodes_[static_cast<std::size_t>(cur)];
+    if (node.touched) continue;
+    node.touched = true;
+    for (const PortRef& dst : node.out.dests_) work.push_back(dst.op);
+  }
+}
+
 void Executor::Route(const OutputChannel& channel, const Sgt& tuple) {
   if (wave_mode()) {
+    const bool mark = indexed();
     for (const PortRef& dst : channel.dests_) {
       nodes_[static_cast<std::size_t>(dst.op)]
           .pending[static_cast<std::size_t>(dst.port)]
           .push_back(tuple);
+      if (mark) MarkDirty(dst.op);
     }
     return;
   }
@@ -249,6 +305,31 @@ void Executor::DrainStack() {
 
 void Executor::RunWave() {
   ++num_waves_;
+  if (indexed()) {
+    // Worklist wave: pop dirty operators in ascending id order. A channel
+    // only goes low -> high id, so each pop sees all of the wave's input
+    // for that operator — identical visit order to the legacy full scan,
+    // minus the O(K) sweep over idle operators.
+    std::size_t visited = 0;
+    while (!dirty_heap_.empty()) {
+      std::pop_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                    std::greater<OpId>());
+      const OpId id = dirty_heap_.back();
+      dirty_heap_.pop_back();
+      OpNode& node = nodes_[static_cast<std::size_t>(id)];
+      node.dirty = false;
+      ++visited;
+      for (std::size_t port = 0; port < node.pending.size(); ++port) {
+        if (node.pending[port].empty()) continue;
+        ++ops_touched_;
+        std::vector<Sgt> batch;
+        batch.swap(node.pending[port]);
+        node.op->OnBatch(static_cast<int>(port), batch.data(), batch.size());
+      }
+    }
+    index_skipped_ += nodes_.size() - visited;
+    return;
+  }
   bool any = true;
   while (any) {  // a tree topology settles in one pass; loop is a safety net
     any = false;
@@ -257,6 +338,7 @@ void Executor::RunWave() {
       for (std::size_t port = 0; port < node.pending.size(); ++port) {
         if (node.pending[port].empty()) continue;
         any = true;
+        ++ops_touched_;
         std::vector<Sgt> batch;
         batch.swap(node.pending[port]);
         node.op->OnBatch(static_cast<int>(port), batch.data(), batch.size());
@@ -288,6 +370,9 @@ void AppendByRouting(RoutingKey routing, const Sgt& tuple,
 }  // namespace
 
 void Executor::RouteToShards(const PortRef& dst, const Sgt& tuple) {
+  // Driver thread only (MergeAndRoute runs after the parallel section), so
+  // the dirty worklist needs no synchronization.
+  if (indexed()) MarkDirty(dst.op);
   OpNode& dn = nodes_[static_cast<std::size_t>(dst.op)];
   auto& slots = dn.shard_pending[static_cast<std::size_t>(dst.port)];
   // Single-instance operators and coordination-needing operators receive
@@ -462,6 +547,40 @@ void Executor::RunShardedOpBatches(OpId id) {
 
 void Executor::RunShardedWave() {
   ++num_waves_;
+  if (indexed()) {
+    // Same pop-min worklist as RunWave: ascending pops + low -> high
+    // channels give the exact visit order of the legacy full scan.
+    std::size_t visited = 0;
+    while (!dirty_heap_.empty()) {
+      std::pop_heap(dirty_heap_.begin(), dirty_heap_.end(),
+                    std::greater<OpId>());
+      const OpId id = dirty_heap_.back();
+      dirty_heap_.pop_back();
+      OpNode& node = nodes_[static_cast<std::size_t>(id)];
+      node.dirty = false;
+      ++visited;
+      bool has_input = false;
+      for (const auto& port : node.shard_pending) {
+        for (const auto& slot : port) {
+          if (!slot.empty()) {
+            has_input = true;
+            break;
+          }
+        }
+        if (has_input) break;
+      }
+      if (!has_input) continue;
+      ++ops_touched_;
+      for (std::size_t p = 0; p < node.shard_pending.size(); ++p) {
+        for (std::size_t s = 0; s < node.shard_pending[p].size(); ++s) {
+          node.shard_scratch[p][s].swap(node.shard_pending[p][s]);
+        }
+      }
+      RunShardedOpBatches(id);
+    }
+    index_skipped_ += nodes_.size() - visited;
+    return;
+  }
   bool any = true;
   while (any) {  // a tree topology settles in one pass; loop is a safety net
     any = false;
@@ -479,6 +598,7 @@ void Executor::RunShardedWave() {
       }
       if (!has_input) continue;
       any = true;
+      ++ops_touched_;
       // Swap pending batches into the scratch (whose slots are empty but
       // hold the previous wave's capacity) so buffers are reused instead
       // of reallocated; emissions route into the now-empty pending slots.
@@ -496,18 +616,34 @@ void Executor::DeliverSgesSharded(const Sge* sges, std::size_t n) {
   // Per-(source, shard) sub-batches, in ascending operator order so the
   // merge is deterministic.
   std::map<OpId, std::vector<std::vector<Sge>>> batches;
+  auto append = [&](OpId source, const Sge& sge) {
+    auto [entry, inserted] = batches.try_emplace(source);
+    const std::size_t instances = NumInstances(source);
+    if (inserted) entry->second.resize(instances);
+    const std::size_t shard =
+        instances == 1 ? 0 : ShardOfEdge(sge.src, sge.trg, instances);
+    entry->second[shard].push_back(sge);
+  };
   for (std::size_t k = 0; k < n; ++k) {
     const Sge& sge = sges[k];
-    auto it = sources_.find(sge.label);
-    if (it == sources_.end()) continue;  // label not referenced by the query
-    edges_processed_.Add();
-    for (OpId source : it->second) {
-      auto [entry, inserted] = batches.try_emplace(source);
-      const std::size_t instances = NumInstances(source);
-      if (inserted) entry->second.resize(instances);
-      const std::size_t shard =
-          instances == 1 ? 0 : ShardOfEdge(sge.src, sge.trg, instances);
-      entry->second[shard].push_back(sge);
+    if (indexed()) {
+      const auto* postings = query_index_.Find(sge.label);
+      const auto& wildcard = query_index_.wildcard();
+      if (postings == nullptr && wildcard.empty()) continue;
+      edges_processed_.Add();
+      if (postings != nullptr) {
+        for (const SourcePosting& p : *postings) append(p.op, sge);
+      }
+      for (const SourcePosting& p : wildcard) append(p.op, sge);
+    } else {
+      auto it = sources_.find(sge.label);
+      // Label not referenced by any query and no always-on source.
+      if (it == sources_.end() && wildcard_sources_.empty()) continue;
+      edges_processed_.Add();
+      if (it != sources_.end()) {
+        for (OpId source : it->second) append(source, sge);
+      }
+      for (OpId source : wildcard_sources_) append(source, sge);
     }
   }
   if (batches.empty()) return;
@@ -515,6 +651,8 @@ void Executor::DeliverSgesSharded(const Sge* sges, std::size_t n) {
   // order, into per-shard capture buffers) is cheaper than a pool
   // dispatch; the heavy lifting parallelizes downstream.
   for (const auto& [source, per_shard] : batches) {
+    if (indexed()) MarkTouchedCone(source);
+    ++ops_touched_;
     for (std::size_t s = 0; s < per_shard.size(); ++s) {
       if (per_shard[s].empty()) continue;
       auto* src = static_cast<SourceOp*>(instance(source, s));
@@ -544,16 +682,37 @@ void Executor::RunOpPhase(Fn&& fn) {
   DrainStack();
 }
 
+void Executor::DeliverSgeToSource(const Sge& sge, OpId source) {
+  if (indexed()) MarkTouchedCone(source);
+  ++ops_touched_;
+  auto* src = static_cast<SourceOp*>(
+      nodes_[static_cast<std::size_t>(source)].op.get());
+  RunOpPhase([&] { src->OnSge(sge); });
+}
+
 void Executor::DeliverSge(const Sge& sge) {
-  auto it = sources_.find(sge.label);
-  if (it == sources_.end()) return;  // label not referenced by the query
-  edges_processed_.Add();
-  for (OpId source : it->second) {
-    auto* src =
-        static_cast<SourceOp*>(nodes_[static_cast<std::size_t>(source)]
-                                   .op.get());
-    RunOpPhase([&] { src->OnSge(sge); });
+  // Both paths deliver in the same order — label-matched sources in
+  // registration order, then the wildcard bucket in registration order —
+  // so index on/off is byte-identical (see query_index.h).
+  if (indexed()) {
+    const auto* postings = query_index_.Find(sge.label);
+    const auto& wildcard = query_index_.wildcard();
+    if (postings == nullptr && wildcard.empty()) return;
+    edges_processed_.Add();
+    if (postings != nullptr) {
+      for (const SourcePosting& p : *postings) DeliverSgeToSource(sge, p.op);
+    }
+    for (const SourcePosting& p : wildcard) DeliverSgeToSource(sge, p.op);
+    return;
   }
+  auto it = sources_.find(sge.label);
+  // Label not referenced by any query and no always-on source.
+  if (it == sources_.end() && wildcard_sources_.empty()) return;
+  edges_processed_.Add();
+  if (it != sources_.end()) {
+    for (OpId source : it->second) DeliverSgeToSource(sge, source);
+  }
+  for (OpId source : wildcard_sources_) DeliverSgeToSource(sge, source);
 }
 
 // ---------------------------------------------------------------------------
@@ -568,8 +727,16 @@ void Executor::UpdateTimeAdvanceHints() {
   // timestamp: StateSize() walks operator tables.
   const std::size_t bar = options_.time_advance_parallel_state_bar;
   if (bar == 0) return;
-  for (OpNode& node : nodes_) {
+  time_advance_hinted_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    OpNode& node = nodes_[i];
     if (node.replicas.empty() || node.op->HasTimeDrivenWork()) continue;
+    if (indexed() && !node.touched) {
+      // Never received input: StateSize() is 0 on every shard, below any
+      // positive bar — skip the state walk entirely.
+      node.time_advance_parallel = false;
+      continue;
+    }
     bool hit = false;
     for (std::size_t s = 0; s < 1 + node.replicas.size() && !hit; ++s) {
       const PhysicalOp* op =
@@ -577,11 +744,45 @@ void Executor::UpdateTimeAdvanceHints() {
       hit = op->StateSize() >= bar;
     }
     node.time_advance_parallel = hit;
+    if (hit) time_advance_hinted_.push_back(static_cast<OpId>(i));
   }
 }
 
 void Executor::TimeAdvanceWave(Timestamp now) {
   if (sharded()) {
+    if (indexed()) {
+      // Only operators with declared time-driven work plus the state-bar
+      // promotions can do anything in this phase: the base OnTimeAdvance
+      // is a no-op (core/physical.h contract), so skipping the rest is
+      // exact. The two ascending lists are disjoint (UpdateTimeAdvanceHints
+      // excludes declared ops); merge them to keep the legacy visit order.
+      std::size_t a = 0;
+      std::size_t b = 0;
+      std::size_t visited = 0;
+      while (a < time_driven_ops_.size() ||
+             b < time_advance_hinted_.size()) {
+        bool declared;
+        OpId id;
+        if (b >= time_advance_hinted_.size() ||
+            (a < time_driven_ops_.size() &&
+             time_driven_ops_[a] < time_advance_hinted_[b])) {
+          id = time_driven_ops_[a++];
+          declared = true;
+        } else {
+          id = time_advance_hinted_[b++];
+          declared = false;
+        }
+        OpNode& node = nodes_[static_cast<std::size_t>(id)];
+        if (!declared && !node.replicas.empty()) ++state_bar_dispatches_;
+        ++ops_touched_;
+        ++visited;
+        RunInstances(id, /*parallel=*/true,
+                     [now](PhysicalOp* op) { op->OnTimeAdvance(now); });
+      }
+      index_skipped_ += nodes_.size() - visited;
+      RunShardedWave();
+      return;
+    }
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       // Time advances fire per distinct timestamp; operators with heavy
       // time-driven work (Δ-tree expiry) are always worth a pool
@@ -593,15 +794,29 @@ void Executor::TimeAdvanceWave(Timestamp now) {
       if (parallel && !declared && !node.replicas.empty()) {
         ++state_bar_dispatches_;
       }
+      ++ops_touched_;
       RunInstances(static_cast<OpId>(i), parallel,
                    [now](PhysicalOp* op) { op->OnTimeAdvance(now); });
     }
     RunShardedWave();
     return;
   }
+  if (indexed()) {
+    // Skip operators without declared time-driven work — their
+    // OnTimeAdvance is the base no-op, so the skip is byte-exact.
+    for (OpId id : time_driven_ops_) {
+      ++ops_touched_;
+      OpNode& node = nodes_[static_cast<std::size_t>(id)];
+      RunOpPhase([&] { node.op->OnTimeAdvance(now); });
+    }
+    index_skipped_ += nodes_.size() - time_driven_ops_.size();
+    if (wave_mode()) RunWave();
+    return;
+  }
   // Negative-tuple operators can emit retractions/re-derivations during
   // OnTimeAdvance; RunOpPhase delivers them downstream.
   for (auto& node : nodes_) {
+    ++ops_touched_;
     RunOpPhase([&] { node.op->OnTimeAdvance(now); });
   }
   if (wave_mode()) RunWave();
@@ -612,14 +827,21 @@ void Executor::ProcessBoundary(Timestamp boundary) {
   TimeAdvanceWave(boundary);
   if (sharded()) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const OpId id = static_cast<OpId>(i);
+      if (indexed() && !nodes_[i].touched) {
+        // Never received input: every shard's StateSize() is 0, below the
+        // purge watermark, so MaybePurge would return immediately.
+        ++index_skipped_;
+        continue;
+      }
       // Worth a pool dispatch only when at least two shards will actually
       // run their O(state) purge scan; watermark checks run inline.
-      const OpId id = static_cast<OpId>(i);
       const std::size_t instances = NumInstances(id);
       std::size_t due = 0;
       for (std::size_t s = 0; s < instances && due < 2; ++s) {
         if (instance(id, s)->PurgeDue()) ++due;
       }
+      ++ops_touched_;
       RunInstances(id, /*parallel=*/due >= 2,
                    [boundary](PhysicalOp* op) { op->MaybePurge(boundary); });
     }
@@ -637,6 +859,11 @@ void Executor::ProcessBoundary(Timestamp boundary) {
     UpdateTimeAdvanceHints();
   } else {
     for (auto& node : nodes_) {
+      if (indexed() && !node.touched) {
+        ++index_skipped_;  // StateSize() 0 < watermark: MaybePurge no-ops
+        continue;
+      }
+      ++ops_touched_;
       RunOpPhase([&] { node.op->MaybePurge(boundary); });
     }
     if (wave_mode()) RunWave();

@@ -52,6 +52,7 @@
 #include "model/sgt.h"
 #include "runtime/channel.h"
 #include "runtime/ingest_pipeline.h"
+#include "runtime/query_index.h"
 #include "runtime/shard.h"
 #include "runtime/window_store.h"
 #include "runtime/worker_pool.h"
@@ -102,6 +103,17 @@ struct ExecutorOptions {
   /// classic single-producer pipeline (byte-identical output at
   /// num_workers=1/batch_size=1). See runtime/ingest_pipeline.h.
   std::size_t ingest_parsers = 1;
+  /// Query-index dispatch (DESIGN.md §3.1): route work through the
+  /// label-discrimination index so per-edge cost tracks the operators that
+  /// can match, not the registered-query population — wave scans walk a
+  /// dirty worklist instead of the whole topology, time-advance waves
+  /// visit only operators with declared time-driven work (plus the
+  /// state-bar hints in sharded mode), and purge scans skip operators
+  /// that never received input. Off reproduces the legacy full-scan
+  /// dispatch. Both settings are byte-identical at num_workers=1/
+  /// batch_size=1 and snapshot-equivalent + deterministic sharded
+  /// (tests/query_index_test.cc).
+  bool use_query_index = true;
 };
 
 /// \brief Owns and drives the operator topology of one running query.
@@ -138,6 +150,12 @@ class Executor {
   /// `slide` is the source's window slide; the engine's slide granularity
   /// is the finest slide of any source.
   Status RegisterSource(LabelId label, OpId source, Timestamp slide);
+
+  /// \brief Registers `source` as a consumer of *every* raw sge
+  /// regardless of label (the query index's always-on bucket). Each edge
+  /// is delivered to label-matched sources first (registration order),
+  /// then wildcard sources in their registration order.
+  Status RegisterWildcardSource(OpId source, Timestamp slide);
 
   /// \brief Validates the topology (edges must go from lower to higher op
   /// id — children-first insertion), binds channels, and fixes the slide
@@ -202,6 +220,23 @@ class Executor {
   /// \brief Time-advance pool dispatches credited to the state-bar
   /// heuristic (i.e. for operators without declared time-driven work).
   std::size_t state_bar_dispatches() const { return state_bar_dispatches_; }
+
+  /// \brief The label-discrimination dispatch index (populated by
+  /// RegisterSource / RegisterWildcardSource as queries compile).
+  const QueryIndex& query_index() const { return query_index_; }
+
+  /// \brief Operator activations: OnSge deliveries, per-(operator, port)
+  /// batch executions, and per-operator time-advance / purge phases.
+  /// Divided by edges_processed() this is the fanout the dispatch layer
+  /// actually paid — O(registered queries) per edge under legacy
+  /// broadcast phases, O(matching operators) with the query index on.
+  /// (Tuple-mode cascades within one delivery count as one activation.)
+  std::size_t ops_touched() const { return ops_touched_; }
+
+  /// \brief Operator visits the query index pruned relative to the legacy
+  /// full-scan dispatch: skipped wave-scan visits, skipped time-advance
+  /// phases, skipped purge phases. Always 0 with use_query_index off.
+  std::size_t index_skipped_dispatches() const { return index_skipped_; }
 
   /// \brief Tuples the merge-side coalescer suppressed as cross-shard
   /// duplicates (diagnostics; 0 when unsharded).
@@ -278,6 +313,15 @@ class Executor {
     /// StateSize() met options_.time_advance_parallel_state_bar at the
     /// last slide boundary. OR-ed with the operator's HasTimeDrivenWork().
     bool time_advance_parallel = false;
+
+    /// Indexed dispatch (use_query_index): true while the node sits in the
+    /// dirty worklist of the current wave (it has pending input to run).
+    bool dirty = false;
+    /// Monotone: the node received input at least once (directly or via
+    /// its upstream cone), so it may hold state worth a purge scan.
+    /// Never-touched operators are skipped by the indexed boundary
+    /// phases — exact, because operator state only grows from input.
+    bool touched = false;
   };
 
   /// \brief Channel entry point: dispatches an emitted tuple according to
@@ -293,6 +337,22 @@ class Executor {
   /// buffer per (op, port) and propagate in topological waves. Tuple mode
   /// (batch_size == 1) reproduces recursive depth-first delivery exactly.
   bool wave_mode() const { return options_.batch_size > 1; }
+
+  /// \brief True when dispatch consults the query index (DESIGN.md §3.1).
+  bool indexed() const { return options_.use_query_index; }
+
+  /// \brief Adds `id` to the current wave's dirty worklist (min-heap on
+  /// OpId: popping ascending reproduces the legacy full scan's node
+  /// order — channels only point to higher ids, so one ascending pass
+  /// settles a wave).
+  void MarkDirty(OpId id);
+
+  /// \brief Marks `id` and its downstream cone as touched (first input).
+  void MarkTouchedCone(OpId id);
+
+  /// \brief Delivers one sge to `source` in tuple/wave mode (shared body
+  /// of the indexed and legacy DeliverSge paths).
+  void DeliverSgeToSource(const Sge& sge, OpId source);
 
   /// \brief Runs one operator phase call (OnSge / OnTimeAdvance /
   /// MaybePurge) and delivers whatever it emitted.
@@ -379,7 +439,23 @@ class Executor {
 
   ExecutorOptions options_;
   std::vector<OpNode> nodes_;  ///< index == OpId; insertion is wave order
+  /// Legacy per-label source table (use_query_index off). The indexed
+  /// path reads query_index_ instead; both are maintained by
+  /// RegisterSource so the flag can differ between otherwise-identical
+  /// runs (the differential tests rely on that).
   std::unordered_map<LabelId, std::vector<OpId>> sources_;
+  std::vector<OpId> wildcard_sources_;  ///< legacy always-on bucket
+  QueryIndex query_index_;
+  /// Operators with declared time-driven work (HasTimeDrivenWork), in
+  /// ascending id order — the only operators whose OnTimeAdvance the
+  /// indexed time-advance wave must run (the contract in core/physical.h
+  /// requires overriders to declare themselves).
+  std::vector<OpId> time_driven_ops_;
+  /// Sharded indexed mode: operators promoted by the state-bar hint at
+  /// the last boundary (ascending; disjoint from time_driven_ops_).
+  std::vector<OpId> time_advance_hinted_;
+  /// Min-heap (std::greater) of dirty node ids for the indexed waves.
+  std::vector<OpId> dirty_heap_;
   WindowStore window_store_;
   std::unique_ptr<WorkerPool> pool_;  ///< created by Finalize when sharded
   bool finalized_ = false;
@@ -406,6 +482,8 @@ class Executor {
   Counter edges_processed_;
   std::size_t state_bar_dispatches_ = 0;
   std::size_t merge_suppressed_ = 0;
+  std::size_t ops_touched_ = 0;    ///< driver-thread only (see getter)
+  std::size_t index_skipped_ = 0;  ///< driver-thread only (see getter)
   IngestStats ingest_stats_;
 };
 

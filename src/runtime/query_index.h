@@ -1,0 +1,107 @@
+// Label-discrimination query index over the standing-query population
+// (ROADMAP "sublinear query indexing"; Zervakis et al., "Efficient
+// Continuous Multi-Query Processing over Graph Streams", PAPERS.md).
+//
+// With K registered queries the executor hosts O(K) source operators.
+// Source dispatch must not pay O(K) per edge: the index maps each stream
+// label to the posting list of (operator, port) pairs whose *admission
+// predicate* (algebra/translate.h PlanAdmission) can match it, so an edge
+// only reaches the sources actually interested in its label. Sources
+// without a label constraint (wildcard WSCANs) live in an always-on
+// bucket appended to every lookup.
+//
+// Layout: a robin-hood FlatMap keyed by label, values inline-small
+// SmallVecs — the common case (one or two subscribers per label, the
+// mostly-disjoint subscription regime) resolves without a second
+// indirection. The index is built incrementally: Engine::AddQuery compiles
+// sources one at a time and each RegisterSource call appends its posting,
+// so queries added mid-topology-build are indexed immediately.
+//
+// Ordering contract (determinism): postings of one label keep their
+// registration order — exactly the order the executor's legacy per-label
+// source table delivered in — and every lookup visits label postings
+// first, then the wildcard bucket in its registration order. Indexed and
+// non-indexed dispatch therefore produce identical call sequences
+// (byte-identical results at workers=1/batch=1; DESIGN.md §3.1).
+
+#ifndef SGQ_RUNTIME_QUERY_INDEX_H_
+#define SGQ_RUNTIME_QUERY_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/small_vec.h"
+#include "model/types.h"
+#include "runtime/channel.h"
+
+namespace sgq {
+
+/// \brief One interested consumer of a stream label: the source operator
+/// and the input port the edge enters on (today every source consumes raw
+/// sges on port 0; the port is kept so non-scan admission points — e.g. a
+/// PATH automaton fed directly — can join the index without a format
+/// change).
+struct SourcePosting {
+  OpId op = -1;
+  int port = 0;
+
+  bool operator==(const SourcePosting& o) const {
+    return op == o.op && port == o.port;
+  }
+};
+
+/// \brief label -> posting-list discrimination index plus the always-on
+/// wildcard bucket. Not thread-safe for writes; the executor only mutates
+/// it during topology construction and reads it single-threaded from the
+/// dispatch loop.
+class QueryIndex {
+ public:
+  using PostingList = SmallVec<SourcePosting, 2>;
+
+  /// \brief Appends a posting for `label` (registration order preserved).
+  void Add(LabelId label, OpId op, int port = 0) {
+    postings_[label].push_back(SourcePosting{op, port});
+    ++num_postings_;
+  }
+
+  /// \brief Appends `op` to the always-on bucket: it admits every label.
+  void AddWildcard(OpId op, int port = 0) {
+    wildcard_.push_back(SourcePosting{op, port});
+  }
+
+  /// \brief Postings whose admission predicate names `label` exactly;
+  /// nullptr when no registered query constrains to it. Wildcard sources
+  /// are NOT included — callers append wildcard() to every match.
+  const PostingList* Find(LabelId label) const {
+    auto it = postings_.find(label);
+    return it == postings_.end() ? nullptr : &it->second;
+  }
+
+  /// \brief The always-on bucket, in registration order.
+  const std::vector<SourcePosting>& wildcard() const { return wildcard_; }
+
+  /// \name Introspection (tests, DescribeTopology)
+  /// @{
+  std::size_t NumLabels() const { return postings_.size(); }
+  std::size_t NumPostings() const { return num_postings_; }
+  std::size_t NumWildcard() const { return wildcard_.size(); }
+
+  /// \brief All indexed labels (hash order; sort before comparing).
+  std::vector<LabelId> Labels() const {
+    std::vector<LabelId> out;
+    out.reserve(postings_.size());
+    for (const auto& [label, list] : postings_) out.push_back(label);
+    return out;
+  }
+  /// @}
+
+ private:
+  FlatMap<LabelId, PostingList> postings_;
+  std::vector<SourcePosting> wildcard_;
+  std::size_t num_postings_ = 0;
+};
+
+}  // namespace sgq
+
+#endif  // SGQ_RUNTIME_QUERY_INDEX_H_

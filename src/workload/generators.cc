@@ -1,5 +1,6 @@
 #include "workload/generators.h"
 
+#include <cmath>
 #include <random>
 #include <string>
 #include <vector>
@@ -232,6 +233,44 @@ Result<InputStream> GenerateRandomStream(const RandomStreamOptions& options,
             labels[pick_l(rng)], t);
     stream.push_back(sge);
     inserted.push_back(sge);
+  }
+  return stream;
+}
+
+Result<InputStream> GenerateZipfLabelStream(const ZipfStreamOptions& options,
+                                            Vocabulary* vocab) {
+  std::vector<LabelId> labels;
+  labels.reserve(options.num_labels);
+  for (std::size_t i = 0; i < options.num_labels; ++i) {
+    SGQ_ASSIGN_OR_RETURN(LabelId l,
+                         vocab->InternInputLabel("l" + std::to_string(i)));
+    labels.push_back(l);
+  }
+  std::vector<VertexId> vertices;
+  vertices.reserve(options.num_vertices);
+  for (std::size_t i = 0; i < options.num_vertices; ++i) {
+    vertices.push_back(vocab->InternVertex("z" + std::to_string(i)));
+  }
+
+  // Zipf over label ranks: weight(r) = 1 / r^skew, r starting at 1.
+  std::vector<double> weights;
+  weights.reserve(options.num_labels);
+  for (std::size_t r = 1; r <= options.num_labels; ++r) {
+    weights.push_back(1.0 / std::pow(static_cast<double>(r), options.skew));
+  }
+  std::mt19937_64 rng(options.seed);
+  std::discrete_distribution<std::size_t> pick_l(weights.begin(),
+                                                 weights.end());
+  std::uniform_int_distribution<std::size_t> pick_v(
+      0, options.num_vertices - 1);
+
+  InputStream stream;
+  stream.reserve(options.num_edges);
+  Timestamp t = 0;
+  for (std::size_t i = 0; i < options.num_edges; ++i) {
+    stream.emplace_back(vertices[pick_v(rng)], vertices[pick_v(rng)],
+                        labels[pick_l(rng)], t);
+    t = NextTimestamp(t, options.edges_per_hour, &rng);
   }
   return stream;
 }

@@ -90,6 +90,31 @@ struct RandomStreamOptions {
 Result<InputStream> GenerateRandomStream(const RandomStreamOptions& options,
                                          Vocabulary* vocab);
 
+/// \brief Options for the skewed query-population stream.
+///
+/// Labels "l0".."l<num_labels-1>" with Zipf-distributed frequencies ("l0"
+/// hottest): the standing-query-population regime of
+/// bench/bench_query_scale.cc, where K single-label queries stand over a
+/// stream whose label mix is heavy-tailed, so each arriving edge matches
+/// O(1) queries no matter how large K grows. Real workloads motivating the
+/// query index look like this; a uniform label mix would understate the
+/// win (every label equally hot) without changing the asymptotics.
+struct ZipfStreamOptions {
+  uint64_t seed = 11;
+  std::size_t num_vertices = 1000;
+  std::size_t num_labels = 64;
+  std::size_t num_edges = 20000;
+  /// Zipf exponent: label rank r is drawn with weight 1/r^skew. 0 makes
+  /// the mix uniform.
+  double skew = 1.0;
+  double edges_per_hour = 4.0;
+};
+
+/// \brief Generates the Zipf-label stream; every label is interned into
+/// `vocab` as an input label (so queries over cold labels still compile).
+Result<InputStream> GenerateZipfLabelStream(const ZipfStreamOptions& options,
+                                            Vocabulary* vocab);
+
 }  // namespace sgq
 
 #endif  // SGQ_WORKLOAD_GENERATORS_H_

@@ -22,6 +22,8 @@ RunMetrics CollectEngineMetrics(const Engine& engine, std::string name,
   m.tail_latency_seconds = engine.slide_latencies().Percentile(0.99);
   m.state_entries = engine.executor().StateSize();
   m.state_bytes = engine.executor().StateBytes();
+  m.ops_touched = engine.executor().ops_touched();
+  m.index_skipped_dispatches = engine.executor().index_skipped_dispatches();
   const IngestStats& stats = engine.ingest_stats();
   m.ingest_stall_ns = stats.ingest_stall_ns;
   m.exec_stall_ns = stats.exec_stall_ns;

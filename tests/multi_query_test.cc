@@ -174,6 +174,50 @@ TEST(MultiQueryEngineTest, OverlappingQueriesShareTheCommonSubtree) {
   EXPECT_EQ(private_engine.NumCrossQuerySharedSubtrees(), 0u);
 }
 
+TEST(MultiQueryEngineTest, ClosureAliasesAreLabelCanonicalAcrossQueries) {
+  // Datalog translation names each a+ closure's derived label after the
+  // base label alone ("__tc_a"), not after its position in the rule: the
+  // same closure reached through different rule shapes must compile to
+  // the same canonical subtree. Here q1's second closure atom would get a
+  // position-dependent alias under positional naming ("__tc_a_1" vs q0's
+  // "__tc_a_0") and the a+ PATH chain would wrongly compile twice.
+  Vocabulary vocab;
+  const char* texts[] = {
+      "Answer(x,y) <- a+(x,y)",
+      "Answer(x,z) <- b+(x,y), a+(y,z)",
+  };
+  std::vector<StreamingGraphQuery> queries;
+  std::size_t solo_ops_total = 0;
+  for (const char* text : texts) {
+    auto query = MakeQuery(text, WindowSpec(12, 3), &vocab);
+    ASSERT_TRUE(query.ok()) << text;
+    Engine solo{EngineOptions{}};
+    ASSERT_TRUE(solo.AddQuery(*query, vocab).ok());
+    solo_ops_total += solo.NumOperators();
+    queries.push_back(*query);
+  }
+
+  Engine engine{EngineOptions{}};
+  for (const StreamingGraphQuery& query : queries) {
+    ASSERT_TRUE(engine.AddQuery(query, vocab).ok());
+  }
+  // The a+ chain (a-scan + PATH) dedups even though the closures sit at
+  // different atom positions: the sharing hit counter must rise.
+  EXPECT_GE(engine.NumCrossQuerySharedSubtrees(), 1u);
+  EXPECT_LT(engine.NumOperators(), solo_ops_total);
+
+  // Sharing the closure must not change what either query answers.
+  ASSERT_TRUE(engine.Finalize().ok());
+  const InputStream stream = RandomStream(31, 0.2, &vocab);
+  engine.PushAll(stream);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ExpectByteIdentical(
+        RunSolo(queries[q], vocab, stream, EngineOptions{}),
+        engine.results(static_cast<QueryId>(q)),
+        std::string("query ") + texts[q]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Per-query byte-identity at num_workers = 1
 // ---------------------------------------------------------------------------

@@ -40,6 +40,9 @@ class ProbeOp : public PhysicalOp {
     PhysicalOp::OnBatch(port, ts, n);
   }
   void OnTimeAdvance(Timestamp now) override { advances.push_back(now); }
+  // Contract (core/physical.h): OnTimeAdvance overriders must declare
+  // themselves, or the indexed time-advance wave skips them.
+  bool HasTimeDrivenWork() const override { return true; }
   void Purge(Timestamp now) override { purges.push_back(now); }
   std::size_t StateSize() const override { return fake_state_size; }
   std::string Name() const override { return "PROBE"; }
