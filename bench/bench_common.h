@@ -13,11 +13,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "sgq/sgq.h"
 
 namespace sgq {
 namespace bench {
+
+/// \brief Logical CPUs of the recording box — stamped into every JSON row
+/// so scripts/bench_diff.py can tell apples-to-apples parallel-speedup
+/// comparisons from cross-machine ones (a 4-core baseline's parsers=4
+/// speedup is meaningless on a 2-core runner).
+inline std::size_t Cpus() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
 
 inline double Scale() {
   const char* env = std::getenv("SGQ_BENCH_SCALE");

@@ -129,7 +129,7 @@ int main() {
       }
       std::printf(
           "{\"bench\":\"multi_query\",\"queries\":%zu,\"sharing\":%s,"
-          "\"ops\":%zu,\"shared_subtrees\":%zu,"
+          "\"cpus\":%zu,\"ops\":%zu,\"shared_subtrees\":%zu,"
           "\"cross_query_shared\":%zu,\"edges\":%zu,"
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results_total\":%zu,\"speedup_vs_unshared\":%.3f,"
@@ -137,7 +137,8 @@ int main() {
           "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
           "\"ops_touched_per_edge\":%.3f,"
           "\"index_skipped_dispatches\":%zu}\n",
-          num_queries, sharing ? "true" : "false", metrics->num_operators,
+          num_queries, sharing ? "true" : "false", bench::Cpus(),
+          metrics->num_operators,
           metrics->shared_subtrees, metrics->cross_query_shared,
           metrics->totals.edges_processed,
           metrics->totals.elapsed_seconds, tput,

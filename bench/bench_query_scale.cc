@@ -135,12 +135,14 @@ int main() {
         }
         std::printf(
             "{\"bench\":\"query_scale\",\"queries\":%zu,\"workers\":%zu,"
-            "\"batch\":%zu,\"index\":%d,\"labels\":%zu,\"edges\":%zu,"
+            "\"cpus\":%zu,\"batch\":%zu,\"index\":%d,\"labels\":%zu,"
+            "\"edges\":%zu,"
             "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
             "\"results_total\":%zu,\"ops\":%zu,\"state_bytes\":%zu,"
             "\"ops_touched_per_edge\":%.3f,"
             "\"index_skipped_dispatches\":%zu}\n",
-            num_queries, workers, kBatch, index ? 1 : 0, zipf.num_labels,
+            num_queries, workers, bench::Cpus(), kBatch, index ? 1 : 0,
+            zipf.num_labels,
             t.edges_processed, t.elapsed_seconds, t.Throughput(),
             t.results_emitted, metrics->num_operators, t.state_bytes,
             fanout, t.index_skipped_dispatches);

@@ -107,14 +107,14 @@ int main() {
       const double speedup = baseline_tput > 0 ? tput / baseline_tput : 0;
       std::printf(
           "{\"bench\":\"runtime_parallel\",\"workload\":\"%s\","
-          "\"workers\":%zu,\"batch\":%zu,\"edges\":%zu,"
+          "\"workers\":%zu,\"cpus\":%zu,\"batch\":%zu,\"edges\":%zu,"
           "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
           "\"results\":%zu,\"emission_ratio\":%.4f,"
           "\"speedup_vs_1\":%.3f,\"state_bytes\":%zu,"
           "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
           "\"ops_touched_per_edge\":%.3f,"
           "\"index_skipped_dispatches\":%zu}\n",
-          w.name, workers, kBatch, metrics->edges_processed,
+          w.name, workers, bench::Cpus(), kBatch, metrics->edges_processed,
           metrics->elapsed_seconds, tput, metrics->results_emitted,
           emission_ratio, speedup, metrics->state_bytes,
           static_cast<unsigned long long>(metrics->ingest_stall_ns),

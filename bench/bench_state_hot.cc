@@ -96,12 +96,13 @@ int main() {
   for (const Workload& w : rows) {
     std::printf(
         "{\"bench\":\"state_hot\",\"workload\":\"%s\",\"workers\":1,"
+        "\"cpus\":%zu,"
         "\"batch\":%zu,\"edges\":%zu,\"elapsed_seconds\":%.6f,"
         "\"tuples_per_sec\":%.1f,\"p99_slide_seconds\":%.6f,"
         "\"results\":%zu,\"state_entries\":%zu,\"state_bytes\":%zu,"
         "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
         "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu}\n",
-        w.name.c_str(), kBatch, w.metrics.edges_processed,
+        w.name.c_str(), bench::Cpus(), kBatch, w.metrics.edges_processed,
         w.metrics.elapsed_seconds, w.metrics.Throughput(),
         w.metrics.tail_latency_seconds, w.metrics.results_emitted,
         w.metrics.state_entries, w.metrics.state_bytes,

@@ -6,7 +6,7 @@
 //                    [--delta-path] [--slack N] [--batch N] [--workers N]
 //                    [--query FILE]... [--no-share] [--async-ingest]
 //                    [--pin-workers] [--format csv|binary|auto]
-//                    [--parsers N] [--no-query-index]
+//                    [--parsers N] [--no-query-index] [--mmap] [--no-mmap]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream       CSV lines `src,label,trg,timestamp[,+|-]` or an SGQB
@@ -31,6 +31,16 @@
 //                result line order) may vary run to run; binary streams
 //                intern their dictionary up front and stay fully
 //                deterministic.
+//   --mmap / --no-mmap   with --async-ingest, how the stream *file* is
+//                served to the parse stage: mmap with sequential
+//                readahead (--mmap; the default where available) or
+//                portable buffered preads (--no-mmap). Either way the
+//                file streams through a bounded readahead window — peak
+//                ingest memory is O(window), not O(file), so files
+//                larger than RAM ingest fine — and output is
+//                byte-identical between the two. Synchronous runs
+//                (reorder-slack printing, per-element delivery) still
+//                materialize the file.
 //   --pin-workers   pin runtime threads to cores (best-effort affinity)
 //   --no-query-index   escape hatch: disable the label-discrimination
 //                query index (DESIGN.md §3.1) and dispatch every edge /
@@ -75,6 +85,7 @@ int main(int argc, char** argv) {
 
   std::string query_text = kDemoQuery;
   std::string stream_text = kDemoStream;
+  std::string stream_path;  // empty = the built-in demo stream
   std::vector<std::string> extra_query_texts;
   Timestamp window = 24, slide = 1, slack = 0;
   bool use_gcore = false;
@@ -95,6 +106,10 @@ int main(int argc, char** argv) {
       options.pin_workers = true;
     } else if (std::strcmp(argv[i], "--no-query-index") == 0) {
       options.use_query_index = false;
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
+      options.ingest_file_mode = FileIngestMode::kMmap;
+    } else if (std::strcmp(argv[i], "--no-mmap") == 0) {
+      options.ingest_file_mode = FileIngestMode::kBuffered;
     } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
       auto text = ReadFile(argv[++i]);
       if (!text.ok()) {
@@ -163,13 +178,9 @@ int main(int argc, char** argv) {
       query_text = *text;
       ++positional;
     } else if (positional == 1) {
-      // Binary-safe buffered read: SGQB streams contain NUL bytes.
-      auto text = ReadFileBytes(argv[i]);
-      if (!text.ok()) {
-        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-        return 1;
-      }
-      stream_text = *text;
+      // Record the path only: async runs stream the file through the
+      // bounded chunk feeder; synchronous paths materialize it later.
+      stream_path = argv[i];
       ++positional;
     } else if (positional == 2) {
       window = std::atoll(argv[i]);
@@ -181,7 +192,17 @@ int main(int argc, char** argv) {
   }
 
   if (format_auto) {
-    options.ingest_format = DetectStreamFormat(stream_text);
+    if (stream_path.empty()) {
+      options.ingest_format = DetectStreamFormat(stream_text);
+    } else {
+      // Sniff the magic bytes without materializing the file.
+      auto detected = DetectStreamFileFormat(stream_path);
+      if (!detected.ok()) {
+        std::fprintf(stderr, "%s\n", detected.status().ToString().c_str());
+        return 1;
+      }
+      options.ingest_format = *detected;
+    }
   }
   const bool binary = options.ingest_format == StreamFormat::kBinary;
 
@@ -218,16 +239,31 @@ int main(int argc, char** argv) {
   // synchronous path parses incrementally below instead.
   sgq::Result<InputStream> stream = InputStream{};
   if (options.async_ingest) {
-    // The slack stage folds into the ingest pipeline (DESIGN.md §6).
+    // The slack stage folds into the ingest pipeline (DESIGN.md §6); a
+    // stream file never materializes — it feeds the pipeline through the
+    // bounded chunk feeder below.
     options.ingest_slack = slack;
-  } else if (slack == 0) {
-    stream = binary ? ParseStreamBinary(stream_text, &vocab)
-                    : ParseStreamCsv(stream_text, &vocab);
-    if (!stream.ok()) {
-      std::fprintf(stderr,
-                   "stream: %s (out-of-order input? try --slack N)\n",
-                   stream.status().ToString().c_str());
-      return 1;
+  } else {
+    // Synchronous paths deliver per element (printing as results appear),
+    // so they materialize the file first.
+    if (!stream_path.empty()) {
+      // Binary-safe buffered read: SGQB streams contain NUL bytes.
+      auto text = ReadFileBytes(stream_path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      stream_text = std::move(text).ValueOrDie();
+    }
+    if (slack == 0) {
+      stream = binary ? ParseStreamBinary(stream_text, &vocab)
+                      : ParseStreamCsv(stream_text, &vocab);
+      if (!stream.ok()) {
+        std::fprintf(stderr,
+                     "stream: %s (out-of-order input? try --slack N)\n",
+                     stream.status().ToString().c_str());
+        return 1;
+      }
     }
   }
 
@@ -267,6 +303,7 @@ int main(int argc, char** argv) {
     }
   };
 
+  const char* file_mode_name = nullptr;  // set when a file feeds the pipeline
   Stopwatch timer;
   auto deliver = [&](const Sge& sge) {
     engine.Push(sge);
@@ -287,19 +324,47 @@ int main(int argc, char** argv) {
     // --parsers N > 1, on N parser threads behind the order-restoring
     // merge), overlapped with execution; results materialize when the
     // stream drains. With --slack the cursors tolerate disorder and the
-    // pipeline's reorder stage restores timestamp order.
-    auto chunked = MakeChunkedStream(
-        stream_text, options.ingest_format, &vocab,
-        /*allow_disorder=*/slack > 0,
-        /*min_chunks=*/options.ingest_parsers > 1
-            ? options.ingest_parsers * 2
-            : 1);
-    if (!chunked.ok()) {
-      std::fprintf(stderr, "stream: %s\n",
-                   chunked.status().ToString().c_str());
-      return 1;
+    // pipeline's reorder stage restores timestamp order. A stream file is
+    // served through the bounded readahead window (--mmap/--no-mmap) so
+    // it never materializes; the demo stream chunks in memory.
+    const std::size_t min_chunks =
+        options.ingest_parsers > 1 ? options.ingest_parsers * 2 : 1;
+    std::unique_ptr<FileChunkSource> file_source;
+    std::unique_ptr<ChunkedStream> mem_source;
+    const ChunkedStream* chunks = nullptr;
+    if (!stream_path.empty()) {
+      FileChunkOptions fco;
+      fco.mode = options.ingest_file_mode;
+      fco.allow_disorder = slack > 0;
+      fco.min_chunks = min_chunks;
+      fco.readahead_chunks = std::max(options.ingest_readahead_chunks,
+                                      options.ingest_parsers + 1);
+      auto source = MakeFileChunkSource(stream_path, options.ingest_format,
+                                        &vocab, fco);
+      if (!source.ok()) {
+        std::fprintf(stderr, "stream: %s\n",
+                     source.status().ToString().c_str());
+        return 1;
+      }
+      file_source = std::move(source).ValueOrDie();
+      chunks = file_source.get();
+      file_mode_name = file_source->mode() == FileIngestMode::kMmap
+                           ? "mmap"
+                           : "buffered";
+    } else {
+      auto chunked = MakeChunkedStream(stream_text, options.ingest_format,
+                                       &vocab,
+                                       /*allow_disorder=*/slack > 0,
+                                       min_chunks);
+      if (!chunked.ok()) {
+        std::fprintf(stderr, "stream: %s\n",
+                     chunked.status().ToString().c_str());
+        return 1;
+      }
+      mem_source = std::move(chunked).ValueOrDie();
+      chunks = mem_source.get();
     }
-    Status run = engine.RunPipelinedSharded(**chunked);
+    Status run = engine.RunPipelinedSharded(*chunks);
     if (!run.ok()) {
       std::fprintf(stderr, "stream: %s%s\n", run.ToString().c_str(),
                    slack == 0 ? " (out-of-order input? try --slack N)" : "");
@@ -371,6 +436,10 @@ int main(int argc, char** argv) {
                  "exec stall %.3f ms\n",
                  ingest.batches, ingest.ingest_stall_ns / 1e6,
                  ingest.exec_stall_ns / 1e6);
+    if (file_mode_name != nullptr) {
+      std::fprintf(stderr, "file ingest (%s): readahead stall %.3f ms\n",
+                   file_mode_name, ingest.readahead_stall_ns / 1e6);
+    }
     if (ingest.parsers > 1) {
       std::fprintf(stderr,
                    "sharded parse: %zu parsers, merge stall %.3f ms\n",

@@ -4,8 +4,16 @@
 Each bench binary emits one JSON object per line on stdout (see
 bench/bench_*.cc); committed reference numbers live in bench/baselines/.
 This script matches rows by their identity keys (bench, workload, workers,
-batch, queries, sharing, async, pin, format, parsers, index) and reports
-throughput / tail-latency ratios.
+batch, queries, sharing, async, pin, format, parsers, index, file_mode)
+and reports throughput / tail-latency ratios.
+
+Rows also record the CPU count of the recording box ("cpus") as a fact,
+not an identity key. When a *parallel* row (workers>1, parsers>1, or
+async/pin on) was recorded on a box with a different CPU count than the
+baseline's, its throughput thresholds are skipped: parallel speedups are
+a property of core count, and comparing a 4-core recording against a
+1-core runner would flag hardware, not code. Ratios are still printed
+for the record, marked "(cpus N vs M, threshold skipped)".
 
 Intended as a *non-blocking* CI step: machine-to-machine variance makes a
 hard gate meaningless, so regressions beyond the soft threshold are
@@ -26,7 +34,8 @@ import json
 import sys
 
 IDENTITY_KEYS = ("bench", "workload", "workers", "batch", "queries",
-                 "sharing", "async", "pin", "format", "parsers", "index")
+                 "sharing", "async", "pin", "format", "parsers", "index",
+                 "file_mode")
 # Higher is better / lower is better metrics, with their soft thresholds.
 HIGHER_BETTER = {"tuples_per_sec": 0.8, "parse_tuples_per_sec": 0.8}
 # ops_touched_per_edge is near-deterministic (driver-side dispatch counts,
@@ -58,6 +67,12 @@ def fmt_key(key):
     return " ".join(f"{k}={v}" for k, v in key)
 
 
+def is_parallel(row):
+    """Whether the row's throughput depends on the recording box's cores."""
+    return (row.get("workers", 1) > 1 or row.get("parsers", 1) > 1 or
+            row.get("async") == 1 or row.get("pin") == 1)
+
+
 def compare(current, baseline):
     regressions = []
     for key, row in sorted(current.items()):
@@ -65,12 +80,22 @@ def compare(current, baseline):
         if base is None:
             print(f"  NEW      {fmt_key(key)} (no baseline row)")
             continue
+        # Parallel speedups are a property of core count: when the
+        # recording boxes differ, throughput floors would flag hardware,
+        # not code. Report the ratio, skip the threshold.
+        cpus, base_cpus = row.get("cpus"), base.get("cpus")
+        cpus_mismatch = (cpus is not None and base_cpus is not None and
+                         cpus != base_cpus and is_parallel(row))
         parts = []
         for metric, floor in HIGHER_BETTER.items():
             cur, old = row.get(metric), base.get(metric)
             if not cur or not old:
                 continue
             ratio = cur / old
+            if cpus_mismatch:
+                parts.append(f"{metric} {ratio:.2f}x (cpus {cpus} vs "
+                             f"{base_cpus}, threshold skipped)")
+                continue
             parts.append(f"{metric} {ratio:.2f}x")
             if ratio < floor:
                 regressions.append((key, metric, ratio))

@@ -144,6 +144,11 @@ struct RunMetrics {
   uint64_t merge_stall_ns = 0;
   std::vector<uint64_t> parser_stall_ns;
   uint64_t parse_busy_ns = 0;
+  /// File-backed ingest only (workload/harness.h RunSgaFile): summed
+  /// nanoseconds parser threads spent inside the chunk feeder — pread /
+  /// boundary-scan time plus readahead-window backpressure. 0 for
+  /// in-memory streams.
+  uint64_t readahead_stall_ns = 0;
   /// Query-index dispatch accounting (runtime/executor.h). ops_touched:
   /// operator activations the run actually paid (OnSge deliveries,
   /// per-(operator, port) batch executions, time-advance / purge phases).

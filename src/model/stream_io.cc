@@ -1,10 +1,16 @@
 #include "model/stream_io.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
+
+#if !defined(_WIN32)
+#include <sys/stat.h>
+#endif
 
 #include "common/string_util.h"
 
@@ -214,20 +220,33 @@ Result<InputStream> ParseStreamCsv(const std::string& text,
   return stream;
 }
 
+void AppendCsvLine(const Sge& sge, const Vocabulary& vocab,
+                   std::string* out) {
+  out->append(vocab.VertexName(sge.src));
+  out->push_back(',');
+  out->append(vocab.LabelName(sge.label));
+  out->push_back(',');
+  out->append(vocab.VertexName(sge.trg));
+  out->push_back(',');
+  out->append(std::to_string(sge.t));
+  if (sge.is_deletion) out->append(",-");
+  out->push_back('\n');
+}
+
 std::string FormatStreamCsv(const InputStream& stream,
                             const Vocabulary& vocab) {
-  std::ostringstream os;
-  for (const Sge& sge : stream) {
-    os << vocab.VertexName(sge.src) << "," << vocab.LabelName(sge.label)
-       << "," << vocab.VertexName(sge.trg) << "," << sge.t;
-    if (sge.is_deletion) os << ",-";
-    os << "\n";
-  }
-  return os.str();
+  std::string out;
+  for (const Sge& sge : stream) AppendCsvLine(sge, vocab, &out);
+  return out;
 }
 
 Result<BinaryStreamHeader> ParseBinaryStreamHeader(std::string_view bytes,
                                                    Vocabulary* vocab) {
+  return ParseBinaryStreamHeaderPrefix(bytes, bytes.size(), vocab);
+}
+
+Result<BinaryStreamHeader> ParseBinaryStreamHeaderPrefix(
+    std::string_view bytes, std::uint64_t total_bytes, Vocabulary* vocab) {
   constexpr std::size_t kFixedHeader = 24;  // magic + version + counts
   if (bytes.size() < sizeof(kBinaryStreamMagic) ||
       std::memcmp(bytes.data(), kBinaryStreamMagic,
@@ -290,7 +309,7 @@ Result<BinaryStreamHeader> ParseBinaryStreamHeader(std::string_view bytes,
   }
   header.records_offset = off;
 
-  const std::size_t record_bytes = bytes.size() - off;
+  const std::uint64_t record_bytes = total_bytes - off;
   if (header.num_records > record_bytes / kBinaryRecordBytes) {
     return Status::ParseError(
         "binary stream: truncated records (header promises " +
@@ -402,40 +421,52 @@ Result<std::string> FormatStreamBinary(const InputStream& stream,
 
   std::string out;
   out.reserve(64 + stream.size() * kBinaryRecordBytes);
-  out.append(kBinaryStreamMagic, sizeof(kBinaryStreamMagic));
-  PutU32(&out, kBinaryStreamVersion);
-  PutU32(&out, static_cast<std::uint32_t>(labels.size()));
-  PutU32(&out, static_cast<std::uint32_t>(vertices.size()));
-  PutU64(&out, static_cast<std::uint64_t>(stream.size()));
-  const auto put_name = [&out](const std::string& name) -> Status {
-    if (name.size() > UINT16_MAX) {
-      return Status::Unsupported("binary stream: name longer than 64 KiB: " +
-                                 name.substr(0, 32) + "…");
-    }
-    PutU16(&out, static_cast<std::uint16_t>(name.size()));
-    out.append(name);
-    return Status::OK();
-  };
-  for (LabelId l : labels) SGQ_RETURN_NOT_OK(put_name(vocab.LabelName(l)));
-  for (VertexId v : vertices) SGQ_RETURN_NOT_OK(put_name(vocab.VertexName(v)));
+  SGQ_RETURN_NOT_OK(AppendBinaryStreamHeader(
+      labels, vertices, static_cast<std::uint64_t>(stream.size()), vocab,
+      &out));
   for (std::size_t i = 0; i < stream.size(); ++i) {
-    const Sge& sge = stream[i];
-    PutU64(&out, static_cast<std::uint64_t>(sge.t));
-    PutU32(&out, encoded[i].src);
-    PutU32(&out, encoded[i].trg);
-    PutU32(&out, encoded[i].label);
-    out.push_back(sge.is_deletion ? 1 : 0);
-    out.append(3, '\0');
+    AppendBinaryStreamRecord(stream[i], encoded[i].src, encoded[i].trg,
+                             encoded[i].label, &out);
   }
   return out;
 }
 
-namespace {
+Status AppendBinaryStreamHeader(const std::vector<LabelId>& labels,
+                                const std::vector<VertexId>& vertices,
+                                std::uint64_t num_records,
+                                const Vocabulary& vocab, std::string* out) {
+  out->append(kBinaryStreamMagic, sizeof(kBinaryStreamMagic));
+  PutU32(out, kBinaryStreamVersion);
+  PutU32(out, static_cast<std::uint32_t>(labels.size()));
+  PutU32(out, static_cast<std::uint32_t>(vertices.size()));
+  PutU64(out, num_records);
+  const auto put_name = [out](const std::string& name) -> Status {
+    if (name.size() > UINT16_MAX) {
+      return Status::Unsupported("binary stream: name longer than 64 KiB: " +
+                                 name.substr(0, 32) + "…");
+    }
+    PutU16(out, static_cast<std::uint16_t>(name.size()));
+    out->append(name);
+    return Status::OK();
+  };
+  for (LabelId l : labels) SGQ_RETURN_NOT_OK(put_name(vocab.LabelName(l)));
+  for (VertexId v : vertices) {
+    SGQ_RETURN_NOT_OK(put_name(vocab.VertexName(v)));
+  }
+  return Status::OK();
+}
 
-/// \brief Chunk sizing shared by both formats: at least `min_chunks`
-/// chunks so every parser thread has work even on small inputs, but no
-/// smaller than ~256 KB per chunk on large inputs (finer slicing only adds
-/// merge overhead).
+void AppendBinaryStreamRecord(const Sge& sge, std::uint32_t src,
+                              std::uint32_t trg, std::uint32_t label,
+                              std::string* out) {
+  PutU64(out, static_cast<std::uint64_t>(sge.t));
+  PutU32(out, src);
+  PutU32(out, trg);
+  PutU32(out, label);
+  out->push_back(sge.is_deletion ? 1 : 0);
+  out->append(3, '\0');
+}
+
 std::size_t PickNumChunks(std::size_t payload_bytes, std::size_t min_chunks) {
   constexpr std::size_t kChunkTargetBytes = 256 * 1024;
   min_chunks = std::max<std::size_t>(min_chunks, 1);
@@ -443,6 +474,49 @@ std::size_t PickNumChunks(std::size_t payload_bytes, std::size_t min_chunks) {
       (payload_bytes + kChunkTargetBytes - 1) / kChunkTargetBytes;
   return std::max(min_chunks, by_size);
 }
+
+Status ChunkBoundaryError(std::size_t chunk, Timestamp got, Timestamp prev) {
+  return Status::ParseError(
+      "chunk " + std::to_string(chunk) +
+      ": timestamps must be non-decreasing across chunk boundaries (got " +
+      std::to_string(got) + " after " + std::to_string(prev) + ")");
+}
+
+std::size_t ChunkWalkCursor::Next(Sge* buf, std::size_t cap) {
+  if (!status_.ok()) return 0;
+  for (;;) {
+    if (cursor_ == nullptr) {
+      if (next_chunk_ >= stream_.NumChunks()) return 0;
+      chunk_ = next_chunk_++;
+      cursor_ = stream_.OpenChunk(chunk_);
+      fresh_chunk_ = true;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t n = cursor_->Next(buf, cap);
+    busy_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (n > 0) {
+      if (fresh_chunk_ && check_order_ && buf[0].t < last_t_) {
+        status_ = ChunkBoundaryError(chunk_, buf[0].t, last_t_);
+        return 0;
+      }
+      fresh_chunk_ = false;
+      last_t_ = buf[n - 1].t;
+      return n;
+    }
+    if (!cursor_->ok()) {
+      status_ = cursor_->status();
+      return 0;
+    }
+    // Dropping the cursor before opening the successor retires the chunk
+    // on windowed file sources — exactly one chunk stays resident.
+    cursor_.reset();
+  }
+}
+
+namespace {
 
 class CsvChunkedStream : public ChunkedStream {
  public:
@@ -551,30 +625,104 @@ Result<std::unique_ptr<ChunkedStream>> MakeChunkedStream(
       new CsvChunkedStream(bytes, vocab, allow_disorder, min_chunks));
 }
 
+namespace {
+
+/// \brief errno rendered for error messages, with a fallback for the
+/// cases (logical stream-state failures) where the C library left errno
+/// untouched.
+std::string ErrnoText(int err) {
+  if (err == 0) return "unknown error";
+  return std::strerror(err);
+}
+
+}  // namespace
+
 Result<std::string> ReadFileBytes(const std::string& path) {
+#if !defined(_WIN32)
+  // ifstream happily opens a directory on POSIX and only fails at the
+  // first read (EISDIR) — catch it up front with a clear message.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    return Status::InvalidArgument("cannot open stream file: " + path +
+                                   ": is a directory");
+  }
+#endif
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open stream file: " + path);
+  if (!in) {
+    return Status::NotFound("cannot open stream file: " + path + ": " +
+                            ErrnoText(errno));
+  }
   std::string out;
   char buffer[kStreamIoBufferBytes];
+  errno = 0;
   while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
     out.append(buffer, static_cast<std::size_t>(in.gcount()));
   }
-  if (in.bad()) return Status::Internal("read error on stream file: " + path);
+  if (in.bad()) {
+    return Status::Internal("read error on stream file: " + path + ": " +
+                            ErrnoText(errno));
+  }
   return out;
 }
 
-Status WriteFileBytes(const std::string& path, std::string_view bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot create file: " + path);
-  for (std::size_t off = 0; off < bytes.size();
-       off += kStreamIoBufferBytes) {
-    const std::size_t n =
-        std::min(kStreamIoBufferBytes, bytes.size() - off);
-    out.write(bytes.data() + off, static_cast<std::streamsize>(n));
+FileByteSink::FileByteSink(const std::string& path) : path_(path) {
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::NotFound("cannot create file: " + path + ": " +
+                               ErrnoText(errno));
+    return;
   }
-  out.flush();
-  if (!out) return Status::Internal("write error on file: " + path);
-  return Status::OK();
+  buffer_.reserve(kStreamIoBufferBytes);
+}
+
+FileByteSink::~FileByteSink() { Close(); }
+
+Status FileByteSink::Flush() {
+  if (!status_.ok() || buffer_.empty()) return status_;
+  errno = 0;
+  const std::size_t wrote =
+      std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  if (wrote != buffer_.size()) {
+    status_ = Status::Internal("write error on file: " + path_ + ": " +
+                               ErrnoText(errno));
+  }
+  buffer_.clear();
+  return status_;
+}
+
+Status FileByteSink::Append(std::string_view bytes) {
+  if (!status_.ok()) return status_;
+  bytes_written_ += bytes.size();
+  while (!bytes.empty()) {
+    const std::size_t room = kStreamIoBufferBytes - buffer_.size();
+    const std::size_t n = std::min(room, bytes.size());
+    buffer_.append(bytes.data(), n);
+    bytes.remove_prefix(n);
+    if (buffer_.size() == kStreamIoBufferBytes) {
+      SGQ_RETURN_NOT_OK(Flush());
+    }
+  }
+  return status_;
+}
+
+Status FileByteSink::Close() {
+  if (file_ == nullptr) return status_;
+  Flush();
+  errno = 0;
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::Internal("write error on file: " + path_ + ": " +
+                               ErrnoText(errno));
+  }
+  file_ = nullptr;
+  return status_;
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view bytes) {
+  FileByteSink sink(path);
+  SGQ_RETURN_NOT_OK(sink.Append(bytes));
+  return sink.Close();
 }
 
 Result<InputStream> ReadStreamFile(const std::string& path,

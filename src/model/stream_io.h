@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -25,6 +26,19 @@ namespace sgq {
 enum class StreamFormat {
   kCsv,     ///< text quads, one element per line
   kBinary,  ///< SGQB: dictionary header + fixed-width records
+};
+
+/// \brief How file-backed ingest maps stream bytes into memory
+/// (model/file_chunk_source.h): mmap the file and serve zero-copy chunk
+/// views, or pread chunks into a recycled buffer pool. Auto picks mmap
+/// where the platform supports it and falls back to buffered reads.
+/// Either way peak ingest-buffer memory is bounded by the readahead
+/// window, not the file size, and the decoded element sequence (chunk
+/// boundaries, error tagging included) is byte-identical.
+enum class FileIngestMode {
+  kAuto,      ///< mmap when available, buffered otherwise
+  kMmap,      ///< require mmap (error on platforms/inputs without it)
+  kBuffered,  ///< portable pread into a bounded recycled buffer pool
 };
 
 /// \brief Sniffs the format of a stream buffer: SGQB if it starts with the
@@ -107,6 +121,13 @@ class StreamCsvCursor : public StreamCursor {
 std::string FormatStreamCsv(const InputStream& stream,
                             const Vocabulary& vocab);
 
+/// \brief Appends one element's CSV line (trailing newline included) to
+/// `*out` — the single definition of the CSV rendering, shared by
+/// FormatStreamCsv and the streaming stream_convert path so both emit
+/// byte-identical text.
+void AppendCsvLine(const Sge& sge, const Vocabulary& vocab,
+                   std::string* out);
+
 // ---------------------------------------------------------------------------
 // SGQB binary stream format (little-endian throughout):
 //
@@ -155,6 +176,32 @@ struct BinaryStreamHeader {
 /// that the record region is exactly record_count × 24 bytes.
 Result<BinaryStreamHeader> ParseBinaryStreamHeader(std::string_view bytes,
                                                    Vocabulary* vocab);
+
+/// \brief ParseBinaryStreamHeader over a *prefix* of a larger stream:
+/// `total_bytes` is the full stream length, so the record-region check
+/// validates against the real file size instead of the prefix. Returns the
+/// TruncatedHeader parse error while the dictionaries extend past the
+/// prefix — callers grow the prefix and retry until it succeeds or covers
+/// the whole stream (at which point the errors match the whole-buffer
+/// parse exactly). Powers the buffered file ingest path, which cannot
+/// materialize the record region just to find where the header ends.
+Result<BinaryStreamHeader> ParseBinaryStreamHeaderPrefix(
+    std::string_view prefix, std::uint64_t total_bytes, Vocabulary* vocab);
+
+/// \brief Appends the SGQB header (magic through dictionaries) for the
+/// given first-use-order dictionaries to `*out`. Fails on names longer
+/// than 64 KiB. Shared by FormatStreamBinary and the streaming
+/// stream_convert encoder.
+Status AppendBinaryStreamHeader(const std::vector<LabelId>& labels,
+                                const std::vector<VertexId>& vertices,
+                                std::uint64_t num_records,
+                                const Vocabulary& vocab, std::string* out);
+
+/// \brief Appends one fixed-width 24-byte SGQB record. `src`/`trg`/`label`
+/// are dictionary indexes (first-use order), not Vocabulary ids.
+void AppendBinaryStreamRecord(const Sge& sge, std::uint32_t src,
+                              std::uint32_t trg, std::uint32_t label,
+                              std::string* out);
 
 /// \brief Incremental SGQB record decoder mirroring StreamCsvCursor. The
 /// whole-buffer constructor parses the header eagerly (errors surface via
@@ -222,10 +269,72 @@ class ChunkedStream {
 
   /// \brief Opens a fresh cursor over chunk `i`. Thread-safe: parser
   /// threads call this concurrently for distinct (or even equal) chunks.
+  /// May block on sources with a bounded readahead window
+  /// (model/file_chunk_source.h) until earlier chunks retire; header
+  /// errors already surfaced at construction, so a returned cursor's
+  /// status() carries any per-chunk load or parse error.
   virtual std::unique_ptr<StreamCursor> OpenChunk(std::size_t i) const = 0;
 
   virtual StreamFormat format() const = 0;
+
+  /// \brief Wakes any thread blocked inside OpenChunk and makes further
+  /// opens fail fast — called by the sharded-parse merge when it aborts a
+  /// run, so parser threads waiting on the readahead window cannot hang.
+  /// No-op for fully materialized streams (nothing ever blocks).
+  virtual void Abort() const {}
+
+  /// \brief Cumulative nanoseconds callers spent inside the chunk feeder —
+  /// pread/page-scan time plus readahead-window backpressure. 0 for fully
+  /// materialized streams.
+  virtual std::uint64_t ReadaheadStallNs() const { return 0; }
 };
+
+/// \brief Chunk sizing shared by every ChunkedStream implementation: at
+/// least `min_chunks` chunks so every parser thread has work even on small
+/// inputs, but no smaller than ~256 KB per chunk on large inputs (finer
+/// slicing only adds merge overhead). File-backed sources must call this
+/// with the same payload size as the in-memory splitter so chunk
+/// boundaries — and therefore error tagging and merge order — stay
+/// byte-identical.
+std::size_t PickNumChunks(std::size_t payload_bytes, std::size_t min_chunks);
+
+/// \brief Sequential walk over a ChunkedStream's cursors — the collapsed
+/// parsers=1 form of the sharded parse (runtime/ingest_pipeline.h) and the
+/// synchronous file-ingest pump: identical element sequence to one cursor
+/// over the whole buffer, plus the cross-chunk ordering check the
+/// chunk-local cursors cannot perform. Accounts pure parse time (busy_ns)
+/// for parse_tuples_per_sec parity with the multi-parser stage. Retires
+/// each chunk (drops its cursor) before opening the next, so windowed
+/// file sources keep only one chunk resident.
+class ChunkWalkCursor : public StreamCursor {
+ public:
+  ChunkWalkCursor(const ChunkedStream& stream, bool allow_disorder)
+      : stream_(stream), check_order_(!allow_disorder) {}
+
+  std::size_t Next(Sge* buf, std::size_t cap) override;
+
+  const Status& status() const override { return status_; }
+
+  /// \brief Nanoseconds inside the chunk cursors' Next — the pure
+  /// tokenize/decode cost.
+  std::uint64_t busy_ns() const { return busy_ns_; }
+
+ private:
+  const ChunkedStream& stream_;
+  const bool check_order_;
+  std::unique_ptr<StreamCursor> cursor_;
+  std::size_t next_chunk_ = 0;
+  std::size_t chunk_ = 0;
+  bool fresh_chunk_ = false;
+  Timestamp last_t_ = kMinTimestamp;
+  std::uint64_t busy_ns_ = 0;
+  Status status_ = Status::OK();
+};
+
+/// \brief The cross-chunk ordering violation both the sharded merge and
+/// ChunkWalkCursor report (chunk-local cursors cannot see across a
+/// boundary, so the consumer re-validates there).
+Status ChunkBoundaryError(std::size_t chunk, Timestamp got, Timestamp prev);
 
 /// \brief Splits `bytes` (borrowed; must outlive the result) into at least
 /// `min_chunks` chunks of roughly equal size where the input allows,
@@ -243,11 +352,50 @@ Result<std::unique_ptr<ChunkedStream>> MakeChunkedStream(
 // ---------------------------------------------------------------------------
 
 /// \brief Reads a whole file in binary mode with kStreamIoBufferBytes
-/// buffered reads.
+/// buffered reads. Errors carry the errno text (missing file, directory
+/// instead of a file, read failures).
 Result<std::string> ReadFileBytes(const std::string& path);
 
+/// \brief Incremental buffered file writer: Append() accumulates into a
+/// kStreamIoBufferBytes staging buffer and flushes full buffers to disk,
+/// so writers of arbitrarily large outputs (streaming stream_convert)
+/// never materialize more than one buffer. Errors (open, short write)
+/// carry the errno text, stick, and re-surface from every later call.
+class FileByteSink {
+ public:
+  /// \brief Opens `path` for truncating binary write.
+  explicit FileByteSink(const std::string& path);
+  ~FileByteSink();
+
+  FileByteSink(const FileByteSink&) = delete;
+  FileByteSink& operator=(const FileByteSink&) = delete;
+
+  /// \brief Buffers `bytes`, flushing in kStreamIoBufferBytes units.
+  Status Append(std::string_view bytes);
+
+  /// \brief Flushes the tail and closes the file. Idempotent; the
+  /// destructor calls it, but callers should Close() explicitly to see
+  /// the final flush's status.
+  Status Close();
+
+  /// \brief Bytes accepted so far (buffered bytes included).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status Flush();
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  std::uint64_t bytes_written_ = 0;
+  Status status_ = Status::OK();
+};
+
 /// \brief Writes `bytes` to `path` in binary mode with
-/// kStreamIoBufferBytes buffered writes.
+/// kStreamIoBufferBytes buffered writes (FileByteSink one-shot). Errors
+/// carry the errno text.
 Status WriteFileBytes(const std::string& path, std::string_view bytes);
 
 /// \brief Reads a stream file from disk, auto-detecting CSV vs SGQB by the

@@ -137,67 +137,6 @@ class BatchStager {
   Batch current_;
 };
 
-Status ChunkBoundaryError(std::size_t chunk, Timestamp got, Timestamp prev) {
-  return Status::ParseError(
-      "chunk " + std::to_string(chunk) +
-      ": timestamps must be non-decreasing across chunk boundaries (got " +
-      std::to_string(got) + " after " + std::to_string(prev) + ")");
-}
-
-/// \brief Sequential walk over a ChunkedStream's cursors — the collapsed
-/// parsers=1 form of the sharded parse: identical element sequence to one
-/// cursor over the whole buffer, plus the cross-chunk ordering check the
-/// chunk-local cursors cannot perform. Accounts pure parse time for
-/// parse_tuples_per_sec parity with the multi-parser stage.
-class SequentialChunkCursor {
- public:
-  SequentialChunkCursor(const ChunkedStream& stream, bool allow_disorder)
-      : stream_(stream), check_order_(!allow_disorder) {}
-
-  std::size_t Next(Sge* buf, std::size_t cap) {
-    if (!status_.ok()) return 0;
-    for (;;) {
-      if (cursor_ == nullptr) {
-        if (next_chunk_ >= stream_.NumChunks()) return 0;
-        chunk_ = next_chunk_++;
-        cursor_ = stream_.OpenChunk(chunk_);
-        fresh_chunk_ = true;
-      }
-      const auto t0 = Clock::now();
-      const std::size_t n = cursor_->Next(buf, cap);
-      busy_ns_ += ElapsedNs(t0);
-      if (n > 0) {
-        if (fresh_chunk_ && check_order_ && buf[0].t < last_t_) {
-          status_ = ChunkBoundaryError(chunk_, buf[0].t, last_t_);
-          return 0;
-        }
-        fresh_chunk_ = false;
-        last_t_ = buf[n - 1].t;
-        return n;
-      }
-      if (!cursor_->ok()) {
-        status_ = cursor_->status();
-        return 0;
-      }
-      cursor_.reset();
-    }
-  }
-
-  const Status& status() const { return status_; }
-  uint64_t busy_ns() const { return busy_ns_; }
-
- private:
-  const ChunkedStream& stream_;
-  const bool check_order_;
-  std::unique_ptr<StreamCursor> cursor_;
-  std::size_t next_chunk_ = 0;
-  std::size_t chunk_ = 0;
-  bool fresh_chunk_ = false;
-  Timestamp last_t_ = kMinTimestamp;
-  uint64_t busy_ns_ = 0;
-  Status status_ = Status::OK();
-};
-
 /// \brief Unit of the gutter hand-off: one run of consecutive elements of
 /// one chunk, or the chunk's end marker (publishes its parse status).
 struct Segment {
@@ -300,16 +239,21 @@ Status IngestPipeline::RunSharded(const ChunkedStream& stream,
                                   std::size_t parsers) {
   const ExecutorOptions& options = executor_->options();
   const bool allow_disorder = options.ingest_slack > 0;
+  // Windowed file sources accumulate feeder time across every OpenChunk;
+  // accounting the per-run delta keeps cumulative stats correct when one
+  // pipeline serves several runs.
+  const uint64_t readahead_before = stream.ReadaheadStallNs();
 
   if (parsers <= 1) {
     // Collapsed form: one sequential chunk walk on the classic single-
     // producer pipeline — the same element sequence as an unchunked
     // cursor, so output stays byte-identical to Run().
-    SequentialChunkCursor seq(stream, allow_disorder);
+    ChunkWalkCursor seq(stream, allow_disorder);
     Run([&seq](Sge* buf, std::size_t cap) { return seq.Next(buf, cap); });
     const uint64_t stall = 0;
     const uint64_t busy = seq.busy_ns();
     AccumulateParserStats(1, &stall, &busy);
+    stats_.readahead_stall_ns += stream.ReadaheadStallNs() - readahead_before;
     return seq.status();
   }
 
@@ -458,7 +402,10 @@ Status IngestPipeline::RunSharded(const ChunkedStream& stream,
     }
     if (!ok) {
       // Abort: wake every parser blocked on a gutter so the threads exit
-      // (Close is safe from either side of an SPSC queue).
+      // (Close is safe from either side of an SPSC queue), and every
+      // parser blocked inside a windowed file source's OpenChunk — a
+      // chunk that will never retire once the merge stops draining.
+      stream.Abort();
       for (std::size_t p = 0; p < parsers; ++p) {
         gutter[p]->Close();
         gutter_free[p]->Close();
@@ -476,6 +423,7 @@ Status IngestPipeline::RunSharded(const ChunkedStream& stream,
   merge.join();
   for (std::thread& t : parser_threads) t.join();
   AccumulateParserStats(parsers, parser_stall.data(), parser_busy.data());
+  stats_.readahead_stall_ns += stream.ReadaheadStallNs() - readahead_before;
   return merge_error;
 }
 

@@ -27,6 +27,7 @@
 #include "core/query_processor.h"     // IWYU pragma: export
 #include "core/reorder_buffer.h"      // IWYU pragma: export
 #include "model/coalesce.h"           // IWYU pragma: export
+#include "model/file_chunk_source.h"  // IWYU pragma: export
 #include "model/interval.h"           // IWYU pragma: export
 #include "model/sgt.h"                // IWYU pragma: export
 #include "model/snapshot_graph.h"     // IWYU pragma: export

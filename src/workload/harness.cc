@@ -6,6 +6,7 @@
 
 #include "algebra/translate.h"
 #include "baseline/engine.h"
+#include "model/file_chunk_source.h"
 #include "model/stream_io.h"
 
 namespace sgq {
@@ -30,6 +31,7 @@ RunMetrics CollectEngineMetrics(const Engine& engine, std::string name,
   m.parsers = stats.parsers;
   m.merge_stall_ns = stats.merge_stall_ns;
   m.parser_stall_ns = stats.parser_stall_ns;
+  m.readahead_stall_ns = stats.readahead_stall_ns;
   // The parse-stage critical path is the slowest parser's busy time.
   for (uint64_t busy : stats.parser_busy_ns) {
     m.parse_busy_ns = std::max(m.parse_busy_ns, busy);
@@ -132,6 +134,57 @@ Result<RunMetrics> RunSgaCsv(const std::string& csv_text,
   options.ingest_format = StreamFormat::kCsv;
   return RunSgaText(csv_text, query, vocab, std::move(options),
                     std::move(name));
+}
+
+Result<RunMetrics> RunSgaFile(const std::string& path,
+                              const StreamingGraphQuery& query,
+                              Vocabulary* vocab, EngineOptions options,
+                              std::string name) {
+  SGQ_ASSIGN_OR_RETURN(auto qp,
+                       QueryProcessor::FromQuery(query, *vocab, options));
+  FileChunkOptions fco;
+  fco.mode = options.ingest_file_mode;
+  fco.allow_disorder = options.ingest_slack > 0;
+  // Same chunk-count floor as RunSgaText per parse placement, so chunk
+  // boundaries — and output — match the materialized path exactly.
+  const bool sharded = options.async_ingest && options.ingest_parsers > 1;
+  fco.min_chunks = sharded ? options.ingest_parsers * 2 : 1;
+  // Every parser can hold one chunk open while at least one more loads.
+  fco.readahead_chunks =
+      std::max(options.ingest_readahead_chunks, options.ingest_parsers + 1);
+  SGQ_ASSIGN_OR_RETURN(
+      auto source,
+      MakeFileChunkSource(path, options.ingest_format, vocab, fco));
+
+  uint64_t sync_parse_ns = 0;
+  Status parse_status = Status::OK();
+  Stopwatch timer;
+  if (options.async_ingest) {
+    parse_status = qp->engine().RunPipelinedSharded(*source);
+  } else {
+    // Inline parse on the calling thread; the chunk walk retires each
+    // chunk before opening the next, so only one chunk stays resident.
+    ChunkWalkCursor cursor(*source, fco.allow_disorder);
+    std::vector<Sge> chunk(1024);
+    for (;;) {
+      const std::size_t n = cursor.Next(chunk.data(), chunk.size());
+      if (n == 0) break;
+      for (std::size_t i = 0; i < n; ++i) qp->Push(chunk[i]);
+    }
+    qp->Flush();
+    parse_status = cursor.status();
+    sync_parse_ns = cursor.busy_ns();
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  SGQ_RETURN_NOT_OK(parse_status);
+  RunMetrics m =
+      CollectEngineMetrics(qp->engine(), std::move(name), elapsed);
+  if (!options.async_ingest) {
+    m.parse_busy_ns = sync_parse_ns;
+    m.readahead_stall_ns = source->ReadaheadStallNs();
+  }
+  m.results_emitted = qp->results_emitted();
+  return m;
 }
 
 Result<MultiQueryMetrics> RunMultiSgaPlans(

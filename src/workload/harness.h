@@ -57,6 +57,22 @@ Result<RunMetrics> RunSgaCsv(const std::string& csv_text,
                              Vocabulary* vocab, EngineOptions options,
                              std::string name);
 
+/// \brief Runs `query` over a stream *file* without materializing it:
+/// bytes are served through the bounded readahead window of a
+/// model/file_chunk_source.h chunk feeder (options.ingest_file_mode picks
+/// mmap vs buffered preads), so peak ingest-buffer memory is
+/// O(options.ingest_readahead_chunks · ~256 KB) regardless of file size.
+/// The decoded element sequence — and therefore every result and error —
+/// is byte-identical to RunSgaText over the same file's bytes in every
+/// configuration RunSgaText supports (sync inline parse, async single
+/// producer, async sharded parse; options.ingest_format declares the
+/// encoding, pair with DetectStreamFileFormat to sniff). Feeder time
+/// lands in RunMetrics::readahead_stall_ns.
+Result<RunMetrics> RunSgaFile(const std::string& path,
+                              const StreamingGraphQuery& query,
+                              Vocabulary* vocab, EngineOptions options,
+                              std::string name);
+
 /// \brief Runs `query` on the DD-style baseline engine.
 Result<RunMetrics> RunDd(const InputStream& stream,
                          const StreamingGraphQuery& query,

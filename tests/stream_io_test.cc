@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/string_util.h"
@@ -447,6 +449,66 @@ TEST(StreamFileTest, ReadWriteRoundTripsBinaryBytes) {
   std::remove(path.c_str());
 
   EXPECT_FALSE(ReadFileBytes(path + ".does-not-exist").ok());
+}
+
+TEST(StreamFileTest, MissingFileErrorCarriesErrnoText) {
+  const std::string path = ::testing::TempDir() + "/no_such_stream.csv";
+  auto r = ReadFileBytes(path);
+  ASSERT_FALSE(r.ok());
+  // The message names the path and the strerror(ENOENT) text, so a user
+  // staring at a failed ingest knows *which* file and *why*.
+  EXPECT_NE(r.status().message().find(path), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("No such file"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(StreamFileTest, DirectoryInsteadOfFileIsInvalidArgument) {
+  auto r = ReadFileBytes(::testing::TempDir());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("is a directory"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(StreamFileTest, ZeroLengthRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/stream_io_empty.bin";
+  ASSERT_TRUE(WriteFileBytes(path, "").ok());
+  auto back = ReadFileBytes(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->empty());
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, FileByteSinkSpansBufferFlushes) {
+  const std::string path = ::testing::TempDir() + "/stream_io_sink.bin";
+  std::string payload;
+  for (int i = 0; i < 7; ++i) {
+    payload += std::string(kStreamIoBufferBytes / 2 + 11,
+                           static_cast<char>('a' + i));
+  }
+  {
+    FileByteSink sink(path);
+    // Appends deliberately straddle the staging-buffer boundary.
+    std::string_view rest = payload;
+    while (!rest.empty()) {
+      const std::size_t n = std::min<std::size_t>(rest.size(), 1000);
+      ASSERT_TRUE(sink.Append(rest.substr(0, n)).ok());
+      rest.remove_prefix(n);
+    }
+    EXPECT_EQ(sink.bytes_written(), payload.size());
+    ASSERT_TRUE(sink.Close().ok()) << sink.status().ToString();
+  }
+  auto back = ReadFileBytes(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(StreamFileTest, FileByteSinkOpenFailureSticks) {
+  FileByteSink sink(::testing::TempDir() + "/no/such/dir/out.bin");
+  EXPECT_FALSE(sink.Append("x").ok());
+  EXPECT_FALSE(sink.Close().ok());
+  EXPECT_FALSE(sink.status().ok());
 }
 
 TEST(StreamFileTest, ReadStreamFileAutoDetectsFormat) {
