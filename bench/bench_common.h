@@ -1,5 +1,5 @@
 // Shared configuration for the experiment binaries (one per paper
-// table/figure; see DESIGN.md §7 for the experiment index).
+// table/figure; see DESIGN.md §8 for the experiment index).
 //
 // Streams are laptop-scale versions of the paper's datasets (see DESIGN.md
 // substitutions): the absolute throughput numbers are lower than the
@@ -67,6 +67,19 @@ inline Result<InputStream> SnbStream(Vocabulary* vocab) {
 
 /// \brief The paper's default window: |W| = 30 days, slide = 1 day.
 inline WindowSpec PaperWindow() { return WindowSpec(30 * kDay, kDay); }
+
+/// \brief Trailing checkpoint fields for the per-line JSON emitters,
+/// always present so rows parse uniformly: both are 0 on runs that never
+/// checkpointed, and report the foreground serialization stall plus the
+/// encoded snapshot size otherwise (common/metrics.h).
+inline std::string CheckpointJson(const RunMetrics& m) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"checkpoint_write_ns\":%llu,\"checkpoint_bytes\":%llu",
+                static_cast<unsigned long long>(m.checkpoint_write_ns),
+                static_cast<unsigned long long>(m.checkpoint_bytes));
+  return std::string(buf);
+}
 
 /// \brief Aborts the binary on a non-OK status (benchmark setup only).
 inline void CheckOk(const Status& status, const char* what) {

@@ -54,14 +54,16 @@ void PrintRowTail(const sgq::RunMetrics& m) {
       "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
       "\"parse_tuples_per_sec\":%.1f,\"merge_stall_ns\":%llu,"
       "\"parser_stall_ns\":%s,"
-      "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu}\n",
+      "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu"
+      "%s}\n",
       m.edges_processed, m.elapsed_seconds, m.Throughput(),
       m.results_emitted,
       static_cast<unsigned long long>(m.ingest_stall_ns),
       static_cast<unsigned long long>(m.exec_stall_ns),
       m.ParseTuplesPerSec(),
       static_cast<unsigned long long>(m.merge_stall_ns), stalls.c_str(),
-      m.OpsTouchedPerEdge(), m.index_skipped_dispatches);
+      m.OpsTouchedPerEdge(), m.index_skipped_dispatches,
+      sgq::bench::CheckpointJson(m).c_str());
 }
 
 void PrintRow(const sgq::RunMetrics& m, const char* workload,

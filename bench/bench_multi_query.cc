@@ -136,7 +136,7 @@ int main() {
           "\"state_bytes\":%zu,"
           "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
           "\"ops_touched_per_edge\":%.3f,"
-          "\"index_skipped_dispatches\":%zu}\n",
+          "\"index_skipped_dispatches\":%zu%s}\n",
           num_queries, sharing ? "true" : "false", bench::Cpus(),
           metrics->num_operators,
           metrics->shared_subtrees, metrics->cross_query_shared,
@@ -147,7 +147,8 @@ int main() {
           static_cast<unsigned long long>(metrics->totals.ingest_stall_ns),
           static_cast<unsigned long long>(metrics->totals.exec_stall_ns),
           metrics->totals.OpsTouchedPerEdge(),
-          metrics->totals.index_skipped_dispatches);
+          metrics->totals.index_skipped_dispatches,
+          bench::CheckpointJson(metrics->totals).c_str());
       std::fprintf(stderr,
                    "  %-9s %10.0f tuples/s  %4zu ops  %5zu results"
                    "  (%.2fx vs unshared)\n",

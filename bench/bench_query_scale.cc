@@ -140,12 +140,13 @@ int main() {
             "\"elapsed_seconds\":%.6f,\"tuples_per_sec\":%.1f,"
             "\"results_total\":%zu,\"ops\":%zu,\"state_bytes\":%zu,"
             "\"ops_touched_per_edge\":%.3f,"
-            "\"index_skipped_dispatches\":%zu}\n",
+            "\"index_skipped_dispatches\":%zu%s}\n",
             num_queries, workers, bench::Cpus(), kBatch, index ? 1 : 0,
             zipf.num_labels,
             t.edges_processed, t.elapsed_seconds, t.Throughput(),
             t.results_emitted, metrics->num_operators, t.state_bytes,
-            fanout, t.index_skipped_dispatches);
+            fanout, t.index_skipped_dispatches,
+            bench::CheckpointJson(t).c_str());
         std::fprintf(stderr,
                      "  %-7s %10.0f tuples/s  %6.2f ops/edge  "
                      "%9zu skipped  %6zu results\n",

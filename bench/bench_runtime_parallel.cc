@@ -113,13 +113,14 @@ int main() {
           "\"speedup_vs_1\":%.3f,\"state_bytes\":%zu,"
           "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
           "\"ops_touched_per_edge\":%.3f,"
-          "\"index_skipped_dispatches\":%zu}\n",
+          "\"index_skipped_dispatches\":%zu%s}\n",
           w.name, workers, bench::Cpus(), kBatch, metrics->edges_processed,
           metrics->elapsed_seconds, tput, metrics->results_emitted,
           emission_ratio, speedup, metrics->state_bytes,
           static_cast<unsigned long long>(metrics->ingest_stall_ns),
           static_cast<unsigned long long>(metrics->exec_stall_ns),
-          metrics->OpsTouchedPerEdge(), metrics->index_skipped_dispatches);
+          metrics->OpsTouchedPerEdge(), metrics->index_skipped_dispatches,
+          bench::CheckpointJson(*metrics).c_str());
       std::fprintf(stderr,
                    "  workers=%zu  %10.0f tuples/s  (%.2fx vs 1)  "
                    "%zu results (%.3fx emission)\n",

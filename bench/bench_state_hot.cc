@@ -101,14 +101,16 @@ int main() {
         "\"tuples_per_sec\":%.1f,\"p99_slide_seconds\":%.6f,"
         "\"results\":%zu,\"state_entries\":%zu,\"state_bytes\":%zu,"
         "\"ingest_stall_ns\":%llu,\"exec_stall_ns\":%llu,"
-        "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu}\n",
+        "\"ops_touched_per_edge\":%.3f,\"index_skipped_dispatches\":%zu"
+        "%s}\n",
         w.name.c_str(), bench::Cpus(), kBatch, w.metrics.edges_processed,
         w.metrics.elapsed_seconds, w.metrics.Throughput(),
         w.metrics.tail_latency_seconds, w.metrics.results_emitted,
         w.metrics.state_entries, w.metrics.state_bytes,
         static_cast<unsigned long long>(w.metrics.ingest_stall_ns),
         static_cast<unsigned long long>(w.metrics.exec_stall_ns),
-        w.metrics.OpsTouchedPerEdge(), w.metrics.index_skipped_dispatches);
+        w.metrics.OpsTouchedPerEdge(), w.metrics.index_skipped_dispatches,
+        bench::CheckpointJson(w.metrics).c_str());
     std::fprintf(stderr, "%-16s %14.0f %16.3f %10zu %12zu\n", w.name.c_str(),
                  w.metrics.Throughput(),
                  w.metrics.tail_latency_seconds * 1e3,

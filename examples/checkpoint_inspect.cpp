@@ -1,0 +1,155 @@
+// checkpoint_inspect — dump the frame table of an SGQC snapshot
+// (model/checkpoint.h, DESIGN.md §7) without deserializing any state.
+//
+// Usage:
+//   checkpoint_inspect <checkpoint.sgqc>...
+//
+// Unlike CheckpointReader (which refuses the whole file on the first bad
+// byte), this walk is deliberately *lenient*: it reports every frame it
+// can reach — header, per-section name / offset / length / stored vs
+// computed CRC, footer magic and whole-file CRC — and marks each as OK or
+// BAD, so a torn or bit-flipped checkpoint can be localized by eye.
+// Exits 0 only when every check passes, 1 otherwise (2 on unreadable
+// input), so it doubles as a cheap validity probe in scripts.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/crc32.h"
+#include "model/checkpoint.h"
+#include "model/stream_io.h"
+
+namespace {
+
+using sgq::Crc32;
+
+/// \brief Little-endian reads that refuse to run off the end.
+bool ReadU16(const std::string& b, std::size_t* off, std::uint16_t* v) {
+  if (*off + 2 > b.size()) return false;
+  *v = static_cast<std::uint16_t>(static_cast<unsigned char>(b[*off])) |
+       static_cast<std::uint16_t>(static_cast<unsigned char>(b[*off + 1]))
+           << 8;
+  *off += 2;
+  return true;
+}
+
+bool ReadU32(const std::string& b, std::size_t* off, std::uint32_t* v) {
+  if (*off + 4 > b.size()) return false;
+  *v = 0;
+  for (int i = 3; i >= 0; --i) {
+    *v = (*v << 8) | static_cast<unsigned char>(b[*off + i]);
+  }
+  *off += 4;
+  return true;
+}
+
+bool ReadU64(const std::string& b, std::size_t* off, std::uint64_t* v) {
+  if (*off + 8 > b.size()) return false;
+  *v = 0;
+  for (int i = 7; i >= 0; --i) {
+    *v = (*v << 8) | static_cast<unsigned char>(b[*off + i]);
+  }
+  *off += 8;
+  return true;
+}
+
+int Inspect(const char* path) {
+  auto bytes = sgq::ReadFileBytes(path);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
+    return 2;
+  }
+  const std::string& b = *bytes;
+  std::printf("%s: %zu bytes\n", path, b.size());
+  int bad = 0;
+  std::size_t off = 0;
+
+  if (b.size() < 4 ||
+      std::memcmp(b.data(), sgq::kCheckpointMagic, 4) != 0) {
+    std::printf("  magic           BAD (want \"SGQC\")\n");
+    return 1;  // nothing past a wrong magic is worth decoding
+  }
+  off = 4;
+  std::printf("  magic           OK  \"SGQC\"\n");
+
+  std::uint32_t version = 0, section_count = 0;
+  if (!ReadU32(b, &off, &version) || !ReadU32(b, &off, &section_count)) {
+    std::printf("  header          BAD (truncated at offset %zu)\n", off);
+    return 1;
+  }
+  std::printf("  version         %s  %u%s\n",
+              version == sgq::kCheckpointVersion ? "OK " : "BAD", version,
+              version == sgq::kCheckpointVersion ? "" : " (unsupported)");
+  if (version != sgq::kCheckpointVersion) ++bad;
+  std::printf("  sections        %u\n", section_count);
+
+  std::printf("  %-4s %-12s %10s %12s  %-10s %-10s %s\n", "#", "name",
+              "offset", "length", "stored", "computed", "crc");
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    std::uint16_t name_len = 0;
+    if (!ReadU16(b, &off, &name_len) || off + name_len > b.size()) {
+      std::printf("  %-4u <truncated frame header at offset %zu>\n", i, off);
+      return 1;
+    }
+    const std::string name = b.substr(off, name_len);
+    off += name_len;
+    std::uint64_t payload_len = 0;
+    std::uint32_t stored_crc = 0;
+    if (!ReadU64(b, &off, &payload_len) || !ReadU32(b, &off, &stored_crc)) {
+      std::printf("  %-4u %-12s <truncated frame header at offset %zu>\n", i,
+                  name.c_str(), off);
+      return 1;
+    }
+    if (payload_len > b.size() - off) {
+      std::printf("  %-4u %-12s %10zu %12llu  <payload truncated: %zu "
+                  "bytes left>\n",
+                  i, name.c_str(), off,
+                  static_cast<unsigned long long>(payload_len),
+                  b.size() - off);
+      return 1;
+    }
+    const std::uint32_t computed =
+        Crc32(b.data() + off, static_cast<std::size_t>(payload_len));
+    const bool ok = computed == stored_crc;
+    if (!ok) ++bad;
+    std::printf("  %-4u %-12s %10zu %12llu  0x%08x 0x%08x %s\n", i,
+                name.c_str(), off,
+                static_cast<unsigned long long>(payload_len), stored_crc,
+                computed, ok ? "OK" : "BAD");
+    off += static_cast<std::size_t>(payload_len);
+  }
+
+  if (off + 8 != b.size() ||
+      std::memcmp(b.data() + off, sgq::kCheckpointEndMagic, 4) != 0) {
+    std::printf("  footer          BAD (missing end magic at offset %zu)\n",
+                off);
+    return 1;
+  }
+  std::printf("  footer          OK  \"CQGS\" at offset %zu\n", off);
+  const std::uint32_t file_computed = Crc32(b.data(), off + 4);
+  std::size_t crc_off = off + 4;
+  std::uint32_t file_stored = 0;
+  ReadU32(b, &crc_off, &file_stored);
+  const bool file_ok = file_stored == file_computed;
+  if (!file_ok) ++bad;
+  std::printf("  file crc        %s  stored 0x%08x computed 0x%08x\n",
+              file_ok ? "OK " : "BAD", file_stored, file_computed);
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: checkpoint_inspect <checkpoint.sgqc>...\n");
+    return 2;
+  }
+  int worst = 0;
+  for (int i = 1; i < argc; ++i) {
+    const int rc = Inspect(argv[i]);
+    if (rc > worst) worst = rc;
+    if (i + 1 < argc) std::printf("\n");
+  }
+  return worst;
+}

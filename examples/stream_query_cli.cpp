@@ -7,6 +7,8 @@
 //                    [--query FILE]... [--no-share] [--async-ingest]
 //                    [--pin-workers] [--format csv|binary|auto]
 //                    [--parsers N] [--no-query-index] [--mmap] [--no-mmap]
+//                    [--checkpoint-dir DIR] [--checkpoint-every N]
+//                    [--restore]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream       CSV lines `src,label,trg,timestamp[,+|-]` or an SGQB
@@ -47,15 +49,41 @@
 //                time advance by the legacy full scan. Semantics are
 //                identical either way; use only to isolate a suspected
 //                index bug or to measure the dispatch win.
+//   --checkpoint-dir DIR   crash recovery (DESIGN.md §7): with
+//                --checkpoint-every N, write an SGQC snapshot
+//                DIR/ckpt-NNNNNN.sgqc after every N-th stream element
+//                (the sequence number is the element index / N, so an
+//                interrupted run and its resumed continuation produce
+//                the same file names). Snapshots are written via temp
+//                file + fsync + atomic rename — a crash mid-write never
+//                leaves a torn file under a live name. In checkpoint
+//                mode results print once, after the stream drains, so a
+//                restored run reproduces the complete output stream.
+//                Not supported with --async-ingest / --parsers N>1.
+//   --restore    resume from the newest valid checkpoint in
+//                --checkpoint-dir: corrupt / truncated / mismatched
+//                snapshots are reported and skipped (falling back to
+//                the next older one), already-processed stream elements
+//                are skipped, and the run continues to the end. Output
+//                is identical to the uninterrupted run's.
 //
 // Prints every result sgt as it is produced, then a metrics summary.
 // Without arguments, runs a built-in demo (the paper's Figure 2 stream).
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "sgq/sgq.h"
@@ -70,6 +98,45 @@ sgq::Result<std::string> ReadFile(const char* path) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+std::string CheckpointName(const std::string& dir, std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06llu.sgqc",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+/// \brief Checkpoints in `dir` (files named ckpt-<digits>.sgqc), newest
+/// sequence number first — the restore candidate order.
+std::vector<std::pair<std::uint64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = readdir(d)) {
+    const char* name = e->d_name;
+    const std::size_t len = std::strlen(name);
+    if (len <= 10 || std::strncmp(name, "ckpt-", 5) != 0 ||
+        std::strcmp(name + len - 5, ".sgqc") != 0) {
+      continue;
+    }
+    std::uint64_t seq = 0;
+    bool digits = true;
+    for (std::size_t k = 5; k + 5 < len; ++k) {
+      if (name[k] < '0' || name[k] > '9') {
+        digits = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<std::uint64_t>(name[k] - '0');
+    }
+    if (!digits) continue;
+    out.emplace_back(seq, dir + "/" + name);
+  }
+  closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
 }
 
 const char kDemoQuery[] =
@@ -90,6 +157,9 @@ int main(int argc, char** argv) {
   Timestamp window = 24, slide = 1, slack = 0;
   bool use_gcore = false;
   bool format_auto = true;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every = 0;
+  bool restore = false;
   EngineOptions options;
 
   int positional = 0;
@@ -117,6 +187,22 @@ int main(int argc, char** argv) {
         return 1;
       }
       extra_query_texts.push_back(*text);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+               i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      int64_t n = 0;
+      if (!ParseInt64(argv[++i], &n) || n < 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-every: expected a non-negative integer, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      checkpoint_every = static_cast<std::uint64_t>(n);
+    } else if (std::strcmp(argv[i], "--restore") == 0) {
+      restore = true;
     } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
       int64_t n = 0;
       if (!ParseInt64(argv[++i], &n) || n < 0) {
@@ -189,6 +275,26 @@ int main(int argc, char** argv) {
       slide = std::atoll(argv[i]);
       ++positional;
     }
+  }
+
+  const bool checkpointing = !checkpoint_dir.empty();
+  if ((checkpoint_every > 0 || restore) && !checkpointing) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--restore require --checkpoint-dir\n");
+    return 2;
+  }
+  if (checkpointing && options.async_ingest) {
+    // The pipelined paths have no element-indexed batch boundary to
+    // snapshot at (parse and reorder run on other threads mid-flight).
+    std::fprintf(stderr,
+                 "--checkpoint-dir is not supported with --async-ingest / "
+                 "--parsers N > 1; run synchronously to checkpoint\n");
+    return 2;
+  }
+  if (checkpointing) {
+    // Best-effort create; a pre-existing directory is fine, anything
+    // else surfaces on the first snapshot write.
+    ::mkdir(checkpoint_dir.c_str(), 0755);
   }
 
   if (format_auto) {
@@ -269,19 +375,81 @@ int main(int argc, char** argv) {
 
   // All queries — one or many — register on a shared multi-query engine;
   // a single query is exactly the classic QueryProcessor configuration.
-  Engine engine(options);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    auto added = engine.AddQuery(queries[q], vocab);
-    if (!added.ok()) {
-      std::fprintf(stderr, "compile (query %zu): %s\n", q,
-                   added.status().ToString().c_str());
-      return 1;
+  // The engine lives behind a pointer so a failed restore attempt can
+  // discard it wholesale and rebuild fresh (no partial restore ever runs).
+  auto make_engine = [&]() -> Result<std::unique_ptr<Engine>> {
+    auto e = std::make_unique<Engine>(options);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      SGQ_RETURN_NOT_OK(e->AddQuery(queries[q], vocab).status());
     }
-  }
-  if (auto finalized = engine.Finalize(); !finalized.ok()) {
-    std::fprintf(stderr, "compile: %s\n", finalized.ToString().c_str());
+    SGQ_RETURN_NOT_OK(e->Finalize());
+    return e;
+  };
+  auto built = make_engine();
+  if (!built.ok()) {
+    std::fprintf(stderr, "compile: %s\n", built.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<Engine> engine_ptr = std::move(built).ValueOrDie();
+
+  // Crash recovery: try the newest snapshot first; one that fails
+  // validation (torn file, flipped bit, version skew, option mismatch)
+  // is reported and skipped, and the engine is rebuilt fresh before the
+  // next candidate so a partially applied restore can never leak in.
+  auto reorder_buffer = std::make_unique<ReorderBuffer>(slack);
+  std::uint64_t resume_raw = 0;  // raw stream elements already consumed
+  if (restore) {
+    bool restored = false;
+    for (const auto& [seq, path] : ListCheckpoints(checkpoint_dir)) {
+      (void)seq;
+      std::unordered_map<std::string, std::string> extra;
+      Status st = engine_ptr->Restore(path, &vocab, &extra);
+      if (st.ok()) {
+        // The reorder stage (--slack) rides along as an extra section:
+        // raw-element resume index, then the buffer's pending heap.
+        auto it = extra.find("x-reorder");
+        if (it != extra.end()) {
+          ByteReader in(it->second, path + ": section 'x-reorder'");
+          const std::uint64_t raw = in.U64();
+          st = reorder_buffer->DeserializeState(&in);
+          if (st.ok()) st = in.ExpectEnd();
+          if (st.ok()) resume_raw = raw;
+        } else if (slack > 0) {
+          st = Status::InvalidArgument(path +
+                               ": checkpoint has no reorder-buffer section "
+                               "(taken without --slack?)");
+        } else {
+          resume_raw = engine_ptr->ingested();
+        }
+        if (st.ok()) {
+          std::fprintf(stderr,
+                       "restored %s (%llu stream elements already "
+                       "processed)\n",
+                       path.c_str(),
+                       static_cast<unsigned long long>(resume_raw));
+          restored = true;
+          break;
+        }
+      }
+      std::fprintf(stderr, "restore: %s; falling back to previous snapshot\n",
+                   st.ToString().c_str());
+      auto rebuilt = make_engine();
+      if (!rebuilt.ok()) {
+        std::fprintf(stderr, "compile: %s\n",
+                     rebuilt.status().ToString().c_str());
+        return 1;
+      }
+      engine_ptr = std::move(rebuilt).ValueOrDie();
+      reorder_buffer = std::make_unique<ReorderBuffer>(slack);
+      resume_raw = 0;
+    }
+    if (!restored) {
+      std::fprintf(stderr,
+                   "restore: no usable checkpoint in %s; starting fresh\n",
+                   checkpoint_dir.c_str());
+    }
+  }
+  Engine& engine = *engine_ptr;
   std::fprintf(stderr, "plan:\n%s", engine.Explain().c_str());
   if (multi) {
     std::fprintf(stderr,
@@ -305,9 +473,27 @@ int main(int argc, char** argv) {
 
   const char* file_mode_name = nullptr;  // set when a file feeds the pipeline
   Stopwatch timer;
+  // In checkpoint mode the sink accumulates and everything prints after
+  // the stream drains: the full result stream is part of every snapshot,
+  // so a restored run reproduces the uninterrupted run's output exactly.
   auto deliver = [&](const Sge& sge) {
     engine.Push(sge);
-    print_results();
+    if (!checkpointing) print_results();
+  };
+  auto take_checkpoint = [&](std::uint64_t raw_index,
+                             std::string reorder_blob) -> bool {
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (slack > 0) {
+      extra.emplace_back("x-reorder", std::move(reorder_blob));
+    }
+    const std::string path =
+        CheckpointName(checkpoint_dir, raw_index / checkpoint_every);
+    Status st = engine.Checkpoint(path, &vocab, std::move(extra));
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return false;
+    }
+    return true;
   };
 
   if (slack > 0 && options.batch_size > 1 && !options.async_ingest) {
@@ -378,8 +564,10 @@ int main(int argc, char** argv) {
   } else if (slack > 0) {
     // Tolerate bounded disorder: lenient incremental parse feeding the
     // reorder buffer one element at a time. --slack tolerates disorder,
-    // not malformed input — any cursor error is fatal.
-    ReorderBuffer buffer(slack);
+    // not malformed input — any cursor error is fatal. The buffer was
+    // restored above when --restore found a snapshot with pending
+    // elements.
+    ReorderBuffer& buffer = *reorder_buffer;
     buffer.OnLate([&](const Sge& late) {
       std::fprintf(stderr, "late element dropped (t=%lld)\n",
                    static_cast<long long>(late.t));
@@ -393,8 +581,20 @@ int main(int argc, char** argv) {
                                                  /*allow_disorder=*/true);
     }
     Sge sge;
+    std::uint64_t raw = 0;
     while (cursor->Next(&sge, 1) == 1) {
+      ++raw;
+      // Already consumed before the crash: the restored reorder buffer
+      // holds whatever of these was still pending at the snapshot.
+      if (raw <= resume_raw) continue;
       for (const Sge& released : buffer.Offer(sge)) deliver(released);
+      if (checkpointing && checkpoint_every > 0 &&
+          raw % checkpoint_every == 0) {
+        std::string blob;
+        PutU64(&blob, raw);
+        buffer.SerializeState(&blob);
+        if (!take_checkpoint(raw, std::move(blob))) return 1;
+      }
     }
     if (!cursor->ok()) {
       std::fprintf(stderr, "stream: %s\n",
@@ -402,6 +602,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (const Sge& released : buffer.Flush()) deliver(released);
+  } else if (checkpointing) {
+    // Element-indexed ingest with periodic snapshots. Push() handles
+    // micro-batching internally (--batch N), and the pending micro-batch
+    // queue is part of every snapshot, so batch grouping — and with it
+    // flush boundaries and emission order — survives a restart.
+    const InputStream& s = *stream;
+    for (std::uint64_t i = resume_raw; i < s.size(); ++i) {
+      engine.Push(s[i]);
+      if (checkpoint_every > 0 && (i + 1) % checkpoint_every == 0) {
+        if (!take_checkpoint(i + 1, std::string())) return 1;
+      }
+    }
   } else if (options.batch_size > 1) {
     // Micro-batched ingest: results materialize at flush boundaries, so
     // print them once the stream is drained.
@@ -409,6 +621,17 @@ int main(int argc, char** argv) {
     print_results();
   } else {
     for (const Sge& sge : *stream) deliver(sge);
+  }
+
+  if (checkpointing) {
+    engine.Flush();
+    print_results();
+    // Surface a failed background write (ENOSPC, unwritable dir) before
+    // exiting 0 — the previous good snapshot is still in place either way.
+    if (Status st = engine.WaitForCheckpoint(); !st.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   std::size_t total_results = 0;

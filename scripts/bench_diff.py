@@ -43,11 +43,38 @@ HIGHER_BETTER = {"tuples_per_sec": 0.8, "parse_tuples_per_sec": 0.8}
 # pruning dispatches — a real fanout regression, not runner noise.
 LOWER_BETTER = {"p99_slide_seconds": 1.5, "state_bytes": 1.5,
                 "ops_touched_per_edge": 1.2}
+# Informational fields the emitters record alongside the identity keys and
+# thresholded metrics. Anything outside all three sets is reported once as
+# "unknown keys ignored" — usually a newer bench emitting a field this
+# copy of the script predates; matching and thresholds still work.
+FACT_KEYS = frozenset((
+    "cpus", "edges", "elapsed_seconds", "results", "results_total",
+    "state_entries", "state_bytes", "ingest_stall_ns", "exec_stall_ns",
+    "merge_stall_ns", "parser_stall_ns", "readahead_stall_ns",
+    "parse_busy_ns", "speedup_vs_1", "speedup_vs_unshared",
+    "speedup_async_vs_sync", "emission_ratio", "ops", "shared_subtrees",
+    "cross_query_shared", "labels", "index_skipped_dispatches",
+    "checkpoint_write_ns", "checkpoint_bytes",
+))
 
 
-def load_rows(path):
+def load_rows(path, unknown_keys=None):
+    """Parses one JSON-per-line bench artifact into {identity-key: row}.
+
+    Fail-soft by design: a missing or unreadable file warns once and
+    contributes zero rows (the diff then reports NEW/GONE as appropriate),
+    and malformed lines are skipped individually — a half-written baseline
+    never aborts the comparison.
+    """
     rows = {}
-    with open(path) as f:
+    try:
+        f = open(path)
+    except OSError as e:
+        print(f"bench_diff: warning: skipping {path} "
+              f"({e.strerror or e}); rows from it treated as absent",
+              file=sys.stderr)
+        return rows
+    with f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -58,6 +85,15 @@ def load_rows(path):
                 print(f"{path}:{line_no}: skipping non-JSON line ({e})",
                       file=sys.stderr)
                 continue
+            if not isinstance(row, dict):
+                print(f"{path}:{line_no}: skipping non-object JSON row",
+                      file=sys.stderr)
+                continue
+            if unknown_keys is not None:
+                unknown_keys.update(
+                    k for k in row
+                    if k not in IDENTITY_KEYS and k not in HIGHER_BETTER
+                    and k not in LOWER_BETTER and k not in FACT_KEYS)
             key = tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
             rows[key] = row
     return rows
@@ -124,15 +160,20 @@ def main():
                         help="exit 1 on soft-threshold regressions")
     args = parser.parse_args()
 
+    unknown_keys = set()
     baseline = {}
     for path in args.baseline:
-        baseline.update(load_rows(path))
+        baseline.update(load_rows(path, unknown_keys))
     current = {}
     for path in args.current:
-        current.update(load_rows(path))
+        current.update(load_rows(path, unknown_keys))
 
     print(f"bench_diff: {len(current)} current rows vs "
           f"{len(baseline)} baseline rows")
+    if unknown_keys:
+        print(f"bench_diff: note: unknown keys ignored for matching and "
+              f"thresholds: {', '.join(sorted(unknown_keys))}",
+              file=sys.stderr)
     regressions = compare(current, baseline)
     if regressions:
         print("soft-threshold regressions:")

@@ -27,6 +27,7 @@
 #ifndef SGQ_COMMON_EXPIRY_CALENDAR_H_
 #define SGQ_COMMON_EXPIRY_CALENDAR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <queue>
 #include <vector>
@@ -139,6 +140,29 @@ class ExpiryCalendar {
   /// \brief Total hints ever passed to a drain callback (diagnostics; the
   /// O(expiring bucket) tests assert this stays 0 while nothing is due).
   std::size_t hints_drained() const { return hints_drained_; }
+
+  /// \brief Visits every pending hint as `fn(exp, hint)`, buckets in
+  /// ascending id order and entries within a bucket in registration
+  /// order — exactly DrainDue's delivery order. Checkpointing
+  /// (model/checkpoint.h) replays Add(exp, hint) in visit order into a
+  /// Clear()'d calendar with the same slide, which reconstructs an
+  /// identical drain schedule (bucket ids, min_exp, entry order,
+  /// num_hints); the heap is rebuilt with the same id set, and its pop
+  /// order depends only on the ids.
+  template <typename Fn>
+  void VisitEntries(Fn&& fn) const {
+    std::vector<Timestamp> ids;
+    ids.reserve(buckets_.size());
+    for (const auto& [bucket, data] : buckets_) {
+      (void)data;
+      ids.push_back(bucket);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (const Timestamp bucket : ids) {
+      const auto it = buckets_.find(bucket);
+      for (const Entry& e : it->second.entries) fn(e.exp, e.hint);
+    }
+  }
 
   /// \brief Approximate resident bytes (bucket map + hint vectors).
   std::size_t ApproxBytes() const {

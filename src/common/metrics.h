@@ -156,6 +156,12 @@ struct RunMetrics {
   /// relative to the legacy full-scan dispatch (0 with the index off).
   std::size_t ops_touched = 0;
   std::size_t index_skipped_dispatches = 0;
+  /// Checkpointing (core/engine.h Engine::Checkpoint): serialization time
+  /// of the most recent snapshot (the foreground stall — the durable file
+  /// write happens on a background thread) and its encoded size. Both 0
+  /// when the run never checkpointed.
+  uint64_t checkpoint_write_ns = 0;
+  uint64_t checkpoint_bytes = 0;
 
   /// \brief Dispatch fanout actually paid per processed edge — stays
   /// O(matching operators) with the query index on, grows O(registered

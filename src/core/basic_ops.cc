@@ -75,4 +75,25 @@ void SinkOp::OnTuple(int port, const Sgt& tuple) {
 
 void SinkOp::Purge(Timestamp now) { coalescer_.PurgeBefore(now); }
 
+void SinkOp::SerializeState(std::string* out) const {
+  coalescer_.SerializeState(out);
+  PutU64(out, results_.size());
+  for (const Sgt& t : results_) PutSgt(out, t);
+  PutU64(out, total_emitted_);
+}
+
+Status SinkOp::DeserializeState(ByteReader* in) {
+  if (!results_.empty() || total_emitted_ != 0) {
+    return in->Fail("sink not empty before restore");
+  }
+  SGQ_RETURN_NOT_OK(coalescer_.DeserializeState(in));
+  const std::uint64_t n = in->U64();
+  if (in->ok()) results_.reserve(n);
+  for (std::uint64_t i = 0; i < n && in->ok(); ++i) {
+    results_.push_back(GetSgt(in));
+  }
+  total_emitted_ = in->U64();
+  return in->status();
+}
+
 }  // namespace sgq

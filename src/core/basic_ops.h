@@ -85,6 +85,13 @@ class SinkOp : public PhysicalOp {
   std::vector<Sgt> TakeResults() { return std::move(results_); }
   std::size_t total_emitted() const { return total_emitted_; }
 
+  /// \brief Checkpoint encoding (model/checkpoint.h, DESIGN.md §7): the
+  /// dedup coalescer, the buffered results verbatim, and the emission
+  /// counter — a restored run re-emits the full prefix, so its output is
+  /// byte-comparable against an uninterrupted run.
+  void SerializeState(std::string* out) const override;
+  Status DeserializeState(ByteReader* in) override;
+
  private:
   bool coalesce_;
   StreamingCoalescer coalescer_;

@@ -38,6 +38,12 @@ Engine::Engine(EngineOptions options)
   if (options_.num_workers == 0) options_.num_workers = 1;
 }
 
+Engine::~Engine() {
+  // Join the background checkpoint write; its status has nowhere to go
+  // from a destructor (callers who care run WaitForCheckpoint first).
+  if (checkpoint_writer_.joinable()) checkpoint_writer_.join();
+}
+
 SinkOp* Engine::sink(QueryId q) const {
   SGQ_CHECK_GE(q, 0);
   SGQ_CHECK_LT(static_cast<std::size_t>(q), sinks_.size());
@@ -124,6 +130,282 @@ std::string Engine::Explain() const {
   }
   out += "-- runtime topology --\n" + executor_.DescribeTopology();
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore (DESIGN.md §7)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Section names of the engine-owned SGQC sections; anything else in a
+/// checkpoint is an extra returned verbatim by Restore.
+constexpr const char* kEngineSections[] = {"meta",    "queries", "vocab",
+                                           "clock",   "windows", "ops",
+                                           "engine"};
+
+bool IsEngineSection(const std::string& name) {
+  for (const char* s : kEngineSections) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+void PutKeyValues(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  PutU32(out, static_cast<std::uint32_t>(pairs.size()));
+  for (const auto& [key, value] : pairs) {
+    PutStr(out, key);
+    PutStr(out, value);
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> Engine::IdentityKeys()
+    const {
+  // The options that shape runtime state or emission order: restoring a
+  // snapshot under different values would bind state to a topology with
+  // different semantics, so Restore refuses on any mismatch.
+  return {
+      {"path_impl",
+       options_.path_impl == PathImpl::kSPath ? "spath" : "delta-path"},
+      {"coalesce_output", options_.coalesce_output ? "1" : "0"},
+      {"batch_size", std::to_string(options_.batch_size)},
+      {"num_workers", std::to_string(options_.num_workers)},
+      {"cross_query_sharing", options_.cross_query_sharing ? "1" : "0"},
+      {"time_advance_parallel_state_bar",
+       std::to_string(options_.time_advance_parallel_state_bar)},
+      {"use_query_index", options_.use_query_index ? "1" : "0"},
+  };
+}
+
+std::vector<std::pair<std::string, std::string>> Engine::InformationalKeys()
+    const {
+  // Ingest-side knobs change how bytes become elements, not what operator
+  // state means — recorded for checkpoint_inspect, never refused.
+  return {
+      {"ingest_format",
+       options_.ingest_format == StreamFormat::kCsv ? "csv" : "binary"},
+      {"ingest_parsers", std::to_string(options_.ingest_parsers)},
+      {"async_ingest", options_.async_ingest ? "1" : "0"},
+      {"ingest_slack", std::to_string(options_.ingest_slack)},
+      {"pin_workers", options_.pin_workers ? "1" : "0"},
+  };
+}
+
+void Engine::EncodeCheckpointSections(
+    CheckpointWriter* writer, const Vocabulary* vocab,
+    std::vector<std::pair<std::string, std::string>> extra) const {
+  std::string meta;
+  PutKeyValues(&meta, IdentityKeys());
+  PutKeyValues(&meta, InformationalKeys());
+  writer->AddSection("meta", std::move(meta));
+
+  std::string queries;
+  PutU32(&queries, static_cast<std::uint32_t>(plan_texts_.size()));
+  for (const std::string& text : plan_texts_) PutStr(&queries, text);
+  writer->AddSection("queries", std::move(queries));
+
+  if (vocab != nullptr) {
+    std::string v;
+    const std::size_t num_labels = vocab->NumLabels();
+    PutU32(&v, static_cast<std::uint32_t>(num_labels));
+    for (std::size_t i = 0; i < num_labels; ++i) {
+      const LabelId label = static_cast<LabelId>(i);
+      PutStr(&v, vocab->LabelName(label));
+      PutU8(&v, vocab->IsInputLabel(label) ? 1 : 0);
+    }
+    const std::size_t num_vertices = vocab->NumVertices();
+    PutU64(&v, num_vertices);
+    for (std::size_t i = 0; i < num_vertices; ++i) {
+      PutStr(&v, vocab->VertexName(static_cast<VertexId>(i)));
+    }
+    writer->AddSection("vocab", std::move(v));
+  }
+
+  std::string clock;
+  executor_.SerializeClock(&clock);
+  writer->AddSection("clock", std::move(clock));
+
+  std::string windows;
+  executor_.window_store()->SerializeState(&windows);
+  writer->AddSection("windows", std::move(windows));
+
+  std::string ops;
+  executor_.SerializeOps(&ops);
+  writer->AddSection("ops", std::move(ops));
+
+  std::string engine;
+  PutU64(&engine, ingested());
+  writer->AddSection("engine", std::move(engine));
+
+  for (auto& [name, payload] : extra) {
+    writer->AddSection(std::move(name), std::move(payload));
+  }
+}
+
+Status Engine::Checkpoint(
+    const std::string& path, const Vocabulary* vocab,
+    std::vector<std::pair<std::string, std::string>> extra) {
+  if (!finalized_) {
+    return Status::Internal("Engine::Checkpoint before Finalize");
+  }
+  // One write in flight at a time; a failure of the previous write
+  // surfaces here, before the new snapshot replaces its bytes.
+  SGQ_RETURN_NOT_OK(WaitForCheckpoint());
+
+  // Serialization is the synchronous part — the only stall the ingest
+  // loop observes (checkpoint_write_ns). The durable write (temp file +
+  // fsync + atomic rename) runs on the background thread.
+  Stopwatch timer;
+  CheckpointWriter writer;
+  EncodeCheckpointSections(&writer, vocab, std::move(extra));
+  std::string image = writer.Encode();
+  checkpoint_write_ns_ +=
+      static_cast<std::uint64_t>(timer.ElapsedSeconds() * 1e9);
+  checkpoint_bytes_ += image.size();
+
+  checkpoint_writer_ =
+      std::thread([this, path, image = std::move(image)]() {
+        checkpoint_write_status_ = WriteFileDurable(path, image);
+      });
+  return Status::OK();
+}
+
+Status Engine::WaitForCheckpoint() {
+  if (checkpoint_writer_.joinable()) checkpoint_writer_.join();
+  Status st = checkpoint_write_status_;
+  checkpoint_write_status_ = Status::OK();
+  return st;
+}
+
+Status Engine::Restore(
+    const std::string& path, Vocabulary* vocab,
+    std::unordered_map<std::string, std::string>* extra_out) {
+  if (!finalized_) {
+    return Status::Internal("Engine::Restore before Finalize");
+  }
+  SGQ_ASSIGN_OR_RETURN(CheckpointReader reader,
+                       CheckpointReader::ParseFile(path));
+  return RestoreFrom(reader, vocab, extra_out);
+}
+
+Status Engine::RestoreFrom(
+    const CheckpointReader& reader, Vocabulary* vocab,
+    std::unordered_map<std::string, std::string>* extra_out) {
+  if (ingested() != 0) {
+    return Status::Internal("Engine::Restore on a non-fresh engine");
+  }
+
+  // 1. Identity keys: refuse a snapshot whose state-affecting options
+  //    differ from this engine's (listing every mismatch at once).
+  SGQ_ASSIGN_OR_RETURN(ByteReader meta, reader.Open("meta"));
+  const auto expected = IdentityKeys();
+  const std::uint32_t n_keys = meta.U32();
+  if (meta.ok() && n_keys != expected.size()) {
+    return meta.Fail("identity key count mismatch (checkpoint format from "
+                     "a different engine revision)");
+  }
+  std::string mismatches;
+  for (std::uint32_t i = 0; i < n_keys && meta.ok(); ++i) {
+    const std::string key = meta.Str();
+    const std::string value = meta.Str();
+    if (!meta.ok()) break;
+    if (key != expected[i].first) {
+      return meta.Fail("unexpected identity key '" + key + "' (want '" +
+                       expected[i].first + "')");
+    }
+    if (value != expected[i].second) {
+      mismatches += (mismatches.empty() ? "" : ", ") + key + ": checkpoint " +
+                    value + " vs engine " + expected[i].second;
+    }
+  }
+  SGQ_RETURN_NOT_OK(meta.status());
+  if (!mismatches.empty()) {
+    return meta.Fail("EngineOptions identity mismatch — " + mismatches);
+  }
+
+  // 2. Query set: the restored topology must have been rebuilt from the
+  //    same plans in the same order.
+  SGQ_ASSIGN_OR_RETURN(ByteReader queries, reader.Open("queries"));
+  const std::uint32_t n_queries = queries.U32();
+  if (queries.ok() && n_queries != plan_texts_.size()) {
+    return queries.Fail(
+        "query count mismatch: checkpoint has " + std::to_string(n_queries) +
+        ", engine has " + std::to_string(plan_texts_.size()));
+  }
+  for (std::uint32_t i = 0; i < n_queries && queries.ok(); ++i) {
+    const std::string text = queries.Str();
+    if (queries.ok() && text != plan_texts_[i]) {
+      return queries.Fail("query " + std::to_string(i) +
+                          " differs from the checkpointed plan");
+    }
+  }
+  SGQ_RETURN_NOT_OK(queries.status());
+
+  // 3. Vocabulary: verify-and-adopt — every stored name must intern to
+  //    its stored id, so ids in restored state resolve to the same names.
+  const CheckpointSection* vocab_section = reader.Find("vocab");
+  if (vocab != nullptr && vocab_section != nullptr) {
+    SGQ_ASSIGN_OR_RETURN(ByteReader v, reader.Open("vocab"));
+    const std::uint32_t num_labels = v.U32();
+    for (std::uint32_t i = 0; i < num_labels && v.ok(); ++i) {
+      const std::string name = v.Str();
+      const bool is_input = v.U8() != 0;
+      if (!v.ok()) break;
+      Result<LabelId> interned = is_input ? vocab->InternInputLabel(name)
+                                          : vocab->InternDerivedLabel(name);
+      if (!interned.ok()) {
+        return v.Fail("label '" + name +
+                      "': " + interned.status().message());
+      }
+      if (*interned != static_cast<LabelId>(i)) {
+        return v.Fail("vocabulary mismatch: label '" + name +
+                      "' interned to id " + std::to_string(*interned) +
+                      ", checkpoint expects " + std::to_string(i));
+      }
+    }
+    const std::uint64_t num_vertices = v.U64();
+    for (std::uint64_t i = 0; i < num_vertices && v.ok(); ++i) {
+      const std::string name = v.Str();
+      if (!v.ok()) break;
+      const VertexId id = vocab->InternVertex(name);
+      if (id != static_cast<VertexId>(i)) {
+        return v.Fail("vocabulary mismatch: vertex '" + name +
+                      "' interned to id " + std::to_string(id) +
+                      ", checkpoint expects " + std::to_string(i));
+      }
+    }
+    SGQ_RETURN_NOT_OK(v.ExpectEnd());
+  }
+
+  // 4. Runtime state: clock, shared window partitions, per-operator blobs.
+  SGQ_ASSIGN_OR_RETURN(ByteReader clock, reader.Open("clock"));
+  SGQ_RETURN_NOT_OK(executor_.DeserializeClock(&clock));
+  SGQ_RETURN_NOT_OK(clock.ExpectEnd());
+
+  SGQ_ASSIGN_OR_RETURN(ByteReader windows, reader.Open("windows"));
+  SGQ_RETURN_NOT_OK(executor_.window_store()->DeserializeState(&windows));
+  SGQ_RETURN_NOT_OK(windows.ExpectEnd());
+
+  SGQ_ASSIGN_OR_RETURN(ByteReader ops, reader.Open("ops"));
+  SGQ_RETURN_NOT_OK(executor_.DeserializeOps(&ops));
+  SGQ_RETURN_NOT_OK(ops.ExpectEnd());
+
+  SGQ_ASSIGN_OR_RETURN(ByteReader engine, reader.Open("engine"));
+  restored_ingested_ = engine.U64();
+  SGQ_RETURN_NOT_OK(engine.ExpectEnd());
+
+  if (extra_out != nullptr) {
+    for (const CheckpointSection& section : reader.sections()) {
+      if (!IsEngineSection(section.name)) {
+        (*extra_out)[section.name] = std::string(reader.payload(section));
+      }
+    }
+  }
+  return Status::OK();
 }
 
 Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {

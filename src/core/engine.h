@@ -40,9 +40,12 @@
 #ifndef SGQ_CORE_ENGINE_H_
 #define SGQ_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algebra/logical_plan.h"
@@ -50,6 +53,7 @@
 #include "common/result.h"
 #include "core/basic_ops.h"
 #include "core/physical.h"
+#include "model/checkpoint.h"
 #include "model/stream_io.h"
 #include "query/rq.h"
 #include "runtime/executor.h"
@@ -158,6 +162,7 @@ struct EngineOptions {
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -187,6 +192,61 @@ class Engine {
   /// timestamps must be non-decreasing. Elements whose label no query
   /// consumes are discarded (§7.2.1).
   void Push(const Sge& sge) { executor_.Ingest(sge); }
+
+  /// \name Checkpoint/restore (model/checkpoint.h, DESIGN.md §7)
+  ///
+  /// Checkpoint() is callable at any batch boundary — i.e. between Push()
+  /// calls on the synchronous ingest path (no wave is ever in flight
+  /// there; a pending partial micro-batch is captured and restored, so
+  /// batch grouping survives the restart). It is NOT callable while an
+  /// async ingest pipeline is running. Restore() runs on a freshly built
+  /// engine: construct with the same EngineOptions, re-register the same
+  /// queries in the same order, Finalize(), then Restore. At workers=1 a
+  /// resumed run is byte-identical to the uninterrupted one; sharded runs
+  /// keep the snapshot-equivalent + deterministic contract.
+  /// @{
+
+  /// \brief Writes a complete SGQC snapshot to `path`. State serialization
+  /// runs synchronously (the measured ingest stall, checkpoint_write_ns);
+  /// the durable file write (temp + fsync + atomic rename) happens on a
+  /// background thread, joined by the next Checkpoint()/WaitForCheckpoint()
+  /// or the destructor. `vocab` (when given) is captured for restore-time
+  /// verification; `extra` sections are stored verbatim (the CLI uses one
+  /// for its reorder-buffer stage). Section names starting with "x-" are
+  /// reserved for extras.
+  Status Checkpoint(const std::string& path,
+                    const Vocabulary* vocab = nullptr,
+                    std::vector<std::pair<std::string, std::string>> extra =
+                        {});
+
+  /// \brief Loads and fully validates the SGQC snapshot at `path` (CRCs,
+  /// version, EngineOptions identity keys, query set, topology), then
+  /// restores every operator, window partition, and the clock. Any
+  /// validation failure leaves no partial restore observable — the engine
+  /// must be discarded (state may be partially populated internally).
+  /// `vocab` is verified-and-adopted: every stored name is re-interned and
+  /// must resolve to its stored id. Extra sections ("x-…") are returned
+  /// through `extra_out` when present.
+  Status Restore(const std::string& path, Vocabulary* vocab = nullptr,
+                 std::unordered_map<std::string, std::string>* extra_out =
+                     nullptr);
+
+  /// \brief Joins the in-flight background checkpoint write, surfacing its
+  /// status (OK when none is pending).
+  Status WaitForCheckpoint();
+
+  /// \brief Stream elements ingested across restarts: elements pushed into
+  /// this engine plus those replayed from a restored checkpoint. A resume
+  /// driver skips this many elements of the original stream.
+  std::uint64_t ingested() const {
+    return restored_ingested_ + executor_.edges_pushed();
+  }
+
+  /// \brief Cumulative synchronous checkpoint stall (state serialization,
+  /// nanoseconds) and total checkpoint bytes encoded.
+  std::uint64_t checkpoint_write_ns() const { return checkpoint_write_ns_; }
+  std::uint64_t checkpoint_bytes() const { return checkpoint_bytes_; }
+  /// @}
 
   /// \brief Feeds a whole stream in order and flushes the ingest queue.
   /// With options().async_ingest, runs through the double-buffered ingest
@@ -299,6 +359,23 @@ class Engine {
   /// dedup map before instantiating anything.
   Result<OpId> Build(const LogicalOp& node, const Vocabulary& vocab);
 
+  /// \brief Assembles the SGQC section set (shared by Checkpoint and the
+  /// in-memory tests).
+  void EncodeCheckpointSections(
+      CheckpointWriter* writer, const Vocabulary* vocab,
+      std::vector<std::pair<std::string, std::string>> extra) const;
+
+  /// \brief Restore body over a parsed reader (validation + adoption).
+  Status RestoreFrom(const CheckpointReader& reader, Vocabulary* vocab,
+                     std::unordered_map<std::string, std::string>* extra_out);
+
+  /// \brief The state-affecting EngineOptions, as (key, value) pairs —
+  /// refused on mismatch at restore.
+  std::vector<std::pair<std::string, std::string>> IdentityKeys() const;
+  /// \brief Ingest-side options recorded for diagnostics (not refused:
+  /// they change how bytes become elements, not what state means).
+  std::vector<std::pair<std::string, std::string>> InformationalKeys() const;
+
   EngineOptions options_;
   Executor executor_;
   /// Canonical-signature dedup of compiled subtrees: one physical
@@ -314,6 +391,16 @@ class Engine {
   /// lower ids are cross-registration hits.
   std::size_t ops_before_current_plan_ = 0;
   bool finalized_ = false;
+
+  // --- checkpoint/restore ---
+  /// Elements already replayed into a restored snapshot (resume offset).
+  std::uint64_t restored_ingested_ = 0;
+  std::uint64_t checkpoint_write_ns_ = 0;
+  std::uint64_t checkpoint_bytes_ = 0;
+  /// In-flight background checkpoint write; its status lands in
+  /// checkpoint_write_status_ (read only after join).
+  std::thread checkpoint_writer_;
+  Status checkpoint_write_status_ = Status::OK();
 };
 
 }  // namespace sgq

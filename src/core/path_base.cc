@@ -384,6 +384,155 @@ void PathOpBase::Purge(Timestamp now) {
   out_coalescer_.PurgeBefore(now);
 }
 
+namespace {
+
+void PutNodeKey(std::string* out, const NodeKey& key) {
+  PutU64(out, key.first);
+  PutU32(out, key.second);
+}
+
+NodeKey GetNodeKey(ByteReader* in) {
+  const VertexId v = in->U64();
+  const StateId s = in->U32();
+  return NodeKey{v, s};
+}
+
+void PutEdgeRef(std::string* out, const EdgeRef& e) {
+  PutU64(out, e.src);
+  PutU64(out, e.trg);
+  PutU32(out, e.label);
+}
+
+EdgeRef GetEdgeRef(ByteReader* in) {
+  EdgeRef e;
+  e.src = in->U64();
+  e.trg = in->U64();
+  e.label = in->U32();
+  return e;
+}
+
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    (void)value;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+void PathOpBase::SerializeState(std::string* out) const {
+  PutU8(out, shares_window() ? 1 : 0);
+  if (!shares_window()) owned_window_.SerializeState(out);
+
+  PutU64(out, trees_.size());
+  for (const VertexId root : SortedKeys(trees_)) {
+    const SpanningTree& tree = trees_.find(root)->second;
+    PutU64(out, root);
+    PutU64(out, tree.nodes.size());
+    for (const NodeKey& key : SortedKeys(tree.nodes)) {
+      const TreeNode& node = tree.nodes.find(key)->second;
+      PutNodeKey(out, key);
+      PutI64(out, node.iv.ts);
+      PutI64(out, node.iv.exp);
+      PutNodeKey(out, node.parent);
+      PutEdgeRef(out, node.via);
+      PutU8(out, node.is_root ? 1 : 0);
+      PutU32(out, static_cast<std::uint32_t>(node.children.size()));
+      for (const NodeKey& child : node.children) PutNodeKey(out, child);
+    }
+  }
+
+  PutU64(out, inverted_.size());
+  for (const NodeKey& key : SortedKeys(inverted_)) {
+    const auto& roots = inverted_.find(key)->second;
+    PutNodeKey(out, key);
+    PutU32(out, static_cast<std::uint32_t>(roots.size()));
+    for (const VertexId r : roots) PutU64(out, r);
+  }
+
+  PutU64(out, node_expiry_.num_hints());
+  node_expiry_.VisitEntries(
+      [&](Timestamp exp, const std::pair<VertexId, NodeKey>& hint) {
+        PutI64(out, exp);
+        PutU64(out, hint.first);
+        PutNodeKey(out, hint.second);
+      });
+
+  PutU64(out, num_tree_nodes_);
+  PutU64(out, empty_tree_candidates_.size());
+  for (const VertexId v : empty_tree_candidates_) PutU64(out, v);
+  out_coalescer_.SerializeState(out);
+}
+
+Status PathOpBase::DeserializeState(ByteReader* in) {
+  if (!trees_.empty() || num_tree_nodes_ != 0) {
+    return in->Fail("PATH operator not empty before restore");
+  }
+  const bool shared = in->U8() != 0;
+  if (in->ok() && shared != shares_window()) {
+    return in->Fail("window-sharing mismatch (checkpoint was taken with a "
+                    "different plan topology)");
+  }
+  if (!shared) SGQ_RETURN_NOT_OK(owned_window_.DeserializeState(in));
+
+  const std::uint64_t num_trees = in->U64();
+  for (std::uint64_t t = 0; t < num_trees && in->ok(); ++t) {
+    const VertexId root = in->U64();
+    auto [it, inserted] = trees_.try_emplace(root);
+    if (!inserted) return in->Fail("duplicate tree root");
+    SpanningTree& tree = it->second;
+    tree.root = root;
+    const std::uint64_t num_nodes = in->U64();
+    for (std::uint64_t n = 0; n < num_nodes && in->ok(); ++n) {
+      const NodeKey key = GetNodeKey(in);
+      TreeNode node;
+      node.iv.ts = in->I64();
+      node.iv.exp = in->I64();
+      node.parent = GetNodeKey(in);
+      node.via = GetEdgeRef(in);
+      node.is_root = in->U8() != 0;
+      const std::uint32_t num_children = in->U32();
+      for (std::uint32_t c = 0; c < num_children && in->ok(); ++c) {
+        node.children.push_back(&children_pool_, GetNodeKey(in));
+      }
+      if (!in->ok()) break;
+      tree.nodes.emplace(key, std::move(node));
+    }
+  }
+
+  const std::uint64_t num_inverted = in->U64();
+  for (std::uint64_t k = 0; k < num_inverted && in->ok(); ++k) {
+    const NodeKey key = GetNodeKey(in);
+    const std::uint32_t n = in->U32();
+    if (!in->ok()) break;
+    auto& roots = inverted_[key];
+    for (std::uint32_t i = 0; i < n && in->ok(); ++i) {
+      roots.push_back(&inverted_pool_, in->U64());
+    }
+  }
+
+  const std::uint64_t num_hints = in->U64();
+  for (std::uint64_t i = 0; i < num_hints && in->ok(); ++i) {
+    const Timestamp exp = in->I64();
+    const VertexId root = in->U64();
+    const NodeKey key = GetNodeKey(in);
+    node_expiry_.Add(exp, {root, key});
+  }
+
+  num_tree_nodes_ = in->U64();
+  const std::uint64_t num_candidates = in->U64();
+  for (std::uint64_t i = 0; i < num_candidates && in->ok(); ++i) {
+    empty_tree_candidates_.push_back(in->U64());
+  }
+  SGQ_RETURN_NOT_OK(in->status());
+  return out_coalescer_.DeserializeState(in);
+}
+
 std::size_t PathOpBase::StateSize() const {
   return window_->NumEntries() + out_coalescer_.NumKeys() + num_tree_nodes_;
 }

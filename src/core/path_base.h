@@ -91,6 +91,18 @@ class PathOpBase : public PhysicalOp {
   /// to what actually expired, not to the forest size.
   void Purge(Timestamp now) override;
 
+  /// \brief Checkpoint encoding (model/checkpoint.h, DESIGN.md §7):
+  /// forest, inverted index, node-expiry calendar, output coalescer, and
+  /// the owned window when not shared (shared partitions are checkpointed
+  /// once by the WindowStore registry). Tree/key enumeration is sorted
+  /// for deterministic bytes, but child links and inverted-index runs are
+  /// serialized *verbatim* — they are maintained by swap-and-pop, so
+  /// their order is history-dependent and observable (TreesContaining,
+  /// CollectSubtree seeds); restoring them byte-for-byte keeps resumed
+  /// emission order identical.
+  void SerializeState(std::string* out) const override;
+  Status DeserializeState(ByteReader* in) override;
+
  protected:
   /// \brief Tree-node bookkeeping (Def. 21). The path from the root to a
   /// node is recovered by following parent pointers; `via` is the edge that

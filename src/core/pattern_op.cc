@@ -483,4 +483,141 @@ std::size_t PatternOp::num_store_backed_ports() const {
   return n;
 }
 
+namespace {
+
+void PutPatternKey(std::string* out, const SmallVec<uint64_t, 3>& key) {
+  PutU32(out, static_cast<std::uint32_t>(key.size()));
+  for (uint64_t v : key) PutU64(out, v);
+}
+
+SmallVec<uint64_t, 3> GetPatternKey(ByteReader* in) {
+  SmallVec<uint64_t, 3> key;
+  const std::uint32_t n = in->U32();
+  for (std::uint32_t i = 0; i < n && in->ok(); ++i) key.push_back(in->U64());
+  return key;
+}
+
+bool KeyLess(const SmallVec<uint64_t, 3>& a, const SmallVec<uint64_t, 3>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+void PatternOp::SerializeTable(const Table& table, std::string* out) {
+  // Keys sorted (deterministic checkpoint bytes); bucket contents verbatim
+  // — every bucket mutation (ScrubTable, Purge) compacts order-preservingly,
+  // so restoring bindings in stored order reproduces probe order exactly.
+  std::vector<Key> keys;
+  keys.reserve(table.size());
+  for (const auto& [key, bucket] : table) {
+    (void)bucket;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end(), KeyLess);
+  PutU64(out, keys.size());
+  for (const Key& key : keys) {
+    const auto it = table.find(key);
+    PutPatternKey(out, key);
+    const Bucket& bucket = it->second;
+    PutU32(out, static_cast<std::uint32_t>(bucket.size()));
+    for (const Binding& b : bucket) {
+      PutU32(out, static_cast<std::uint32_t>(b.vals.size()));
+      for (VertexId v : b.vals) PutU64(out, v);
+      PutI64(out, b.iv.ts);
+      PutI64(out, b.iv.exp);
+    }
+  }
+}
+
+Status PatternOp::DeserializeTable(Table* table, ByteReader* in) {
+  const std::uint64_t num_keys = in->U64();
+  for (std::uint64_t k = 0; k < num_keys && in->ok(); ++k) {
+    Key key = GetPatternKey(in);
+    const std::uint32_t n = in->U32();
+    if (!in->ok()) break;
+    auto [it, inserted] = table->try_emplace(std::move(key));
+    if (!inserted) return in->Fail("duplicate join key");
+    Bucket& bucket = it->second;
+    for (std::uint32_t i = 0; i < n && in->ok(); ++i) {
+      Binding b;
+      const std::uint32_t nvals = in->U32();
+      for (std::uint32_t v = 0; v < nvals && in->ok(); ++v) {
+        b.vals.push_back(in->U64());
+      }
+      b.iv.ts = in->I64();
+      b.iv.exp = in->I64();
+      bucket.push_back(&bucket_pool_, std::move(b));
+    }
+  }
+  return in->status();
+}
+
+void PatternOp::SerializeState(std::string* out) const {
+  PutU32(out, static_cast<std::uint32_t>(levels_.size()));
+  for (const Level& lv : levels_) {
+    SerializeTable(lv.left, out);
+    PutU64(out, lv.left_entries);
+    // Store-backed right sides live in WindowStore partitions checkpointed
+    // by the registry; only the flag round-trips (topology verification).
+    PutU8(out, lv.store != nullptr ? 1 : 0);
+    if (lv.store == nullptr) {
+      SerializeTable(lv.right, out);
+      PutU64(out, lv.right_entries);
+    }
+  }
+  PutU64(out, binding_expiry_.num_hints());
+  binding_expiry_.VisitEntries([&](Timestamp exp, const BucketRef& ref) {
+    PutI64(out, exp);
+    PutU32(out, static_cast<std::uint32_t>(ref.level));
+    PutU8(out, ref.left ? 1 : 0);
+    PutPatternKey(out, ref.key);
+  });
+  out_coalescer_.SerializeState(out);
+}
+
+Status PatternOp::DeserializeState(ByteReader* in) {
+  // Only the *private* state must be empty: store-backed ports view the
+  // shared WindowStore, whose partitions restore before the ops section.
+  std::size_t private_entries = out_coalescer_.NumKeys();
+  for (const Level& lv : levels_) {
+    private_entries += lv.left_entries;
+    private_entries += lv.store != nullptr ? 0 : lv.right_entries;
+  }
+  if (private_entries != 0) {
+    return in->Fail("PATTERN operator not empty before restore");
+  }
+  const std::uint32_t num_levels = in->U32();
+  if (in->ok() && num_levels != levels_.size()) {
+    return in->Fail("PATTERN level count mismatch (checkpoint was taken "
+                    "with a different plan topology)");
+  }
+  for (Level& lv : levels_) {
+    SGQ_RETURN_NOT_OK(DeserializeTable(&lv.left, in));
+    lv.left_entries = in->U64();
+    const bool store_backed = in->U8() != 0;
+    if (in->ok() && store_backed != (lv.store != nullptr)) {
+      return in->Fail("PATTERN store-backed flag mismatch (checkpoint was "
+                      "taken with a different plan topology)");
+    }
+    if (lv.store == nullptr) {
+      SGQ_RETURN_NOT_OK(DeserializeTable(&lv.right, in));
+      lv.right_entries = in->U64();
+    }
+  }
+  const std::uint64_t num_hints = in->U64();
+  for (std::uint64_t i = 0; i < num_hints && in->ok(); ++i) {
+    const Timestamp exp = in->I64();
+    BucketRef ref;
+    ref.level = static_cast<int>(in->U32());
+    ref.left = in->U8() != 0;
+    ref.key = GetPatternKey(in);
+    if (in->ok() &&
+        static_cast<std::size_t>(ref.level) >= levels_.size()) {
+      return in->Fail("expiry hint references a level out of range");
+    }
+    binding_expiry_.Add(exp, std::move(ref));
+  }
+  return out_coalescer_.DeserializeState(in);
+}
+
 }  // namespace sgq

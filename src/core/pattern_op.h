@@ -112,6 +112,17 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   /// (diagnostics).
   std::size_t num_store_backed_ports() const;
 
+  /// \brief Checkpoint encoding (model/checkpoint.h, DESIGN.md §7): every
+  /// level's private left/right tables (keys sorted, bucket contents
+  /// verbatim — scrubs and purges compact buckets order-preservingly, so
+  /// binding order is round-trippable), entry counters, the binding-expiry
+  /// calendar in drain order, and the output coalescer. Store-backed port
+  /// state lives in WindowStore partitions checkpointed by the registry;
+  /// the in-flight retraction scratch sets are provably empty at batch
+  /// boundaries and are not serialized.
+  void SerializeState(std::string* out) const override;
+  Status DeserializeState(ByteReader* in) override;
+
  private:
   /// A (partial) variable binding: one value per pattern variable, with
   /// kInvalidVertex marking unbound positions. Values are inline for the
@@ -198,6 +209,9 @@ class PatternOp : public PhysicalOp, public DeletionCoordination {
   /// entry counter and recycling emptied buckets through bucket_pool_.
   template <typename Pred>
   void ScrubTable(Table* table, std::size_t* entries, Pred&& pred);
+
+  static void SerializeTable(const Table& table, std::string* out);
+  Status DeserializeTable(Table* table, ByteReader* in);
 
   int num_ports_;
   /// Backing store of every level's bucket overflow. Declared before

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "model/checkpoint.h"
 #include "model/sgt.h"
 #include "runtime/channel.h"
 #include "runtime/shard.h"
@@ -136,6 +137,29 @@ class PhysicalOp {
   /// \brief Binds the output channel tuples are emitted into. The channel
   /// is owned by the Executor (engine mode) or by the caller (direct mode).
   void BindOutput(OutputChannel* out) { out_ = out; }
+
+  /// \brief Checkpoint hook (model/checkpoint.h, DESIGN.md §7): appends
+  /// the operator's complete runtime state. Stateful operators override
+  /// both hooks; the default (stateless) pair writes/reads nothing.
+  /// Contract: at a batch boundary, DeserializeState on a freshly built
+  /// instance of the same plan must reproduce state whose future behavior
+  /// is byte-identical to the serialized instance's.
+  virtual void SerializeState(std::string* out) const { (void)out; }
+
+  /// \brief Restores SerializeState bytes into a freshly built operator
+  /// (same plan, same configuration, no tuples processed).
+  virtual Status DeserializeState(ByteReader* in) {
+    (void)in;
+    return Status::OK();
+  }
+
+  /// \brief MaybePurge's adaptive threshold — checkpointed and restored
+  /// (runtime/executor.h) so the resumed run purges at the same boundaries
+  /// as the uninterrupted one, keeping container histories identical.
+  std::size_t checkpoint_purge_watermark() const { return purge_watermark_; }
+  void restore_purge_watermark(std::size_t watermark) {
+    purge_watermark_ = watermark;
+  }
 
  protected:
   /// \brief Pushes an output tuple into the bound output channel.

@@ -33,4 +33,36 @@ std::vector<Sge> ReorderBuffer::Flush() {
   return released;
 }
 
+void ReorderBuffer::SerializeState(std::string* out) const {
+  PutI64(out, slack_);
+  PutI64(out, max_seen_);
+  PutU64(out, late_count_);
+  // Drain a copy: stored order is release order (the comparator is a
+  // total order, so this is canonical).
+  auto copy = heap_;
+  PutU64(out, copy.size());
+  while (!copy.empty()) {
+    PutSge(out, copy.top());
+    copy.pop();
+  }
+}
+
+Status ReorderBuffer::DeserializeState(ByteReader* in) {
+  if (!heap_.empty() || late_count_ != 0) {
+    return in->Fail("reorder buffer not empty before restore");
+  }
+  const Timestamp slack = in->I64();
+  if (in->ok() && slack != slack_) {
+    return in->Fail("slack mismatch (checkpoint was taken with a "
+                    "different --slack)");
+  }
+  max_seen_ = in->I64();
+  late_count_ = in->U64();
+  const std::uint64_t n = in->U64();
+  for (std::uint64_t i = 0; i < n && in->ok(); ++i) {
+    heap_.push(GetSge(in));
+  }
+  return in->status();
+}
+
 }  // namespace sgq

@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "model/checkpoint.h"
 #include "model/sgt.h"
 
 namespace sgq {
@@ -51,9 +52,26 @@ class ReorderBuffer {
   std::size_t Buffered() const { return heap_.size(); }
   std::size_t LateCount() const { return late_count_; }
 
+  /// \brief Checkpoint encoding (model/checkpoint.h, DESIGN.md §7): the
+  /// watermark state, late counter, and buffered elements in release
+  /// order. The heap comparator is a total order, so release order is
+  /// independent of insertion history and the rebuilt heap releases the
+  /// restored elements exactly as the original would have.
+  void SerializeState(std::string* out) const;
+  Status DeserializeState(ByteReader* in);
+
  private:
+  /// Total order (timestamp first, then value): equal-timestamp elements
+  /// release in a canonical order regardless of arrival or heap layout —
+  /// required for run-to-run determinism and checkpoint/restore.
   struct Later {
-    bool operator()(const Sge& a, const Sge& b) const { return a.t > b.t; }
+    bool operator()(const Sge& a, const Sge& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.src != b.src) return a.src > b.src;
+      if (a.trg != b.trg) return a.trg > b.trg;
+      if (a.label != b.label) return a.label > b.label;
+      return a.is_deletion > b.is_deletion;
+    }
   };
 
   Timestamp slack_;

@@ -1,9 +1,60 @@
 #include "core/window_store.h"
 
+#include <algorithm>
+
 namespace sgq {
 
 namespace {
 const WindowEdgeStore::EdgeRun kNoEdges;
+
+using AdjKey = std::pair<VertexId, LabelId>;
+
+/// Serializes one adjacency map: keys sorted (deterministic checkpoint
+/// bytes), per-key runs verbatim (probe order is run order).
+template <typename Adjacency>
+void SerializeAdjacency(const Adjacency& adj, std::string* out) {
+  std::vector<AdjKey> keys;
+  keys.reserve(adj.size());
+  for (const auto& [key, edges] : adj) {
+    (void)edges;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  PutU64(out, keys.size());
+  for (const AdjKey& key : keys) {
+    const auto it = adj.find(key);
+    PutU64(out, key.first);
+    PutU32(out, key.second);
+    const auto& edges = it->second;
+    PutU32(out, static_cast<std::uint32_t>(edges.size()));
+    for (const StoredEdge& e : edges) {
+      PutU64(out, e.trg);
+      PutI64(out, e.validity.ts);
+      PutI64(out, e.validity.exp);
+    }
+  }
+}
+
+template <typename Adjacency>
+Status DeserializeAdjacency(Adjacency* adj, SlabPool* pool, ByteReader* in) {
+  const std::uint64_t num_keys = in->U64();
+  for (std::uint64_t k = 0; k < num_keys && in->ok(); ++k) {
+    const VertexId vertex = in->U64();
+    const LabelId label = in->U32();
+    const std::uint32_t n = in->U32();
+    if (!in->ok()) break;
+    auto& edges = (*adj)[{vertex, label}];
+    for (std::uint32_t i = 0; i < n && in->ok(); ++i) {
+      StoredEdge e;
+      e.trg = in->U64();
+      e.validity.ts = in->I64();
+      e.validity.exp = in->I64();
+      edges.push_back(pool, e);
+    }
+  }
+  return in->status();
+}
+
 }  // namespace
 
 void WindowEdgeStore::InsertInto(Adjacency* adj, SlabPool* pool,
@@ -175,6 +226,54 @@ void WindowEdgeStore::RemoveFromInIndex(VertexId key_vertex, VertexId other,
     redges.Release(&in_pool_);
     in_adjacency_.erase(rit);
   }
+}
+
+void WindowEdgeStore::SerializeState(std::string* out) const {
+  PutU8(out, in_index_enabled_ ? 1 : 0);
+  PutU64(out, num_entries_);
+  SerializeAdjacency(adjacency_, out);
+  SerializeAdjacency(in_adjacency_, out);
+  PutU64(out, calendar_.num_hints());
+  calendar_.VisitEntries([&](Timestamp exp, const Key& key) {
+    PutI64(out, exp);
+    PutU64(out, key.first);
+    PutU32(out, key.second);
+  });
+}
+
+Status WindowEdgeStore::DeserializeState(ByteReader* in) {
+  if (num_entries_ != 0 || !adjacency_.empty()) {
+    return in->Fail("window store not empty before restore");
+  }
+  // The reverse-index flag is runtime state, not topology: PATH
+  // consumers enable it lazily on the first delete/re-derive
+  // (path_base.cc), so a snapshot may carry it either way regardless of
+  // the plan. Adopt the snapshot's flag — its in_adjacency_ content (the
+  // original run's exact insertion history) comes along verbatim.
+  const bool in_index = in->U8() != 0;
+  const std::uint64_t num_entries = in->U64();
+  SGQ_RETURN_NOT_OK(DeserializeAdjacency(&adjacency_, &pool_, in));
+  SGQ_RETURN_NOT_OK(DeserializeAdjacency(&in_adjacency_, &in_pool_, in));
+  num_entries_ = num_entries;
+  if (in_index) {
+    in_index_enabled_ = true;
+  } else if (in_index_enabled_) {
+    // A build-time consumer (PATTERN in-probe) enabled the index on this
+    // fresh store but the snapshot predates any content for it: re-index
+    // the restored window exactly as EnableInIndex would have at build
+    // time. (Unreachable from a same-plan snapshot — PATTERN enables the
+    // index before any edge flows — but kept for safety.)
+    in_index_enabled_ = false;
+    EnableInIndex();
+  }
+  const std::uint64_t num_hints = in->U64();
+  for (std::uint64_t i = 0; i < num_hints && in->ok(); ++i) {
+    const Timestamp exp = in->I64();
+    const VertexId vertex = in->U64();
+    const LabelId label = in->U32();
+    calendar_.Add(exp, {vertex, label});
+  }
+  return in->status();
 }
 
 std::vector<Sgt> WindowEdgeStore::PurgeExpired(Timestamp now) {

@@ -24,6 +24,7 @@
 #include "common/expiry_calendar.h"
 #include "common/flat_map.h"
 #include "common/hash.h"
+#include "model/checkpoint.h"
 #include "model/interval.h"
 #include "model/sgt.h"
 
@@ -108,6 +109,20 @@ class WindowEdgeStore {
   std::size_t expiry_hints_drained() const {
     return calendar_.hints_drained();
   }
+
+  /// \brief Checkpoint encoding (model/checkpoint.h, DESIGN.md §7): both
+  /// adjacencies with keys in sorted order and per-key run contents
+  /// verbatim, plus the expiry calendar's pending hints in drain order.
+  /// Every mutation path preserves run order (erase_at, never swap-pop),
+  /// so restoring the runs byte-for-byte reproduces the exact traversal
+  /// and probe order of the uninterrupted store.
+  void SerializeState(std::string* out) const;
+
+  /// \brief Rebuilds the store from SerializeState bytes; requires an
+  /// empty store. The in-index flag is adopted from the snapshot — PATH
+  /// consumers enable it lazily at runtime (first delete/re-derive), so
+  /// it is state, not topology.
+  Status DeserializeState(ByteReader* in);
 
  private:
   using Key = std::pair<VertexId, LabelId>;

@@ -117,6 +117,52 @@ void StreamingCoalescer::Forget(const EdgeRef& key, Timestamp from) {
   if (ivs.empty()) covered_.erase(it);
 }
 
+void StreamingCoalescer::SerializeState(std::string* out) const {
+  std::vector<EdgeRef> keys;
+  keys.reserve(covered_.size());
+  for (const auto& [key, ivs] : covered_) {
+    (void)ivs;
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  PutU64(out, keys.size());
+  for (const EdgeRef& key : keys) {
+    const auto it = covered_.find(key);
+    PutU64(out, key.src);
+    PutU64(out, key.trg);
+    PutU32(out, key.label);
+    const auto& ivs = it->second;
+    PutU32(out, static_cast<std::uint32_t>(ivs.size()));
+    for (std::size_t i = 0; i < ivs.size(); ++i) {
+      PutI64(out, ivs[i].ts);
+      PutI64(out, ivs[i].exp);
+    }
+  }
+}
+
+Status StreamingCoalescer::DeserializeState(ByteReader* in) {
+  if (!covered_.empty()) {
+    return in->Fail("coalescer not empty before restore");
+  }
+  const std::uint64_t num_keys = in->U64();
+  for (std::uint64_t k = 0; k < num_keys && in->ok(); ++k) {
+    EdgeRef key;
+    key.src = in->U64();
+    key.trg = in->U64();
+    key.label = in->U32();
+    const std::uint32_t n = in->U32();
+    if (!in->ok()) break;
+    auto& ivs = covered_[key];
+    for (std::uint32_t i = 0; i < n && in->ok(); ++i) {
+      Interval iv;
+      iv.ts = in->I64();
+      iv.exp = in->I64();
+      ivs.push_back(iv);
+    }
+  }
+  return in->status();
+}
+
 void StreamingCoalescer::PurgeBefore(Timestamp t) {
   for (auto it = covered_.begin(); it != covered_.end();) {
     auto& ivs = it->second;

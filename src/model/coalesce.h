@@ -12,6 +12,7 @@
 
 #include "common/flat_map.h"
 #include "common/small_vec.h"
+#include "model/checkpoint.h"
 #include "model/sgt.h"
 
 namespace sgq {
@@ -71,6 +72,16 @@ class StreamingCoalescer {
     }
     return n;
   }
+
+  /// \brief Checkpoint encoding (model/checkpoint.h): keys in sorted order
+  /// (deterministic bytes), per-key interval lists verbatim. Suppression
+  /// decisions depend only on per-key coverage, never on map layout, so
+  /// re-inserting on restore reproduces identical Offer() behavior.
+  void SerializeState(std::string* out) const;
+
+  /// \brief Rebuilds coverage from SerializeState bytes; requires an empty
+  /// coalescer (freshly built restore topology).
+  Status DeserializeState(ByteReader* in);
 
  private:
   // Per key: disjoint covered intervals, sorted by ts, in a small inlined

@@ -10,6 +10,7 @@
 
 #if !defined(_WIN32)
 #include <sys/stat.h>
+#include <unistd.h>
 #endif
 
 #include "common/string_util.h"
@@ -685,10 +686,30 @@ Status FileByteSink::Flush() {
   const std::size_t wrote =
       std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
   if (wrote != buffer_.size()) {
-    status_ = Status::Internal("write error on file: " + path_ + ": " +
-                               ErrnoText(errno));
+    status_ = Status::Internal(
+        "short write on file: " + path_ + ": wrote " + std::to_string(wrote) +
+        " of " + std::to_string(buffer_.size()) + " bytes: " +
+        ErrnoText(errno));
   }
   buffer_.clear();
+  return status_;
+}
+
+Status FileByteSink::Sync() {
+  SGQ_RETURN_NOT_OK(Flush());
+  errno = 0;
+  if (std::fflush(file_) != 0) {
+    status_ = Status::Internal("flush error on file: " + path_ + ": " +
+                               ErrnoText(errno));
+    return status_;
+  }
+#if !defined(_WIN32)
+  errno = 0;
+  if (::fsync(::fileno(file_)) != 0) {
+    status_ = Status::Internal("fsync error on file: " + path_ + ": " +
+                               ErrnoText(errno));
+  }
+#endif
   return status_;
 }
 

@@ -373,6 +373,16 @@ class FileByteSink {
   /// \brief Buffers `bytes`, flushing in kStreamIoBufferBytes units.
   Status Append(std::string_view bytes);
 
+  /// \brief Pushes the staged tail into the stdio stream. Short writes
+  /// surface the errno text and how many bytes were lost, and stick.
+  Status Flush();
+
+  /// \brief Flush + fflush + fsync: forces everything appended so far to
+  /// stable storage. The durability half of the checkpoint write protocol
+  /// (model/checkpoint.h): Sync() before the atomic rename guarantees a
+  /// crash after the rename still finds complete checkpoint bytes.
+  Status Sync();
+
   /// \brief Flushes the tail and closes the file. Idempotent; the
   /// destructor calls it, but callers should Close() explicitly to see
   /// the final flush's status.
@@ -384,8 +394,6 @@ class FileByteSink {
   const Status& status() const { return status_; }
 
  private:
-  Status Flush();
-
   std::string path_;
   std::FILE* file_ = nullptr;
   std::string buffer_;

@@ -1018,4 +1018,104 @@ std::size_t Executor::StateBytes() const {
   return n;
 }
 
+void Executor::SerializeClock(std::string* out) const {
+  PutI64(out, current_time_);
+  PutI64(out, next_boundary_);
+  PutU8(out, started_ ? 1 : 0);
+  PutI64(out, slide_);
+  PutI64(out, min_slide_);
+  // Pending micro-batch queue: restoring it preserves batch grouping, so
+  // the resumed run flushes at the same boundaries as the original.
+  PutU64(out, queue_.size());
+  for (const Sge& sge : queue_) PutSge(out, sge);
+}
+
+Status Executor::DeserializeClock(ByteReader* in) {
+  SGQ_CHECK(finalized_) << "restore before Finalize";
+  if (started_ || !queue_.empty()) {
+    return in->Fail("executor not fresh before restore");
+  }
+  const Timestamp current_time = in->I64();
+  const Timestamp next_boundary = in->I64();
+  const bool started = in->U8() != 0;
+  const Timestamp slide = in->I64();
+  const Timestamp min_slide = in->I64();
+  if (in->ok() && (slide != slide_ || min_slide != min_slide_)) {
+    return in->Fail("window slide mismatch (checkpoint was taken with a "
+                    "different query set)");
+  }
+  const std::uint64_t n = in->U64();
+  for (std::uint64_t i = 0; i < n && in->ok(); ++i) {
+    queue_.push_back(GetSge(in));
+  }
+  if (!in->ok()) return in->status();
+  current_time_ = current_time;
+  next_boundary_ = next_boundary;
+  started_ = started;
+  return Status::OK();
+}
+
+void Executor::SerializeOps(std::string* out) const {
+  PutU32(out, static_cast<std::uint32_t>(nodes_.size()));
+  for (const OpNode& node : nodes_) {
+    PutU8(out, node.touched ? 1 : 0);
+    PutU8(out, node.merge_coalesce ? 1 : 0);
+    if (node.merge_coalesce) {
+      node.merge_coalescer.SerializeState(out);
+      PutU64(out, node.merge_purge_watermark);
+    }
+    const std::size_t instances = 1 + node.replicas.size();
+    PutU32(out, static_cast<std::uint32_t>(instances));
+    for (std::size_t s = 0; s < instances; ++s) {
+      const PhysicalOp* inst =
+          s == 0 ? node.op.get() : node.replicas[s - 1].get();
+      PutU64(out, inst->checkpoint_purge_watermark());
+      std::string blob;
+      inst->SerializeState(&blob);
+      PutStr(out, blob);
+    }
+  }
+}
+
+Status Executor::DeserializeOps(ByteReader* in) {
+  SGQ_CHECK(finalized_) << "restore before Finalize";
+  const std::uint32_t num_nodes = in->U32();
+  if (in->ok() && num_nodes != nodes_.size()) {
+    return in->Fail("operator count mismatch (checkpoint was taken with a "
+                    "different plan topology)");
+  }
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    OpNode& node = nodes_[id];
+    node.touched = in->U8() != 0;
+    const bool merge_coalesce = in->U8() != 0;
+    if (in->ok() && merge_coalesce != node.merge_coalesce) {
+      return in->Fail("merge-coalescer flag mismatch at operator " +
+                      std::to_string(id));
+    }
+    if (node.merge_coalesce) {
+      SGQ_RETURN_NOT_OK(node.merge_coalescer.DeserializeState(in));
+      node.merge_purge_watermark = in->U64();
+    }
+    const std::uint32_t instances = in->U32();
+    if (in->ok() && instances != 1 + node.replicas.size()) {
+      return in->Fail("shard count mismatch at operator " +
+                      std::to_string(id) +
+                      " (checkpoint was taken with a different --workers)");
+    }
+    for (std::size_t s = 0; s < 1 + node.replicas.size() && in->ok(); ++s) {
+      PhysicalOp* inst = s == 0 ? node.op.get() : node.replicas[s - 1].get();
+      const std::uint64_t watermark = in->U64();
+      const std::string blob = in->Str();
+      if (!in->ok()) break;
+      ByteReader sub(blob, in->context() + ": operator " +
+                               std::to_string(id) + " (" + inst->Name() +
+                               ") shard " + std::to_string(s));
+      SGQ_RETURN_NOT_OK(inst->DeserializeState(&sub));
+      SGQ_RETURN_NOT_OK(sub.ExpectEnd());
+      inst->restore_purge_watermark(watermark);
+    }
+  }
+  return in->status();
+}
+
 }  // namespace sgq

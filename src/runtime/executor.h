@@ -210,6 +210,7 @@ class Executor {
   /// \brief Shard instance `shard` of operator `id` (shard 0 == op(id)).
   PhysicalOp* instance(OpId id, std::size_t shard) const;
   WindowStore* window_store() { return &window_store_; }
+  const WindowStore* window_store() const { return &window_store_; }
   const ExecutorOptions& options() const { return options_; }
 
   const LatencyRecorder& slide_latencies() const { return slide_latencies_; }
@@ -263,6 +264,29 @@ class Executor {
   /// \brief Human-readable topology: one line per operator with its
   /// channel destinations.
   std::string DescribeTopology() const;
+  /// @}
+
+  /// \name Checkpoint/restore (model/checkpoint.h, DESIGN.md §7)
+  ///
+  /// Callable only at a batch boundary (between Flush()es): the delivery
+  /// stack is empty, no wave is in flight, and the deletion scratch state
+  /// of every operator is provably clear. The restore counterpart runs on
+  /// a freshly built executor of the same topology and options, before any
+  /// tuple.
+  /// @{
+
+  /// \brief Serializes the clock (current time, next slide boundary,
+  /// started flag) and the pending micro-batch queue; slide granularities
+  /// are recorded for topology verification at restore.
+  void SerializeClock(std::string* out) const;
+  Status DeserializeClock(ByteReader* in);
+
+  /// \brief Serializes per-node runtime state: the touched bit (indexed
+  /// purge dispatch), the merge-side coalescer + its purge watermark when
+  /// enabled, and every shard instance's purge watermark plus its
+  /// length-framed SerializeState blob.
+  void SerializeOps(std::string* out) const;
+  Status DeserializeOps(ByteReader* in);
   /// @}
 
  private:

@@ -1,5 +1,7 @@
 #include "runtime/window_store.h"
 
+#include <algorithm>
+
 namespace sgq {
 
 WindowEdgeStore* WindowStore::Acquire(const std::string& signature) {
@@ -33,6 +35,48 @@ std::size_t WindowStore::StateBytes() const {
 
 void WindowStore::PurgeExpired(Timestamp now) {
   for (auto& [_, store] : partitions_) store->PurgeExpired(now);
+}
+
+void WindowStore::SerializeState(std::string* out) const {
+  std::vector<const std::string*> signatures;
+  signatures.reserve(partitions_.size());
+  for (const auto& [sig, store] : partitions_) {
+    (void)store;
+    signatures.push_back(&sig);
+  }
+  std::sort(signatures.begin(), signatures.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  PutU32(out, static_cast<std::uint32_t>(signatures.size()));
+  for (const std::string* sig : signatures) {
+    PutStr(out, *sig);
+    std::string blob;
+    partitions_.at(*sig)->SerializeState(&blob);
+    PutStr(out, blob);
+  }
+}
+
+Status WindowStore::DeserializeState(ByteReader* in) {
+  const std::uint32_t n = in->U32();
+  if (in->ok() && n != partitions_.size()) {
+    return in->Fail("window partition count mismatch (checkpoint was taken "
+                    "with a different query set): stored " +
+                    std::to_string(n) + ", rebuilt " +
+                    std::to_string(partitions_.size()));
+  }
+  for (std::uint32_t i = 0; i < n && in->ok(); ++i) {
+    const std::string sig = in->Str();
+    const std::string blob = in->Str();
+    if (!in->ok()) break;
+    auto it = partitions_.find(sig);
+    if (it == partitions_.end()) {
+      return in->Fail("unknown window partition signature '" + sig +
+                      "' (checkpoint was taken with a different query set)");
+    }
+    ByteReader sub(blob, in->context() + ": window partition '" + sig + "'");
+    SGQ_RETURN_NOT_OK(it->second->DeserializeState(&sub));
+    SGQ_RETURN_NOT_OK(sub.ExpectEnd());
+  }
+  return in->status();
 }
 
 }  // namespace sgq

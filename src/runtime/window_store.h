@@ -54,6 +54,15 @@ class WindowStore {
   /// \brief Purges every partition (memory only; results unaffected).
   void PurgeExpired(Timestamp now);
 
+  /// \brief Checkpoint encoding (model/checkpoint.h, DESIGN.md §7):
+  /// partitions enumerated in sorted signature order, each with its
+  /// signature string and WindowEdgeStore::SerializeState blob. Restore
+  /// runs on a registry whose partitions were re-created by rebuilding the
+  /// same plans — the signature sets must match exactly.
+  void SerializeState(std::string* out) const;
+  Status DeserializeState(ByteReader* in);
+  std::size_t shared_acquires() const { return shared_acquires_; }
+
  private:
   std::unordered_map<std::string, std::unique_ptr<WindowEdgeStore>>
       partitions_;

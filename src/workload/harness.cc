@@ -25,6 +25,8 @@ RunMetrics CollectEngineMetrics(const Engine& engine, std::string name,
   m.state_bytes = engine.executor().StateBytes();
   m.ops_touched = engine.executor().ops_touched();
   m.index_skipped_dispatches = engine.executor().index_skipped_dispatches();
+  m.checkpoint_write_ns = engine.checkpoint_write_ns();
+  m.checkpoint_bytes = engine.checkpoint_bytes();
   const IngestStats& stats = engine.ingest_stats();
   m.ingest_stall_ns = stats.ingest_stall_ns;
   m.exec_stall_ns = stats.exec_stall_ns;
@@ -229,6 +231,58 @@ Result<MultiQueryMetrics> RunMultiSga(
   }
   return RunMultiSgaPlans(stream, plan_ptrs, vocab, std::move(options),
                           std::move(name));
+}
+
+Result<RunMetrics> RunSgaCheckpointKill(const InputStream& stream,
+                                        const StreamingGraphQuery& query,
+                                        const Vocabulary& vocab,
+                                        EngineOptions options,
+                                        const std::string& checkpoint_path,
+                                        std::size_t checkpoint_at,
+                                        std::size_t kill_at,
+                                        std::string name,
+                                        std::vector<Sgt>* results_out) {
+  checkpoint_at = std::min(checkpoint_at, stream.size());
+  kill_at = std::min(std::max(kill_at, checkpoint_at), stream.size());
+
+  // Phase 1: run to the snapshot point, checkpoint, keep going, crash.
+  // The doomed engine goes out of scope without Flush() — everything it
+  // did after the snapshot is discarded, exactly like a SIGKILL.
+  std::uint64_t checkpoint_write_ns = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  {
+    SGQ_ASSIGN_OR_RETURN(auto doomed,
+                         QueryProcessor::FromQuery(query, vocab, options));
+    for (std::size_t i = 0; i < checkpoint_at; ++i) doomed->Push(stream[i]);
+    SGQ_RETURN_NOT_OK(doomed->engine().Checkpoint(checkpoint_path, &vocab));
+    SGQ_RETURN_NOT_OK(doomed->engine().WaitForCheckpoint());
+    checkpoint_write_ns = doomed->engine().checkpoint_write_ns();
+    checkpoint_bytes = doomed->engine().checkpoint_bytes();
+    for (std::size_t i = checkpoint_at; i < kill_at; ++i) {
+      doomed->Push(stream[i]);
+    }
+  }
+
+  // Phase 2: fresh engine, restore, resume from where the snapshot says
+  // the stream stood, and run the remainder to completion.
+  SGQ_ASSIGN_OR_RETURN(auto qp,
+                       QueryProcessor::FromQuery(query, vocab, options));
+  Stopwatch timer;
+  SGQ_RETURN_NOT_OK(qp->engine().Restore(checkpoint_path));
+  const std::uint64_t resume_from = qp->engine().ingested();
+  for (std::uint64_t i = resume_from; i < stream.size(); ++i) {
+    qp->Push(stream[i]);
+  }
+  qp->Flush();
+  RunMetrics m = CollectEngineMetrics(qp->engine(), std::move(name),
+                                      timer.ElapsedSeconds());
+  // The restored engine never checkpointed; report the snapshot the run
+  // actually took (phase 1) so the row carries its cost and size.
+  m.checkpoint_write_ns = checkpoint_write_ns;
+  m.checkpoint_bytes = checkpoint_bytes;
+  m.results_emitted = qp->results_emitted();
+  if (results_out != nullptr) *results_out = qp->results();
+  return m;
 }
 
 Result<RunMetrics> RunDd(const InputStream& stream,

@@ -73,6 +73,27 @@ Result<RunMetrics> RunSgaFile(const std::string& path,
                               Vocabulary* vocab, EngineOptions options,
                               std::string name);
 
+/// \brief Crash-recovery driver (DESIGN.md §7): runs `query` over
+/// `stream`, checkpointing to `checkpoint_path` after element
+/// `checkpoint_at`, keeps pushing until element `kill_at` and then
+/// abandons that engine — the simulated crash, losing everything past
+/// the snapshot. A fresh engine is compiled from the same query,
+/// restored from the checkpoint, resumed from the element index the
+/// snapshot recorded (`Engine::ingested()`), and run to the end of the
+/// stream. `*results_out` (optional) receives the resumed run's complete
+/// result stream; at workers == 1 it is byte-identical to the
+/// uninterrupted run's, and identical as a multiset under the sharded
+/// configurations' documented reordering.
+Result<RunMetrics> RunSgaCheckpointKill(const InputStream& stream,
+                                        const StreamingGraphQuery& query,
+                                        const Vocabulary& vocab,
+                                        EngineOptions options,
+                                        const std::string& checkpoint_path,
+                                        std::size_t checkpoint_at,
+                                        std::size_t kill_at,
+                                        std::string name,
+                                        std::vector<Sgt>* results_out);
+
 /// \brief Runs `query` on the DD-style baseline engine.
 Result<RunMetrics> RunDd(const InputStream& stream,
                          const StreamingGraphQuery& query,
