@@ -9,6 +9,7 @@
 //                    [--parsers N] [--no-query-index] [--mmap] [--no-mmap]
 //                    [--checkpoint-dir DIR] [--checkpoint-every N]
 //                    [--restore]
+//   stream_query_cli --serve <stream> [window] [slide] [engine flags]
 //
 //   query-file   Datalog rules (rq.h syntax) or a G-CORE query (--gcore)
 //   stream       CSV lines `src,label,trg,timestamp[,+|-]` or an SGQB
@@ -60,6 +61,17 @@
 //                mode results print once, after the stream drains, so a
 //                restored run reproduces the complete output stream.
 //                Not supported with --async-ingest / --parsers N>1.
+//   --serve      subscription-session mode (DESIGN.md §10): instead of a
+//                query file, read SUBSCRIBE / UNSUBSCRIBE / RESULTS /
+//                INGEST / QUIT commands from stdin (server/session.h
+//                protocol) and attach/detach standing queries live on the
+//                running engine, interleaved with stream ingest. The one
+//                positional argument is the stream; window/slide set the
+//                window attached to every subscribed query. Result lines
+//                are tagged `s<id><TAB>`. Engine flags (--batch,
+//                --workers, --delta-path, --no-share, --no-query-index)
+//                apply; --gcore, --query, --slack, --async-ingest and
+//                checkpointing are not available in serve mode.
 //   --restore    resume from the newest valid checkpoint in
 //                --checkpoint-dir: corrupt / truncated / mismatched
 //                snapshots are reported and skipped (falling back to
@@ -78,6 +90,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -160,9 +173,12 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::uint64_t checkpoint_every = 0;
   bool restore = false;
+  bool serve = false;
   EngineOptions options;
 
-  int positional = 0;
+  // Positional meaning depends on --serve (which may come later on the
+  // command line), so collect first and interpret after the flag pass.
+  std::vector<const char*> positionals;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--gcore") == 0) {
       use_gcore = true;
@@ -203,6 +219,8 @@ int main(int argc, char** argv) {
       checkpoint_every = static_cast<std::uint64_t>(n);
     } else if (std::strcmp(argv[i], "--restore") == 0) {
       restore = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
       int64_t n = 0;
       if (!ParseInt64(argv[++i], &n) || n < 0) {
@@ -255,26 +273,32 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.num_workers = static_cast<std::size_t>(n);
-    } else if (positional == 0) {
-      auto text = ReadFile(argv[i]);
+    } else {
+      positionals.push_back(argv[i]);
+    }
+  }
+
+  if (serve) {
+    // Serve mode has no query file: <stream> [window] [slide].
+    if (!positionals.empty()) stream_path = positionals[0];
+    if (positionals.size() > 1) window = std::atoll(positionals[1]);
+    if (positionals.size() > 2) slide = std::atoll(positionals[2]);
+  } else {
+    if (!positionals.empty()) {
+      auto text = ReadFile(positionals[0]);
       if (!text.ok()) {
         std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
         return 1;
       }
       query_text = *text;
-      ++positional;
-    } else if (positional == 1) {
+    }
+    if (positionals.size() > 1) {
       // Record the path only: async runs stream the file through the
       // bounded chunk feeder; synchronous paths materialize it later.
-      stream_path = argv[i];
-      ++positional;
-    } else if (positional == 2) {
-      window = std::atoll(argv[i]);
-      ++positional;
-    } else if (positional == 3) {
-      slide = std::atoll(argv[i]);
-      ++positional;
+      stream_path = positionals[1];
     }
+    if (positionals.size() > 2) window = std::atoll(positionals[2]);
+    if (positionals.size() > 3) slide = std::atoll(positionals[3]);
   }
 
   const bool checkpointing = !checkpoint_dir.empty();
@@ -313,6 +337,47 @@ int main(int argc, char** argv) {
   const bool binary = options.ingest_format == StreamFormat::kBinary;
 
   Vocabulary vocab;
+
+  if (serve) {
+    // Subscription-session mode: queries arrive over the line protocol,
+    // never from files; the exotic ingest paths don't apply.
+    if (use_gcore || !extra_query_texts.empty() || slack > 0 ||
+        options.async_ingest || options.ingest_parsers > 1 || checkpointing ||
+        restore) {
+      std::fprintf(stderr,
+                   "--serve is incompatible with --gcore, --query, --slack, "
+                   "--async-ingest, --parsers, and checkpointing\n");
+      return 2;
+    }
+    if (!stream_path.empty()) {
+      auto text = ReadFileBytes(stream_path);
+      if (!text.ok()) {
+        std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+        return 1;
+      }
+      stream_text = std::move(text).ValueOrDie();
+    }
+    auto stream = binary ? ParseStreamBinary(stream_text, &vocab)
+                         : ParseStreamCsv(stream_text, &vocab);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "stream: %s\n",
+                   stream.status().ToString().c_str());
+      return 1;
+    }
+    SessionOptions session_options;
+    session_options.engine = options;
+    session_options.window = WindowSpec(window, slide);
+    SessionServer server(std::move(session_options), &vocab);
+    if (Status st = server.Init(); !st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (Status st = server.Run(*stream, std::cin, std::cout); !st.ok()) {
+      std::fprintf(stderr, "serve: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
   auto parse_query = [&](const std::string& text)
       -> sgq::Result<StreamingGraphQuery> {
     if (use_gcore) return ParseGCore(text, &vocab);

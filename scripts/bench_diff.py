@@ -15,9 +15,23 @@ a property of core count, and comparing a 4-core recording against a
 1-core runner would flag hardware, not code. Ratios are still printed
 for the record, marked "(cpus N vs M, threshold skipped)".
 
-Intended as a *non-blocking* CI step: machine-to-machine variance makes a
-hard gate meaningless, so regressions beyond the soft threshold are
-reported (and exit nonzero only under --strict) but do not fail the build.
+Two classes of check, with different teeth:
+
+ - *Hard* (exit 1, gates CI): machine-independent integer facts must
+   match the baseline exactly — stream sizes and plan shape (edges, ops,
+   shared_subtrees, cross_query_shared, labels) on every row, and result
+   counts (results, results_total) on sequential rows. A mismatch means
+   the workload or the answer changed, not the hardware. Baseline rows
+   the run no longer produces (GONE) are also hard: a silently dropped
+   bench is a gap, not noise. Rows with no baseline yet (NEW) are
+   informational — they gate once a baseline is committed.
+ - *Soft* (reported, non-blocking unless --strict): throughput and
+   latency ratios. Machine-to-machine variance makes a hard wall-clock
+   gate meaningless; regressions beyond the soft threshold are surfaced
+   in the log and the --github-summary table but do not fail the build.
+   Parallel rows' result counts drift with merge timing, so they are
+   excluded from the hard result-parity check.
+
 Closes the ROADMAP item "Track bench JSON across PRs" — the comparison
 that used to be manual artifact-diffing is now one command:
 
@@ -43,6 +57,12 @@ HIGHER_BETTER = {"tuples_per_sec": 0.8, "parse_tuples_per_sec": 0.8}
 # pruning dispatches — a real fanout regression, not runner noise.
 LOWER_BETTER = {"p99_slide_seconds": 1.5, "state_bytes": 1.5,
                 "ops_touched_per_edge": 1.2}
+# Machine-independent integer facts, gated by exact equality (exit 1).
+# Structural facts hold on every row; result counts only on sequential
+# rows (parallel merges emit timing-dependent coalesced counts).
+HARD_STRUCTURAL = ("edges", "ops", "shared_subtrees", "cross_query_shared",
+                   "labels")
+HARD_SEQUENTIAL_RESULTS = ("results", "results_total")
 # Informational fields the emitters record alongside the identity keys and
 # thresholded metrics. Anything outside all three sets is reported once as
 # "unknown keys ignored" — usually a newer bench emitting a field this
@@ -109,13 +129,27 @@ def is_parallel(row):
             row.get("async") == 1 or row.get("pin") == 1)
 
 
+def hard_facts(row):
+    """The (name, value) facts of a row that must match exactly."""
+    facts = [(k, row[k]) for k in HARD_STRUCTURAL if k in row]
+    if not is_parallel(row):
+        facts += [(k, row[k]) for k in HARD_SEQUENTIAL_RESULTS if k in row]
+    return facts
+
+
 def compare(current, baseline):
     regressions = []
+    hard_failures = []
     for key, row in sorted(current.items()):
         base = baseline.get(key)
         if base is None:
             print(f"  NEW      {fmt_key(key)} (no baseline row)")
             continue
+        for fact, value in hard_facts(row):
+            old = base.get(fact)
+            if old is not None and value != old:
+                hard_failures.append(
+                    (key, f"{fact} {value} != baseline {old}"))
         # Parallel speedups are a property of core count: when the
         # recording boxes differ, throughput floors would flag hardware,
         # not code. Report the ratio, skip the threshold.
@@ -143,11 +177,14 @@ def compare(current, baseline):
             parts.append(f"{metric} {ratio:.2f}x")
             if ratio > ceil:
                 regressions.append((key, metric, ratio))
-        print(f"  {'OK' if not any(r[0] == key for r in regressions) else 'REGR':8s}"
+        flagged = (any(r[0] == key for r in regressions) or
+                   any(h[0] == key for h in hard_failures))
+        print(f"  {'REGR' if flagged else 'OK':8s}"
               f" {fmt_key(key)}: {', '.join(parts) if parts else 'no shared metrics'}")
     for key in sorted(baseline.keys() - current.keys()):
         print(f"  GONE     {fmt_key(key)} (baseline row not produced)")
-    return regressions
+        hard_failures.append((key, "baseline row not produced by this run"))
+    return regressions, hard_failures
 
 
 def main():
@@ -157,7 +194,10 @@ def main():
     parser.add_argument("--baseline", action="append", required=True,
                         help="committed baseline JSON (repeatable)")
     parser.add_argument("--strict", action="store_true",
-                        help="exit 1 on soft-threshold regressions")
+                        help="exit 1 on soft-threshold regressions too")
+    parser.add_argument("--github-summary", metavar="PATH",
+                        help="append a markdown summary table to PATH "
+                             "(pass \"$GITHUB_STEP_SUMMARY\" in CI)")
     args = parser.parse_args()
 
     unknown_keys = set()
@@ -174,18 +214,65 @@ def main():
         print(f"bench_diff: note: unknown keys ignored for matching and "
               f"thresholds: {', '.join(sorted(unknown_keys))}",
               file=sys.stderr)
-    regressions = compare(current, baseline)
+    regressions, hard_failures = compare(current, baseline)
+    if args.github_summary:
+        write_github_summary(args.github_summary, current, baseline,
+                             regressions, hard_failures)
+    if hard_failures:
+        print("hard failures (machine-independent facts diverged):")
+        for key, reason in hard_failures:
+            print(f"  {fmt_key(key)}: {reason}")
     if regressions:
         print("soft-threshold regressions:")
         for key, metric, ratio in regressions:
             print(f"  {fmt_key(key)}: {metric} {ratio:.2f}x")
-        if args.strict:
-            return 1
-        print("(non-blocking: single-core CI runners are noisy; "
-              "investigate before trusting)")
-    else:
+        if not args.strict:
+            print("(non-blocking: single-core CI runners are noisy; "
+                  "investigate before trusting)")
+    elif not hard_failures:
         print("no regressions beyond soft thresholds")
+    if hard_failures or (args.strict and regressions):
+        return 1
     return 0
+
+
+def write_github_summary(path, current, baseline, regressions,
+                         hard_failures):
+    """Appends a markdown table of the comparison to `path` (fail-soft)."""
+    hard_keys = {key for key, _ in hard_failures}
+    soft_keys = {key for key, _, _ in regressions}
+    lines = ["### bench_diff", "",
+             f"{len(current)} current rows vs {len(baseline)} baseline "
+             f"rows — {len(hard_failures)} hard failure(s), "
+             f"{len(regressions)} soft regression(s)", "",
+             "| row | status | detail |", "|---|---|---|"]
+    for key, row in sorted(current.items()):
+        if key not in baseline:
+            lines.append(f"| `{fmt_key(key)}` | NEW | no baseline row |")
+            continue
+        detail = []
+        for metric in list(HIGHER_BETTER) + list(LOWER_BETTER):
+            cur, old = row.get(metric), baseline[key].get(metric)
+            if cur and old:
+                detail.append(f"{metric} {cur / old:.2f}x")
+        if key in hard_keys:
+            status = "**HARD FAIL**"
+            detail = [r for k, r in hard_failures if k == key] + detail
+        elif key in soft_keys:
+            status = "soft regression"
+        else:
+            status = "OK"
+        lines.append(f"| `{fmt_key(key)}` | {status} | "
+                     f"{', '.join(detail) or '—'} |")
+    for key in sorted(baseline.keys() - current.keys()):
+        lines.append(f"| `{fmt_key(key)}` | **HARD FAIL** | "
+                     f"baseline row not produced |")
+    try:
+        with open(path, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    except OSError as e:
+        print(f"bench_diff: warning: cannot write summary to {path} "
+              f"({e.strerror or e})", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Scripted end-to-end check of the subscription session server
+# (server/session.h, DESIGN.md §10): drive a SUBSCRIBE → INGEST →
+# UNSUBSCRIBE → SUBSCRIBE-again session through `stream_query_cli
+# --serve` and require each subscription's tagged output to be
+# byte-identical to an equivalent static query run over exactly the
+# stream segment the subscription was live for:
+#
+#   id 0 lives for the whole stream        -> full-stream static run
+#   id 1 is detached after the prefix      -> prefix static run
+#   id 2 attaches mid-stream (fresh plan)  -> suffix static run
+#
+# The ack sequence is also checked verbatim, including that a detached
+# subscription id is never reused.
+#
+# Usage: session_smoke.sh <path-to-stream_query_cli>
+set -euo pipefail
+
+CLI=${1:?usage: session_smoke.sh <path-to-stream_query_cli>}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+TAB=$(printf '\t')
+
+# Deterministic 60-edge stream over 3 labels; timestamps non-decreasing.
+awk 'BEGIN{
+  lbl[0]="follows"; lbl[1]="likes"; lbl[2]="posts";
+  for (i = 0; i < 60; i++)
+    printf "v%d,%s,v%d,%d\n", i % 7, lbl[i % 3], (i * 3 + 1) % 7,
+           int(i / 2);
+}' > "$TMP/stream.csv"
+TOTAL=60
+PREFIX=30
+head -n "$PREFIX" "$TMP/stream.csv" > "$TMP/prefix.csv"
+tail -n +"$((PREFIX + 1))" "$TMP/stream.csv" > "$TMP/suffix.csv"
+
+{
+  printf 'SUBSCRIBE Answer(x,y) <- follows+(x,y)\n'
+  printf 'SUBSCRIBE Answer(x,y) <- likes(x,y)\n'
+  printf 'INGEST %d\n' "$PREFIX"
+  printf 'UNSUBSCRIBE 1\n'
+  printf 'SUBSCRIBE Answer(x,y) <- posts(x,y)\n'
+  printf 'INGEST ALL\n'
+  printf 'QUIT\n'
+} > "$TMP/session.txt"
+
+"$CLI" --serve "$TMP/stream.csv" < "$TMP/session.txt" \
+  2>/dev/null > "$TMP/session_out.txt"
+
+# Protocol acks, in order. Result lines carry a `s<id>\t` tag; everything
+# untagged must be exactly this ack sequence.
+grep -v "$TAB" "$TMP/session_out.txt" > "$TMP/acks.txt"
+printf 'SUBSCRIBED 0\nSUBSCRIBED 1\nINGESTED %d\nUNSUBSCRIBED 1\nSUBSCRIBED 2\nINGESTED %d\nBYE\n' \
+  "$PREFIX" "$((TOTAL - PREFIX))" > "$TMP/acks_expected.txt"
+cmp "$TMP/acks_expected.txt" "$TMP/acks.txt"
+
+# Each subscription's tag-stripped output vs the static run over the
+# segment it was live for.
+check_sub() {
+  local id=$1 query=$2 segment=$3
+  grep "^s${id}${TAB}" "$TMP/session_out.txt" | cut -f2- \
+    > "$TMP/sub${id}.txt" || true
+  printf '%s\n' "$query" > "$TMP/q${id}.dl"
+  "$CLI" "$TMP/q${id}.dl" "$segment" 2>/dev/null > "$TMP/static${id}.txt"
+  cmp "$TMP/static${id}.txt" "$TMP/sub${id}.txt"
+}
+check_sub 0 'Answer(x,y) <- follows+(x,y)' "$TMP/stream.csv"
+check_sub 1 'Answer(x,y) <- likes(x,y)' "$TMP/prefix.csv"
+check_sub 2 'Answer(x,y) <- posts(x,y)' "$TMP/suffix.csv"
+
+echo "session smoke: all subscriptions byte-identical to static runs"

@@ -47,6 +47,8 @@ Engine::~Engine() {
 SinkOp* Engine::sink(QueryId q) const {
   SGQ_CHECK_GE(q, 0);
   SGQ_CHECK_LT(static_cast<std::size_t>(q), sinks_.size());
+  // A removed query has no sink; callers must check IsLive first.
+  SGQ_CHECK(sinks_[static_cast<std::size_t>(q)] != nullptr);
   return sinks_[static_cast<std::size_t>(q)];
 }
 
@@ -58,10 +60,14 @@ OpId Engine::QueryRoot(QueryId q) const {
 
 Result<QueryId> Engine::AddPlan(const LogicalOp& plan,
                                 const Vocabulary& vocab) {
-  if (finalized_) {
-    return Status::Internal("Engine::AddPlan after Finalize");
-  }
   SGQ_RETURN_NOT_OK(ValidatePlan(plan, vocab));
+  if (finalized_) {
+    // Live attach (DESIGN.md §10): all admission checks run before any
+    // mutation, so a refused SUBSCRIBE leaves the engine running. The
+    // attach itself lands at a batch boundary.
+    SGQ_RETURN_NOT_OK(CheckLiveAttachable(plan));
+    executor_.Flush();
+  }
   if (!options_.cross_query_sharing) {
     // Sharing scoped to one query: dedup only within this registration.
     subtree_dedup_.clear();
@@ -79,11 +85,144 @@ Result<QueryId> Engine::AddPlan(const LogicalOp& plan,
   SinkOp* sink_ptr = sink.get();
   const OpId sink_id = executor_.AddOp(std::move(sink));
   SGQ_RETURN_NOT_OK(executor_.Connect(root, sink_id, 0));
+  RecordOp(sink_id, /*sig=*/"", {root}, {});
+  if (finalized_) {
+    SGQ_RETURN_NOT_OK(executor_.FinalizeNewOps());
+  }
 
   sinks_.push_back(sink_ptr);
   roots_.push_back(root);
   plan_texts_.push_back(plan.ToString(vocab));
-  return static_cast<QueryId>(sinks_.size() - 1);
+  query_live_.push_back(true);
+  ++live_queries_;
+
+  // The sharing refcounts: every operator reachable from this query's
+  // sink (through compile-time children, shared subtrees included) gains
+  // one reference. RemoveQuery decrements the same set.
+  const QueryId q = static_cast<QueryId>(sinks_.size() - 1);
+  std::vector<OpId> reachable;
+  std::vector<OpId> work = {sink_id};
+  std::vector<bool> seen(static_cast<std::size_t>(executor_.NumOps()), false);
+  while (!work.empty()) {
+    const OpId id = work.back();
+    work.pop_back();
+    if (seen[static_cast<std::size_t>(id)]) continue;
+    seen[static_cast<std::size_t>(id)] = true;
+    reachable.push_back(id);
+    for (OpId child : op_children_[static_cast<std::size_t>(id)]) {
+      work.push_back(child);
+    }
+  }
+  for (OpId id : reachable) ++op_refs_[static_cast<std::size_t>(id)];
+  query_ops_.push_back(std::move(reachable));
+  return q;
+}
+
+Status Engine::CheckLiveAttachable(const LogicalOp& plan) const {
+  // The slide granularity was fixed at Finalize; a finer window slide
+  // would need boundary instants the running clock already passed. Walk
+  // the plan BEFORE compiling so refusal has no side effects.
+  if (plan.kind == LogicalOpKind::kWScan &&
+      plan.window.slide < executor_.slide()) {
+    return Status::InvalidArgument(
+        "live attach refused: window slide " +
+        std::to_string(plan.window.slide) +
+        " is finer than the running engine granularity " +
+        std::to_string(executor_.slide()) +
+        " (fixed when the engine was finalized)");
+  }
+  for (const auto& child : plan.children) {
+    SGQ_RETURN_NOT_OK(CheckLiveAttachable(*child));
+  }
+  return Status::OK();
+}
+
+void Engine::RecordOp(OpId id, std::string sig, std::vector<OpId> children,
+                      std::vector<std::string> window_keys) {
+  const std::size_t need = static_cast<std::size_t>(id) + 1;
+  if (op_refs_.size() < need) {
+    op_refs_.resize(need, 0);
+    op_sigs_.resize(need);
+    op_children_.resize(need);
+    op_window_keys_.resize(need);
+  }
+  op_sigs_[static_cast<std::size_t>(id)] = std::move(sig);
+  op_children_[static_cast<std::size_t>(id)] = std::move(children);
+  op_window_keys_[static_cast<std::size_t>(id)] = std::move(window_keys);
+}
+
+Status Engine::RemoveQuery(QueryId q) {
+  if (!finalized_) {
+    return Status::Internal("Engine::RemoveQuery before Finalize");
+  }
+  if (q < 0 || static_cast<std::size_t>(q) >= sinks_.size()) {
+    return Status::InvalidArgument("RemoveQuery: unknown query " +
+                                   std::to_string(q));
+  }
+  if (!query_live_[static_cast<std::size_t>(q)]) {
+    return Status::InvalidArgument("RemoveQuery: query " + std::to_string(q) +
+                                   " was already removed");
+  }
+  // Detach at a batch boundary: buffered input still belongs to the query.
+  executor_.Flush();
+
+  // Decrement the sharing refcounts of every operator this query reaches;
+  // the zero-reference subset is the removed subtree. Channels only point
+  // child -> parent, so every surviving consumer of a dead operator would
+  // keep it reachable from a live sink — dead operators' consumers are
+  // therefore all dead, and unlinking only needs the (live child, dead
+  // parent) frontier edges. The whole teardown is O(removed subtree).
+  std::vector<OpId> dead;
+  for (OpId id : query_ops_[static_cast<std::size_t>(q)]) {
+    if (--op_refs_[static_cast<std::size_t>(id)] == 0) dead.push_back(id);
+  }
+  std::vector<std::pair<OpId, OpId>> unlink;
+  for (OpId id : dead) {
+    const std::size_t i = static_cast<std::size_t>(id);
+    // The dedup map must forget the signature or a later registration
+    // would resolve to a destroyed operator. (With cross_query_sharing
+    // off the map is cleared per registration; the entry may be stale.)
+    if (!op_sigs_[i].empty()) {
+      auto it = subtree_dedup_.find(op_sigs_[i]);
+      if (it != subtree_dedup_.end() && it->second == id) {
+        subtree_dedup_.erase(it);
+      }
+    }
+    for (const std::string& key : op_window_keys_[i]) {
+      SGQ_RETURN_NOT_OK(executor_.window_store()->Release(key));
+    }
+    op_window_keys_[i].clear();
+    op_window_keys_[i].shrink_to_fit();
+    for (OpId child : op_children_[i]) {
+      if (op_refs_[static_cast<std::size_t>(child)] > 0) {
+        unlink.emplace_back(child, id);
+      }
+    }
+    op_children_[i].clear();
+    op_children_[i].shrink_to_fit();
+    op_sigs_[i].clear();
+    op_sigs_[i].shrink_to_fit();
+  }
+  SGQ_RETURN_NOT_OK(executor_.RemoveOps(dead, unlink));
+
+  sinks_[static_cast<std::size_t>(q)] = nullptr;
+  roots_[static_cast<std::size_t>(q)] = kInvalidOpId;
+  query_live_[static_cast<std::size_t>(q)] = false;
+  query_ops_[static_cast<std::size_t>(q)].clear();
+  query_ops_[static_cast<std::size_t>(q)].shrink_to_fit();
+  --live_queries_;
+  return Status::OK();
+}
+
+bool Engine::IsLive(QueryId q) const {
+  SGQ_CHECK_GE(q, 0);
+  SGQ_CHECK_LT(static_cast<std::size_t>(q), query_live_.size());
+  return query_live_[static_cast<std::size_t>(q)];
+}
+
+int Engine::OperatorRefCount(OpId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= op_refs_.size()) return 0;
+  return op_refs_[static_cast<std::size_t>(id)];
 }
 
 Result<QueryId> Engine::AddQuery(const StreamingGraphQuery& query,
@@ -124,7 +263,8 @@ std::string Engine::Explain() const {
   std::string out;
   for (std::size_t i = 0; i < plan_texts_.size(); ++i) {
     if (plan_texts_.size() > 1) {
-      out += "-- query " + std::to_string(i) + " --\n";
+      out += "-- query " + std::to_string(i) +
+             (query_live_[i] ? "" : " (removed)") + " --\n";
     }
     out += plan_texts_[i];
   }
@@ -203,9 +343,15 @@ void Engine::EncodeCheckpointSections(
   PutKeyValues(&meta, InformationalKeys());
   writer->AddSection("meta", std::move(meta));
 
+  // Registration history, not just the live set: (plan, live) per ever-
+  // registered query. QueryIds index this list, so a restore target must
+  // replay the same adds AND the same removals for ids to line up.
   std::string queries;
   PutU32(&queries, static_cast<std::uint32_t>(plan_texts_.size()));
-  for (const std::string& text : plan_texts_) PutStr(&queries, text);
+  for (std::size_t i = 0; i < plan_texts_.size(); ++i) {
+    PutStr(&queries, plan_texts_[i]);
+    PutU8(&queries, query_live_[i] ? 1 : 0);
+  }
   writer->AddSection("queries", std::move(queries));
 
   if (vocab != nullptr) {
@@ -338,9 +484,18 @@ Status Engine::RestoreFrom(
   }
   for (std::uint32_t i = 0; i < n_queries && queries.ok(); ++i) {
     const std::string text = queries.Str();
-    if (queries.ok() && text != plan_texts_[i]) {
+    const bool live = queries.U8() != 0;
+    if (!queries.ok()) break;
+    if (text != plan_texts_[i]) {
       return queries.Fail("query " + std::to_string(i) +
                           " differs from the checkpointed plan");
+    }
+    if (live != query_live_[i]) {
+      return queries.Fail(
+          "query " + std::to_string(i) +
+          (live ? " is live in the checkpoint but removed in this engine"
+                : " is removed in the checkpoint but live in this engine") +
+          " — replay the same RemoveQuery history before restoring");
     }
   }
   SGQ_RETURN_NOT_OK(queries.status());
@@ -439,6 +594,10 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
   const std::size_t workers = options_.num_workers;
   std::unique_ptr<PhysicalOp> op;
   std::function<std::unique_ptr<PhysicalOp>(std::size_t)> make_shard;
+  // Window partitions acquired for this operator (all shards). The PATTERN
+  // op_key embeds NumOps() at build time, so the keys cannot be recomputed
+  // later — RemoveQuery releases exactly this recorded set.
+  std::vector<std::string> wkeys;
   switch (node.kind) {
     case LogicalOpKind::kWScan: {
       auto scan = std::make_unique<WScanOp>(node.input_label, node.window);
@@ -460,6 +619,7 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
             std::make_unique<WScanOp>(node.input_label, node.window)));
       }
       subtree_dedup_.emplace(sig, id);
+      RecordOp(id, sig, {}, {});
       return id;
     }
     case LogicalOpKind::kFilter:
@@ -482,8 +642,8 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
       // sharding they are additionally per-shard: broadcast ports >= 1
       // give every shard its own full replica of the right-side state.
       const std::string op_key = std::to_string(executor_.NumOps());
-      make_shard = [this, &node, op_key,
-                    workers](std::size_t shard) {
+      make_shard = [this, &node, op_key, workers,
+                    &wkeys](std::size_t shard) {
         std::vector<PatternPortState> port_state(node.children.size());
         for (std::size_t i = 1; i < node.children.size(); ++i) {
           const LabelId label = node.children[i]->OutputLabel();
@@ -493,6 +653,7 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
                             ":" + PlanSignature(*node.children[i]);
           if (workers > 1) key += "#shard" + std::to_string(shard);
           port_state[i].store = executor_.window_store()->Acquire(key);
+          wkeys.push_back(std::move(key));
         }
         return std::make_unique<PatternOp>(node, std::move(port_state));
       };
@@ -511,8 +672,8 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
         if (i > 0) in_sig += ",";
         in_sig += PlanSignature(*node.children[i]);
       }
-      make_shard = [this, &node, in_sig,
-                    workers](std::size_t shard) -> std::unique_ptr<PhysicalOp> {
+      make_shard = [this, &node, in_sig, workers,
+                    &wkeys](std::size_t shard) -> std::unique_ptr<PhysicalOp> {
         Dfa dfa = Dfa::FromRegex(node.regex);
         std::unique_ptr<PathOpBase> path;
         if (options_.path_impl == PathImpl::kSPath) {
@@ -528,6 +689,7 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
           key += "#shard" + std::to_string(shard);
         }
         path->BindSharedWindow(executor_.window_store()->Acquire(key));
+        wkeys.push_back(std::move(key));
         return path;
       };
       op = make_shard(0);
@@ -547,6 +709,7 @@ Result<OpId> Engine::Build(const LogicalOp& node, const Vocabulary& vocab) {
     SGQ_RETURN_NOT_OK(executor_.Connect(children[i], id, port));
   }
   subtree_dedup_.emplace(sig, id);
+  RecordOp(id, sig, std::move(children), std::move(wkeys));
   return id;
 }
 

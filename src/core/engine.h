@@ -167,22 +167,55 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// \name Registration (before Finalize)
+  /// \name Registration (batch before Finalize, live after — DESIGN.md §10)
   /// @{
 
   /// \brief Compiles `plan` onto the shared topology, reusing every
   /// already-compiled subtree with an equal canonical signature, and
-  /// appends a per-query sink. Fails on malformed plans; a failed
-  /// registration leaves the Engine unusable (discard it).
+  /// appends a per-query sink.
+  ///
+  /// Callable before Finalize (batch registration) AND after (live
+  /// attach): a finalized engine validates the plan up front — including
+  /// that no window slide is finer than the running granularity, which is
+  /// fixed at Finalize — flushes any buffered micro-batch (attach happens
+  /// at a batch boundary), compiles the plan, and binds the appended
+  /// operators incrementally. A refused live attach (malformed plan,
+  /// too-fine slide) leaves the engine untouched and running. A
+  /// live-attached query sees the stream from its attach point onward;
+  /// when it shares a subtree with running queries it adopts that
+  /// subtree's accumulated state (the sharing is the point). Not callable
+  /// concurrently with an async ingest pipeline.
   Result<QueryId> AddPlan(const LogicalOp& plan, const Vocabulary& vocab);
 
   /// \brief Translates the SGQ to its canonical plan and registers it.
   Result<QueryId> AddQuery(const StreamingGraphQuery& query,
                            const Vocabulary& vocab);
 
-  /// \brief Freezes registration and finalizes the runtime topology.
-  /// Must be called once before ingesting.
+  /// \brief Finalizes the runtime topology and fixes the slide
+  /// granularity. Must be called once before ingesting; afterwards
+  /// AddQuery/RemoveQuery keep working live at batch boundaries.
   Status Finalize();
+
+  /// \brief Detaches a live query from the running engine without
+  /// rebuilding the executor (DESIGN.md §10). Operators are
+  /// reference-counted by the queries whose canonical plan signatures
+  /// reach them: removal decrements the refcounts of `q`'s reachable
+  /// operators, and every operator that drops to zero is unlinked from
+  /// its surviving producers, deregistered from the query index and the
+  /// expiry machinery, and destroyed together with its window-store
+  /// partitions and (future) checkpoint sections. O(removed subtree).
+  ///
+  /// Surviving queries are byte-identical to a never-added run at
+  /// workers=1 (snapshot-equivalent sharded) provided the removed query
+  /// did not own the engine's finest slide — the granularity stays fixed
+  /// at the finest slide ever registered. The QueryId is never reused;
+  /// results(q)/TakeResults(q) on a removed query are programmer errors.
+  /// Callable at any batch boundary; flushes buffered input first. Not
+  /// callable concurrently with an async ingest pipeline.
+  Status RemoveQuery(QueryId q);
+
+  /// \brief Whether query `q` is still attached (false after RemoveQuery).
+  bool IsLive(QueryId q) const;
   /// @}
 
   /// \name Streaming (after Finalize)
@@ -285,7 +318,13 @@ class Engine {
 
   /// \name Per-query results (demux)
   /// @{
+
+  /// \brief Total registrations ever (QueryId range); removed queries
+  /// keep their id. See NumLiveQueries() for the attached population.
   std::size_t num_queries() const { return sinks_.size(); }
+
+  /// \brief Queries currently attached (registered minus removed).
+  std::size_t NumLiveQueries() const { return live_queries_; }
 
   /// \brief All results query `q` emitted so far (coalesced if
   /// configured). With batch_size > 1, reflects the input flushed so far.
@@ -311,10 +350,17 @@ class Engine {
   /// \name Sharing introspection
   /// @{
 
-  /// \brief Physical operators instantiated, per-query sinks included.
-  /// Registering the same plan K times yields NumOperators(1 plan) + K - 1
-  /// (each extra registration adds only its sink).
-  std::size_t NumOperators() const { return executor_.NumOps(); }
+  /// \brief Physical operators alive (instantiated minus removed),
+  /// per-query sinks included. Registering the same plan K times yields
+  /// NumOperators(1 plan) + K - 1 (each extra registration adds only its
+  /// sink); removing a query subtracts exactly the operators only it
+  /// referenced.
+  std::size_t NumOperators() const { return executor_.NumLiveOps(); }
+
+  /// \brief Queries whose plans currently reference operator `id`
+  /// (the sharing refcount); 0 for removed operators. Tests use this to
+  /// assert refcounts return to baseline across subscription churn.
+  int OperatorRefCount(OpId id) const;
 
   /// \brief Subtree compilations that resolved to an existing operator —
   /// how much per-edge work the sharing removed. Counts reuse *within* a
@@ -343,6 +389,11 @@ class Engine {
   /// \brief Total operator state entries (diagnostics).
   std::size_t StateSize() const { return executor_.StateSize(); }
 
+  /// \brief Resident operator-state bytes (diagnostics). Flat across
+  /// add/remove churn cycles: a removed query's state is released, not
+  /// tombstoned (tests/subscription_churn_test.cc).
+  std::size_t StateBytes() const { return executor_.StateBytes(); }
+
   /// \brief The runtime executing the registered queries.
   Executor& executor() { return executor_; }
   const Executor& executor() const { return executor_; }
@@ -356,8 +407,19 @@ class Engine {
   SinkOp* sink(QueryId q) const;
 
   /// \brief Compiles `node` children-first, consulting the signature
-  /// dedup map before instantiating anything.
+  /// dedup map before instantiating anything. Records per-operator
+  /// bookkeeping (signature, children, acquired window partitions) that
+  /// RemoveQuery's refcounted teardown consumes.
   Result<OpId> Build(const LogicalOp& node, const Vocabulary& vocab);
+
+  /// \brief Registers engine-side bookkeeping for a newly instantiated
+  /// operator (grows the parallel per-OpId tables).
+  void RecordOp(OpId id, std::string sig, std::vector<OpId> children,
+                std::vector<std::string> window_keys);
+
+  /// \brief Live-attach admission: every WSCAN window slide in `plan`
+  /// must be at least the running slide granularity (fixed at Finalize).
+  Status CheckLiveAttachable(const LogicalOp& plan) const;
 
   /// \brief Assembles the SGQC section set (shared by Checkpoint and the
   /// in-memory tests).
@@ -382,9 +444,24 @@ class Engine {
   /// operator per distinct signature, fanned out to every consumer.
   /// Cleared between registrations when cross_query_sharing is off.
   std::unordered_map<std::string, OpId> subtree_dedup_;
-  std::vector<SinkOp*> sinks_;   ///< index == QueryId
-  std::vector<OpId> roots_;      ///< index == QueryId
-  std::vector<std::string> plan_texts_;  ///< for Explain
+  std::vector<SinkOp*> sinks_;   ///< index == QueryId; null once removed
+  std::vector<OpId> roots_;      ///< index == QueryId; invalid once removed
+  std::vector<std::string> plan_texts_;  ///< for Explain + checkpoint history
+  /// Registration history: whether each QueryId is still attached. The
+  /// checkpoint "queries" section stores (plan, live) pairs so Restore can
+  /// refuse a snapshot whose removal history diverges (DESIGN.md §10).
+  std::vector<bool> query_live_;
+  std::size_t live_queries_ = 0;
+  /// Ops reachable from each query's sink (the sink included), deduped —
+  /// the set whose refcounts RemoveQuery decrements. Cleared on removal.
+  std::vector<std::vector<OpId>> query_ops_;
+  /// Per-OpId teardown bookkeeping, parallel to the executor's node table:
+  /// sharing refcount, canonical signature (dedup-map erasure), compile-
+  /// time children (channel unlinking), acquired window partition keys.
+  std::vector<int> op_refs_;
+  std::vector<std::string> op_sigs_;
+  std::vector<std::vector<OpId>> op_children_;
+  std::vector<std::vector<std::string>> op_window_keys_;
   std::size_t shared_subtree_hits_ = 0;
   std::size_t cross_query_shared_hits_ = 0;
   /// Operator count at the start of the in-flight AddPlan: dedup hits on

@@ -4,7 +4,7 @@
 // clock, window partitions, per-operator state, sink buffers).
 //
 //   offset 0   magic "SGQC" (4 bytes)
-//          4   u32  version        (currently 1)
+//          4   u32  version        (currently 2)
 //          8   u32  section_count
 //         12   section_count × {
 //                u16 name_len, name bytes,
@@ -44,7 +44,10 @@ namespace sgq {
 /// \brief SGQC magic bytes, footer magic, and current format version.
 inline constexpr char kCheckpointMagic[4] = {'S', 'G', 'Q', 'C'};
 inline constexpr char kCheckpointEndMagic[4] = {'C', 'Q', 'G', 'S'};
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// Version 2: per-operator liveness flags in the "ops" section and
+/// (plan, live) registration history in "queries" — live query
+/// deregistration (DESIGN.md §10) made both section layouts richer.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 // ---------------------------------------------------------------------------
 // Little-endian payload encoding helpers

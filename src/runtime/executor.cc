@@ -38,10 +38,12 @@ Executor::Executor(ExecutorOptions options) : options_(options) {
 Executor::~Executor() = default;
 
 OpId Executor::AddOp(std::unique_ptr<PhysicalOp> op) {
-  SGQ_CHECK(!finalized_) << "topology is frozen after Finalize()";
+  // Post-Finalize appends are the live-attach path: the new node is bound
+  // by FinalizeNewOps() before the next ingest (DESIGN.md §10).
   const OpId id = static_cast<OpId>(nodes_.size());
   nodes_.emplace_back();
   nodes_.back().op = std::move(op);
+  ++num_live_;
   return id;
 }
 
@@ -63,7 +65,10 @@ PhysicalOp* Executor::instance(OpId id, std::size_t shard) const {
 }
 
 Status Executor::AddShardReplica(OpId id, std::unique_ptr<PhysicalOp> shard) {
-  if (finalized_) return Status::Internal("AddShardReplica after Finalize");
+  if (finalized_ && static_cast<std::size_t>(id) < finalized_nodes_) {
+    return Status::Internal(
+        "AddShardReplica on an already-finalized operator");
+  }
   if (!sharded()) {
     return Status::InvalidArgument(
         "AddShardReplica requires num_workers > 1");
@@ -81,10 +86,19 @@ Status Executor::AddShardReplica(OpId id, std::unique_ptr<PhysicalOp> shard) {
 }
 
 Status Executor::Connect(OpId from, OpId to, int port) {
-  if (finalized_) return Status::Internal("Connect after Finalize");
+  if (finalized_ && static_cast<std::size_t>(to) < finalized_nodes_) {
+    // Live attaches may fan an existing (shared) operator out to a NEW
+    // consumer; rewiring two already-running operators is not a thing.
+    return Status::Internal(
+        "Connect into an already-finalized operator");
+  }
   if (from < 0 || static_cast<std::size_t>(from) >= nodes_.size() ||
       to < 0 || static_cast<std::size_t>(to) >= nodes_.size()) {
     return Status::InvalidArgument("Connect: unknown operator id");
+  }
+  if (nodes_[static_cast<std::size_t>(from)].op == nullptr ||
+      nodes_[static_cast<std::size_t>(to)].op == nullptr) {
+    return Status::InvalidArgument("Connect: removed operator id");
   }
   if (from >= to) {
     // Insertion order doubles as the wave order; a forward edge would make
@@ -103,24 +117,38 @@ Status Executor::Connect(OpId from, OpId to, int port) {
 }
 
 Status Executor::RegisterSource(LabelId label, OpId source, Timestamp slide) {
-  if (finalized_) return Status::Internal("RegisterSource after Finalize");
+  if (finalized_ && static_cast<std::size_t>(source) < finalized_nodes_) {
+    return Status::Internal(
+        "RegisterSource on an already-finalized operator");
+  }
   if (source < 0 || static_cast<std::size_t>(source) >= nodes_.size()) {
     return Status::InvalidArgument("RegisterSource: unknown operator id");
   }
   if (dynamic_cast<SourceOp*>(op(source)) == nullptr) {
     return Status::InvalidArgument("RegisterSource: not a SourceOp");
   }
+  if (finalized_ && slide < slide_) {
+    // The slide granularity is fixed at the first Finalize; a finer live
+    // attach would need boundary instants the running clock already
+    // passed. Callers pre-check (Engine::AddPlan), so refusal here is a
+    // backstop that leaves the executor usable.
+    return Status::InvalidArgument(
+        "live-attached source slide " + std::to_string(slide) +
+        " is finer than the running granularity " + std::to_string(slide_));
+  }
   // Both dispatch structures are maintained so use_query_index can flip
   // without recompiling (the differential tests compare the two paths).
   sources_[label].push_back(source);
   query_index_.Add(label, source);
-  min_slide_ = std::min(min_slide_, slide);
+  nodes_[static_cast<std::size_t>(source)].source_label = label;
+  if (!finalized_) min_slide_ = std::min(min_slide_, slide);
   return Status::OK();
 }
 
 Status Executor::RegisterWildcardSource(OpId source, Timestamp slide) {
-  if (finalized_) {
-    return Status::Internal("RegisterWildcardSource after Finalize");
+  if (finalized_ && static_cast<std::size_t>(source) < finalized_nodes_) {
+    return Status::Internal(
+        "RegisterWildcardSource on an already-finalized operator");
   }
   if (source < 0 || static_cast<std::size_t>(source) >= nodes_.size()) {
     return Status::InvalidArgument(
@@ -129,70 +157,79 @@ Status Executor::RegisterWildcardSource(OpId source, Timestamp slide) {
   if (dynamic_cast<SourceOp*>(op(source)) == nullptr) {
     return Status::InvalidArgument("RegisterWildcardSource: not a SourceOp");
   }
+  if (finalized_ && slide < slide_) {
+    return Status::InvalidArgument(
+        "live-attached source slide " + std::to_string(slide) +
+        " is finer than the running granularity " + std::to_string(slide_));
+  }
   wildcard_sources_.push_back(source);
   query_index_.AddWildcard(source);
-  min_slide_ = std::min(min_slide_, slide);
+  nodes_[static_cast<std::size_t>(source)].source_wildcard = true;
+  if (!finalized_) min_slide_ = std::min(min_slide_, slide);
+  return Status::OK();
+}
+
+Status Executor::SetupNodeTopology(std::size_t i) {
+  OpNode& node = nodes_[i];
+  node.out.exec_ = this;
+  node.out.from_ = static_cast<OpId>(i);
+  if (!sharded()) node.op->BindOutput(&node.out);
+  for (const PortRef& dst : node.out.dests_) {
+    if (dst.op <= static_cast<OpId>(i)) {
+      return Status::Internal("non-topological channel");
+    }
+  }
+  if (!sharded()) return Status::OK();
+  const std::size_t instances = 1 + node.replicas.size();
+  if (instances != 1 && instances != options_.num_workers) {
+    return Status::Internal(
+        "sharded operator must have 1 or num_workers instances");
+  }
+  // Cache the per-port routing declared by the operator. Sources have
+  // no connected input port; their sges route through port 0.
+  const std::size_t ports = std::max<std::size_t>(node.pending.size(), 1);
+  node.routing.reserve(ports);
+  for (std::size_t p = 0; p < ports; ++p) {
+    node.routing.push_back(node.op->InputRouting(static_cast<int>(p)));
+  }
+  // Every instance emits into its own capture buffer; addresses are
+  // stable because neither vector is resized after this point.
+  node.shard_emit.assign(instances, {});
+  node.shard_out.clear();
+  node.shard_out.reserve(instances);
+  for (std::size_t s = 0; s < instances; ++s) {
+    node.shard_out.emplace_back(&node.shard_emit[s]);
+  }
+  for (std::size_t s = 0; s < instances; ++s) {
+    instance(static_cast<OpId>(i), s)->BindOutput(&node.shard_out[s]);
+  }
+  node.shard_pending.assign(node.pending.size(),
+                            std::vector<std::vector<Sgt>>(instances));
+  node.shard_scratch.assign(node.pending.size(),
+                            std::vector<std::vector<Sgt>>(instances));
+  node.merge_coalesce = instances > 1 && node.op->CoalesceAtMerge();
+  if (instances > 1 && node.op->NeedsDeletionCoordination()) {
+    node.coordination.reserve(instances);
+    for (std::size_t s = 0; s < instances; ++s) {
+      auto* coordination = dynamic_cast<DeletionCoordination*>(
+          instance(static_cast<OpId>(i), s));
+      if (coordination == nullptr) {
+        return Status::Internal(
+            "operator requests deletion coordination but does not "
+            "implement DeletionCoordination");
+      }
+      node.coordination.push_back(coordination);
+    }
+  }
   return Status::OK();
 }
 
 Status Executor::Finalize() {
   if (finalized_) return Status::Internal("Finalize called twice");
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    OpNode& node = nodes_[i];
-    node.out.exec_ = this;
-    node.out.from_ = static_cast<OpId>(i);
-    if (!sharded()) node.op->BindOutput(&node.out);
-    for (const PortRef& dst : node.out.dests_) {
-      if (dst.op <= static_cast<OpId>(i)) {
-        return Status::Internal("non-topological channel");
-      }
-    }
+    SGQ_RETURN_NOT_OK(SetupNodeTopology(i));
   }
   if (sharded()) {
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      OpNode& node = nodes_[i];
-      const std::size_t instances = 1 + node.replicas.size();
-      if (instances != 1 && instances != options_.num_workers) {
-        return Status::Internal(
-            "sharded operator must have 1 or num_workers instances");
-      }
-      // Cache the per-port routing declared by the operator. Sources have
-      // no connected input port; their sges route through port 0.
-      const std::size_t ports = std::max<std::size_t>(node.pending.size(), 1);
-      node.routing.reserve(ports);
-      for (std::size_t p = 0; p < ports; ++p) {
-        node.routing.push_back(node.op->InputRouting(static_cast<int>(p)));
-      }
-      // Every instance emits into its own capture buffer; addresses are
-      // stable because neither vector is resized after this point.
-      node.shard_emit.assign(instances, {});
-      node.shard_out.clear();
-      node.shard_out.reserve(instances);
-      for (std::size_t s = 0; s < instances; ++s) {
-        node.shard_out.emplace_back(&node.shard_emit[s]);
-      }
-      for (std::size_t s = 0; s < instances; ++s) {
-        instance(static_cast<OpId>(i), s)->BindOutput(&node.shard_out[s]);
-      }
-      node.shard_pending.assign(node.pending.size(),
-                                std::vector<std::vector<Sgt>>(instances));
-      node.shard_scratch.assign(node.pending.size(),
-                                std::vector<std::vector<Sgt>>(instances));
-      node.merge_coalesce = instances > 1 && node.op->CoalesceAtMerge();
-      if (instances > 1 && node.op->NeedsDeletionCoordination()) {
-        node.coordination.reserve(instances);
-        for (std::size_t s = 0; s < instances; ++s) {
-          auto* coordination = dynamic_cast<DeletionCoordination*>(
-              instance(static_cast<OpId>(i), s));
-          if (coordination == nullptr) {
-            return Status::Internal(
-                "operator requests deletion coordination but does not "
-                "implement DeletionCoordination");
-          }
-          node.coordination.push_back(coordination);
-        }
-      }
-    }
     WorkerPoolOptions pool_options;
     pool_options.pin = options_.pin_workers;
     pool_ = std::make_unique<WorkerPool>(options_.num_workers, pool_options);
@@ -218,12 +255,136 @@ Status Executor::Finalize() {
     }
   }
   finalized_ = true;
+  finalized_nodes_ = nodes_.size();
+  return Status::OK();
+}
+
+Status Executor::FinalizeNewOps() {
+  if (!finalized_) return Status::Internal("FinalizeNewOps before Finalize");
+  if (!queue_.empty() || !stack_.empty() || !dirty_heap_.empty()) {
+    return Status::Internal("FinalizeNewOps outside a batch boundary");
+  }
+  // Appending the new nodes may have reallocated the node table, and
+  // operators hold their bound channel by address: the unsharded `out`
+  // channel lives inline in the OpNode and moved with it. Re-point every
+  // already-finalized operator at its channel's new address before any
+  // further ingest. (Sharded `shard_out`/`shard_emit` live in member-
+  // vector heap buffers that survive the move; rebound anyway for
+  // uniformity.)
+  for (std::size_t i = 0; i < finalized_nodes_; ++i) {
+    OpNode& node = nodes_[i];
+    if (node.op == nullptr) continue;
+    if (!sharded()) {
+      node.op->BindOutput(&node.out);
+    } else {
+      for (std::size_t s = 0; s < node.shard_out.size(); ++s) {
+        instance(static_cast<OpId>(i), s)->BindOutput(&node.shard_out[s]);
+      }
+    }
+  }
+  for (std::size_t i = finalized_nodes_; i < nodes_.size(); ++i) {
+    SGQ_RETURN_NOT_OK(SetupNodeTopology(i));
+    // The slide granularity is already fixed; the appended operators just
+    // adopt it (RegisterSource refused finer slides). New ids are larger
+    // than every existing one, so push_back keeps the ascending order the
+    // indexed time-advance wave merges by.
+    for (std::size_t s = 0; s < NumInstances(static_cast<OpId>(i)); ++s) {
+      instance(static_cast<OpId>(i), s)->ConfigureExpirySlide(slide_);
+    }
+    if (nodes_[i].op->HasTimeDrivenWork()) {
+      time_driven_ops_.push_back(static_cast<OpId>(i));
+    }
+  }
+  finalized_nodes_ = nodes_.size();
+  return Status::OK();
+}
+
+Status Executor::RemoveOps(const std::vector<OpId>& dead,
+                           const std::vector<std::pair<OpId, OpId>>& unlink) {
+  if (!finalized_) return Status::Internal("RemoveOps before Finalize");
+  if (!queue_.empty() || !stack_.empty() || !dirty_heap_.empty()) {
+    return Status::Internal("RemoveOps outside a batch boundary");
+  }
+  for (const OpId id : dead) {
+    if (id < 0 || static_cast<std::size_t>(id) >= finalized_nodes_ ||
+        nodes_[static_cast<std::size_t>(id)].op == nullptr) {
+      return Status::Internal(
+          "RemoveOps: unknown or already-removed operator " +
+          std::to_string(id));
+    }
+  }
+  auto erase_id = [](std::vector<OpId>* v, OpId id) {
+    v->erase(std::remove(v->begin(), v->end(), id), v->end());
+  };
+  for (const OpId id : dead) {
+    OpNode& node = nodes_[static_cast<std::size_t>(id)];
+    // Source/index deregistration: surviving postings keep registration
+    // order, so survivor dispatch is byte-identical to a never-added run.
+    if (node.source_wildcard) {
+      erase_id(&wildcard_sources_, id);
+      query_index_.RemoveWildcard(id);
+    } else if (node.source_label != kInvalidLabel) {
+      auto it = sources_.find(node.source_label);
+      if (it != sources_.end()) {
+        erase_id(&it->second, id);
+        // An empty per-label entry must disappear entirely: its presence
+        // alone would count edges_processed for a label no query consumes.
+        if (it->second.empty()) sources_.erase(it);
+      }
+      query_index_.Remove(node.source_label, id);
+    }
+    erase_id(&time_driven_ops_, id);
+    erase_id(&time_advance_hinted_, id);
+    // Tombstone the slot: ids are never reused (channels and checkpoints
+    // reference them positionally); every full-scan loop skips null ops.
+    node.op.reset();
+    node.replicas.clear();
+    node.out = OutputChannel();
+    node.pending.clear();
+    node.shard_out.clear();
+    node.shard_emit.clear();
+    node.shard_pending.clear();
+    node.shard_scratch.clear();
+    node.routing.clear();
+    node.coordination.clear();
+    node.merge_coalesce = false;
+    node.merge_coalescer = StreamingCoalescer();
+    node.merge_retracted.clear();
+    node.merge_purge_watermark = 1024;
+    node.time_advance_parallel = false;
+    node.dirty = false;
+    node.touched = false;
+    node.source_label = kInvalidLabel;
+    node.source_wildcard = false;
+    --num_live_;
+  }
+  // Unlink the channel edges feeding the removed subtree from surviving
+  // operators. The caller enumerates exactly (live child, dead parent)
+  // pairs, so the whole removal stays O(removed subtree): no full-topology
+  // channel sweep.
+  for (const auto& [from, to] : unlink) {
+    if (from < 0 || static_cast<std::size_t>(from) >= nodes_.size() ||
+        nodes_[static_cast<std::size_t>(from)].op == nullptr) {
+      return Status::Internal("RemoveOps: unlink from a removed operator");
+    }
+    auto& dests = nodes_[static_cast<std::size_t>(from)].out.dests_;
+    const OpId gone = to;
+    dests.erase(std::remove_if(dests.begin(), dests.end(),
+                               [gone](const PortRef& p) {
+                                 return p.op == gone;
+                               }),
+                dests.end());
+  }
   return Status::OK();
 }
 
 std::string Executor::DescribeTopology() const {
   std::string out;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].op == nullptr) {
+      out += "#" + std::to_string(i) + " (removed)\n";
+      continue;
+    }
     out += "#" + std::to_string(i) + " " + nodes_[i].op->Name();
     if (!nodes_[i].replicas.empty()) {
       out += " x" + std::to_string(1 + nodes_[i].replicas.size());
@@ -730,6 +891,7 @@ void Executor::UpdateTimeAdvanceHints() {
   time_advance_hinted_.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     OpNode& node = nodes_[i];
+    if (node.op == nullptr) continue;  // removed (tombstoned) slot
     if (node.replicas.empty() || node.op->HasTimeDrivenWork()) continue;
     if (indexed() && !node.touched) {
       // Never received input: StateSize() is 0 on every shard, below any
@@ -789,6 +951,7 @@ void Executor::TimeAdvanceWave(Timestamp now) {
       // dispatch, and so are operators whose shard state passed the
       // boundary-evaluated bar (UpdateTimeAdvanceHints).
       OpNode& node = nodes_[i];
+      if (node.op == nullptr) continue;  // removed (tombstoned) slot
       const bool declared = node.op->HasTimeDrivenWork();
       const bool parallel = declared || node.time_advance_parallel;
       if (parallel && !declared && !node.replicas.empty()) {
@@ -816,6 +979,7 @@ void Executor::TimeAdvanceWave(Timestamp now) {
   // Negative-tuple operators can emit retractions/re-derivations during
   // OnTimeAdvance; RunOpPhase delivers them downstream.
   for (auto& node : nodes_) {
+    if (node.op == nullptr) continue;  // removed (tombstoned) slot
     ++ops_touched_;
     RunOpPhase([&] { node.op->OnTimeAdvance(now); });
   }
@@ -828,6 +992,7 @@ void Executor::ProcessBoundary(Timestamp boundary) {
   if (sharded()) {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
       const OpId id = static_cast<OpId>(i);
+      if (nodes_[i].op == nullptr) continue;  // removed (tombstoned) slot
       if (indexed() && !nodes_[i].touched) {
         // Never received input: every shard's StateSize() is 0, below the
         // purge watermark, so MaybePurge would return immediately.
@@ -859,6 +1024,7 @@ void Executor::ProcessBoundary(Timestamp boundary) {
     UpdateTimeAdvanceHints();
   } else {
     for (auto& node : nodes_) {
+      if (node.op == nullptr) continue;  // removed (tombstoned) slot
       if (indexed() && !node.touched) {
         ++index_skipped_;  // StateSize() 0 < watermark: MaybePurge no-ops
         continue;
@@ -1003,6 +1169,7 @@ void Executor::AdvanceTo(Timestamp t) {
 std::size_t Executor::StateSize() const {
   std::size_t n = 0;
   for (const auto& node : nodes_) {
+    if (node.op == nullptr) continue;  // removed (tombstoned) slot
     n += node.op->StateSize();
     for (const auto& replica : node.replicas) n += replica->StateSize();
   }
@@ -1012,6 +1179,7 @@ std::size_t Executor::StateSize() const {
 std::size_t Executor::StateBytes() const {
   std::size_t n = 0;
   for (const auto& node : nodes_) {
+    if (node.op == nullptr) continue;  // removed (tombstoned) slot
     n += node.op->StateBytes();
     for (const auto& replica : node.replicas) n += replica->StateBytes();
   }
@@ -1058,6 +1226,11 @@ Status Executor::DeserializeClock(ByteReader* in) {
 void Executor::SerializeOps(std::string* out) const {
   PutU32(out, static_cast<std::uint32_t>(nodes_.size()));
   for (const OpNode& node : nodes_) {
+    // Tombstoned slots serialize as a single liveness byte: a removed
+    // query's operators carry no sections, and restore refuses a snapshot
+    // whose live set differs from the replayed registration history.
+    PutU8(out, node.op != nullptr ? 1 : 0);
+    if (node.op == nullptr) continue;
     PutU8(out, node.touched ? 1 : 0);
     PutU8(out, node.merge_coalesce ? 1 : 0);
     if (node.merge_coalesce) {
@@ -1084,8 +1257,15 @@ Status Executor::DeserializeOps(ByteReader* in) {
     return in->Fail("operator count mismatch (checkpoint was taken with a "
                     "different plan topology)");
   }
-  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+  for (std::size_t id = 0; id < nodes_.size() && in->ok(); ++id) {
     OpNode& node = nodes_[id];
+    const bool live = in->U8() != 0;
+    if (in->ok() && live != (node.op != nullptr)) {
+      return in->Fail("operator " + std::to_string(id) +
+                      " liveness mismatch (checkpoint was taken with a "
+                      "different set of removed queries)");
+    }
+    if (!live) continue;
     node.touched = in->U8() != 0;
     const bool merge_coalesce = in->U8() != 0;
     if (in->ok() && merge_coalesce != node.merge_coalesce) {

@@ -163,6 +163,38 @@ class Executor {
   Status Finalize();
   /// @}
 
+  /// \name Live topology updates (after Finalize, DESIGN.md §10)
+  ///
+  /// A finalized executor can still grow and shrink at batch boundaries
+  /// (queue, delivery stack and dirty worklist empty — i.e. between
+  /// Flush()es on the synchronous ingest path). AddOp / Connect /
+  /// RegisterSource / AddShardReplica accept appends that only touch
+  /// operators added since the last (re-)finalize; FinalizeNewOps then
+  /// binds and verifies exactly those appended nodes. The slide
+  /// granularity is immutable once fixed: registering a post-Finalize
+  /// source with a finer slide is refused (callers pre-check, so a
+  /// refused live attach leaves the executor untouched).
+  /// @{
+
+  /// \brief Binds channels, shard structures, expiry calendars and
+  /// time-advance registration for every operator appended after the last
+  /// Finalize()/FinalizeNewOps(). O(appended subtree).
+  Status FinalizeNewOps();
+
+  /// \brief Removes `dead` operators from the running topology —
+  /// tombstoning their node slots (ids are never reused), releasing their
+  /// state, pruning their source/index/time-advance registrations — and
+  /// unlinks the channel edges in `unlink` (pairs of live child → dead
+  /// parent, computed by the caller from its sharing refcounts). Callable
+  /// only at a batch boundary; O(removed subtree).
+  Status RemoveOps(const std::vector<OpId>& dead,
+                   const std::vector<std::pair<OpId, OpId>>& unlink);
+
+  /// \brief Operators alive (added minus removed); NumOps() counts slots,
+  /// tombstones included.
+  std::size_t NumLiveOps() const { return num_live_; }
+  /// @}
+
   /// \name Streaming
   /// @{
 
@@ -338,6 +370,12 @@ class Executor {
     /// last slide boundary. OR-ed with the operator's HasTimeDrivenWork().
     bool time_advance_parallel = false;
 
+    /// Source registration of this node (WSCAN leaves), recorded so
+    /// RemoveOps can prune the per-label tables and the query index
+    /// without scanning them: the label, or the wildcard bucket.
+    LabelId source_label = kInvalidLabel;
+    bool source_wildcard = false;
+
     /// Indexed dispatch (use_query_index): true while the node sits in the
     /// dirty worklist of the current wave (it has pending input to run).
     bool dirty = false;
@@ -364,6 +402,10 @@ class Executor {
 
   /// \brief True when dispatch consults the query index (DESIGN.md §3.1).
   bool indexed() const { return options_.use_query_index; }
+
+  /// \brief Channel/shard/coordination setup of one node — the per-node
+  /// body shared by Finalize() and FinalizeNewOps().
+  Status SetupNodeTopology(std::size_t i);
 
   /// \brief Adds `id` to the current wave's dirty worklist (min-heap on
   /// OpId: popping ascending reproduces the legacy full scan's node
@@ -483,6 +525,11 @@ class Executor {
   WindowStore window_store_;
   std::unique_ptr<WorkerPool> pool_;  ///< created by Finalize when sharded
   bool finalized_ = false;
+  /// Nodes already bound by Finalize()/FinalizeNewOps(); nodes at or past
+  /// this index are un-finalized appends of an in-flight live attach.
+  std::size_t finalized_nodes_ = 0;
+  /// Operators alive: added minus removed (tombstoned slots excluded).
+  std::size_t num_live_ = 0;
 
   // --- micro-batch ingest queue ---
   std::vector<Sge> queue_;

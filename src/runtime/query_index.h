@@ -27,6 +27,7 @@
 #ifndef SGQ_RUNTIME_QUERY_INDEX_H_
 #define SGQ_RUNTIME_QUERY_INDEX_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -68,6 +69,35 @@ class QueryIndex {
   /// \brief Appends `op` to the always-on bucket: it admits every label.
   void AddWildcard(OpId op, int port = 0) {
     wildcard_.push_back(SourcePosting{op, port});
+  }
+
+  /// \brief Removes every posting of `op` under `label` (live query
+  /// deregistration, DESIGN.md §10). Surviving postings keep their
+  /// registration order, so indexed dispatch stays byte-identical to a
+  /// never-added run. Erases the label's list entirely when it empties.
+  void Remove(LabelId label, OpId op) {
+    auto it = postings_.find(label);
+    if (it == postings_.end()) return;
+    PostingList& list = it->second;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].op == op) {
+        --num_postings_;
+        continue;
+      }
+      list[kept++] = list[i];
+    }
+    list.erase_range(kept, list.size());
+    if (list.size() == 0) postings_.erase(label);
+  }
+
+  /// \brief Removes `op` from the always-on bucket (order preserved).
+  void RemoveWildcard(OpId op) {
+    wildcard_.erase(std::remove_if(wildcard_.begin(), wildcard_.end(),
+                                   [op](const SourcePosting& p) {
+                                     return p.op == op;
+                                   }),
+                    wildcard_.end());
   }
 
   /// \brief Postings whose admission predicate names `label` exactly;

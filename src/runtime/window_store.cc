@@ -7,41 +7,57 @@ namespace sgq {
 WindowEdgeStore* WindowStore::Acquire(const std::string& signature) {
   auto [it, inserted] = partitions_.try_emplace(signature);
   if (inserted) {
-    it->second = std::make_unique<WindowEdgeStore>();
-    it->second->ConfigureExpirySlide(slide_);
+    it->second.store = std::make_unique<WindowEdgeStore>();
+    it->second.store->ConfigureExpirySlide(slide_);
   } else {
     ++shared_acquires_;
   }
-  return it->second.get();
+  ++it->second.consumers;
+  return it->second.store.get();
+}
+
+Status WindowStore::Release(const std::string& signature) {
+  auto it = partitions_.find(signature);
+  if (it == partitions_.end()) {
+    return Status::Internal("WindowStore::Release: unknown partition '" +
+                            signature + "'");
+  }
+  if (it->second.consumers == 0) {
+    return Status::Internal(
+        "WindowStore::Release: partition '" + signature +
+        "' has no outstanding consumers");
+  }
+  if (--it->second.consumers == 0) partitions_.erase(it);
+  return Status::OK();
 }
 
 void WindowStore::ConfigureExpirySlide(Timestamp slide) {
   if (slide <= 0) return;
   slide_ = slide;
-  for (auto& [_, store] : partitions_) store->ConfigureExpirySlide(slide);
+  for (auto& [_, p] : partitions_) p.store->ConfigureExpirySlide(slide);
 }
 
 std::size_t WindowStore::NumEntries() const {
   std::size_t n = 0;
-  for (const auto& [_, store] : partitions_) n += store->NumEntries();
+  for (const auto& [_, p] : partitions_) n += p.store->NumEntries();
   return n;
 }
 
 std::size_t WindowStore::StateBytes() const {
   std::size_t n = 0;
-  for (const auto& [_, store] : partitions_) n += store->StateBytes();
+  for (const auto& [_, p] : partitions_) n += p.store->StateBytes();
   return n;
 }
 
 void WindowStore::PurgeExpired(Timestamp now) {
-  for (auto& [_, store] : partitions_) store->PurgeExpired(now);
+  for (auto& [_, p] : partitions_) p.store->PurgeExpired(now);
 }
 
 void WindowStore::SerializeState(std::string* out) const {
   std::vector<const std::string*> signatures;
   signatures.reserve(partitions_.size());
-  for (const auto& [sig, store] : partitions_) {
-    (void)store;
+  for (const auto& [sig, p] : partitions_) {
+    (void)p;
     signatures.push_back(&sig);
   }
   std::sort(signatures.begin(), signatures.end(),
@@ -50,7 +66,7 @@ void WindowStore::SerializeState(std::string* out) const {
   for (const std::string* sig : signatures) {
     PutStr(out, *sig);
     std::string blob;
-    partitions_.at(*sig)->SerializeState(&blob);
+    partitions_.at(*sig).store->SerializeState(&blob);
     PutStr(out, blob);
   }
 }
@@ -73,7 +89,7 @@ Status WindowStore::DeserializeState(ByteReader* in) {
                       "' (checkpoint was taken with a different query set)");
     }
     ByteReader sub(blob, in->context() + ": window partition '" + sig + "'");
-    SGQ_RETURN_NOT_OK(it->second->DeserializeState(&sub));
+    SGQ_RETURN_NOT_OK(it->second.store->DeserializeState(&sub));
     SGQ_RETURN_NOT_OK(sub.ExpectEnd());
   }
   return in->status();

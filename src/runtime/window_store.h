@@ -31,8 +31,17 @@ class WindowStore {
  public:
   /// \brief Returns the partition for `signature`, creating it on first
   /// use. Subsequent calls with the same signature return the same
-  /// partition (that is the sharing).
+  /// partition (that is the sharing). Every Acquire counts one consumer;
+  /// pair it with Release when the consumer is deregistered.
   WindowEdgeStore* Acquire(const std::string& signature);
+
+  /// \brief Drops one consumer of `signature` (live query deregistration,
+  /// DESIGN.md §10). The partition — and its state — is destroyed when the
+  /// last consumer releases it, so a removed query's window memory is
+  /// reclaimed and later checkpoints no longer carry the partition.
+  /// Releasing an unknown signature or one with no outstanding consumers
+  /// is a checked error.
+  Status Release(const std::string& signature);
 
   /// \brief Sets the expiry-calendar granularity of every partition
   /// (existing and future) to the engine's slide. Called by the executor
@@ -64,8 +73,13 @@ class WindowStore {
   std::size_t shared_acquires() const { return shared_acquires_; }
 
  private:
-  std::unordered_map<std::string, std::unique_ptr<WindowEdgeStore>>
-      partitions_;
+  struct Partition {
+    std::unique_ptr<WindowEdgeStore> store;
+    /// Outstanding Acquire() consumers; the partition dies at zero.
+    std::size_t consumers = 0;
+  };
+
+  std::unordered_map<std::string, Partition> partitions_;
   std::size_t shared_acquires_ = 0;
   Timestamp slide_ = 1;
 };

@@ -9,6 +9,8 @@
 //     translation and the transformation rules,
 //   - the incremental query processor with its physical operators
 //     (S-PATH, Δ-tree PATH, symmetric-hash-join PATTERN),
+//   - the standing-query subscription session server (live attach/detach
+//     of queries on a running engine — DESIGN.md §10),
 //   - the DD-style baseline engine, and
 //   - the workload generators and benchmark harness.
 
@@ -40,6 +42,7 @@
 #include "query/rq.h"                 // IWYU pragma: export
 #include "regex/dfa.h"                // IWYU pragma: export
 #include "regex/regex.h"              // IWYU pragma: export
+#include "server/session.h"           // IWYU pragma: export
 #include "workload/generators.h"      // IWYU pragma: export
 #include "workload/harness.h"         // IWYU pragma: export
 #include "workload/queries.h"         // IWYU pragma: export
